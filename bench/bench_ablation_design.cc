@@ -1,0 +1,193 @@
+// Ablations for the design choices DESIGN.md documents (beyond the
+// paper's own Table 6):
+//   (a) GC-FM final ReLU: paper-literal ReLU(A_hat O) vs our default
+//       identity (the documented deviation);
+//   (b) flexible per-layer hidden dims (the freedom the paper claims
+//       over ResGCN) vs uniform dims at matched parameter budget;
+//   (c) aggregator spectrum incl. the non-node-aware mean and LSTM
+//       aggregators — how much of the win is *node-awareness*;
+//   (d) dataset heterogeneity: accuracy of GCN vs Lasagne as the
+//       fraction of featureless nodes grows (the paper's node-locality
+//       motivation made quantitative).
+
+#include <cstdio>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "core/lasagne_model.h"
+#include "data/registry.h"
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "models/model.h"
+#include "train/experiment.h"
+
+namespace lasagne {
+namespace {
+
+Summary RunLasagne(const Dataset& data, const LasagneConfig& base,
+                   int repeats) {
+  std::vector<double> accs;
+  for (int r = 0; r < repeats; ++r) {
+    LasagneConfig config = base;
+    config.seed = base.seed + 1000 * r;
+    LasagneModel model(data, config);
+    TrainOptions options;
+    options.max_epochs = 140;
+    options.patience = 20;
+    options.seed = 31 + 2000 * r;
+    accs.push_back(TrainModel(model, options).test_accuracy * 100.0);
+  }
+  return MeanStd(accs);
+}
+
+void GcfmReluAblation(const Dataset& data, int repeats) {
+  std::printf("\n-- (a) GC-FM final ReLU (paper Eq. 7 literal form)\n");
+  bench::TablePrinter table({14, 16, 16});
+  table.Row({"aggregator", "identity (ours)", "ReLU (paper)"});
+  table.Rule();
+  for (AggregatorKind kind :
+       {AggregatorKind::kWeighted, AggregatorKind::kStochastic,
+        AggregatorKind::kMaxPooling}) {
+    LasagneConfig config;
+    config.aggregator = kind;
+    config.depth = 4;
+    config.hidden_dim = 32;
+    config.seed = 5;
+    config.gcfm_final_relu = false;
+    Summary identity = RunLasagne(data, config, repeats);
+    config.gcfm_final_relu = true;
+    Summary relu = RunLasagne(data, config, repeats);
+    table.Row({AggregatorKindName(kind),
+               bench::FormatMeanStd(identity.mean, identity.std_dev),
+               bench::FormatMeanStd(relu.mean, relu.std_dev)});
+    std::fflush(stdout);
+  }
+  table.Rule();
+}
+
+void FlexibleDimsAblation(const Dataset& data, int repeats) {
+  std::printf("\n-- (b) flexible hidden dims (same total width budget)\n");
+  bench::TablePrinter table({26, 16});
+  table.Row({"hidden dims", "test acc"});
+  table.Rule();
+  const std::vector<std::vector<size_t>> shapes = {
+      {32, 32, 32}, {48, 32, 16}, {16, 32, 48}, {64, 24, 8}};
+  for (const auto& dims : shapes) {
+    LasagneConfig config;
+    config.aggregator = AggregatorKind::kWeighted;
+    config.depth = dims.size() + 1;
+    config.hidden_dims = dims;
+    config.seed = 7;
+    Summary s = RunLasagne(data, config, repeats);
+    std::string label;
+    for (size_t d : dims) label += std::to_string(d) + " ";
+    table.Row({label, bench::FormatMeanStd(s.mean, s.std_dev)});
+    std::fflush(stdout);
+  }
+  table.Rule();
+}
+
+void AggregatorSpectrum(const Dataset& data, int repeats) {
+  std::printf(
+      "\n-- (c) aggregator spectrum (node-aware vs uniform schemes)\n");
+  bench::TablePrinter table({14, 16, 14});
+  table.Row({"aggregator", "test acc", "node-aware?"});
+  table.Rule();
+  for (AggregatorKind kind :
+       {AggregatorKind::kWeighted, AggregatorKind::kStochastic,
+        AggregatorKind::kMaxPooling, AggregatorKind::kLstm,
+        AggregatorKind::kMean}) {
+    LasagneConfig config;
+    config.aggregator = kind;
+    config.depth = 5;
+    config.hidden_dim = 32;
+    config.seed = 9;
+    Summary s = RunLasagne(data, config, repeats);
+    const bool node_aware = kind == AggregatorKind::kWeighted ||
+                            kind == AggregatorKind::kStochastic ||
+                            kind == AggregatorKind::kMaxPooling ||
+                            kind == AggregatorKind::kLstm;
+    table.Row({AggregatorKindName(kind),
+               bench::FormatMeanStd(s.mean, s.std_dev),
+               node_aware ? "yes" : "no"});
+    std::fflush(stdout);
+  }
+  table.Rule();
+}
+
+void HeterogeneitySweep(int repeats) {
+  std::printf(
+      "\n-- (d) node heterogeneity sweep: featureless-node fraction vs\n"
+      "       the Lasagne-over-GCN margin (node-locality motivation)\n");
+  bench::TablePrinter table({12, 12, 16, 10});
+  table.Row({"featureless", "GCN(2)", "Lasagne(S,4)", "margin"});
+  table.Rule();
+  for (double fraction : {0.0, 0.2, 0.4, 0.6}) {
+    PlantedPartitionConfig gen;
+    gen.num_nodes = 600;
+    gen.num_classes = 7;
+    gen.feature_dim = 64;
+    gen.intra_class_ratio = 0.9;
+    gen.hub_intra_ratio = 0.45;
+    gen.feature_noise = 1.8;
+    gen.featureless_fraction = fraction;
+    gen.noisy_neighborhood_fraction = 0.25;
+    gen.seed = 3;
+    Dataset data = GeneratePlantedPartition(gen);
+    Rng rng(4);
+    ApplyTransductiveSplit(data, 6, 140, 280, rng);
+
+    ModelConfig gcn_config;
+    gcn_config.depth = 2;
+    gcn_config.hidden_dim = 32;
+    gcn_config.seed = 11;
+    TrainOptions options;
+    options.max_epochs = 140;
+    options.seed = 13;
+    ExperimentResult gcn =
+        RunRepeatedExperiment("gcn", data, gcn_config, options, repeats);
+
+    LasagneConfig lasagne_config;
+    lasagne_config.aggregator = AggregatorKind::kStochastic;
+    lasagne_config.depth = 4;
+    lasagne_config.hidden_dim = 32;
+    lasagne_config.seed = 11;
+    Summary lasagne = RunLasagne(data, lasagne_config, repeats);
+
+    char frac_buf[16], margin_buf[16];
+    std::snprintf(frac_buf, sizeof(frac_buf), "%.0f%%", 100 * fraction);
+    std::snprintf(margin_buf, sizeof(margin_buf), "%+.1f",
+                  lasagne.mean - gcn.test_accuracy.mean);
+    table.Row({frac_buf,
+               bench::FormatMeanStd(gcn.test_accuracy.mean,
+                                    gcn.test_accuracy.std_dev),
+               bench::FormatMeanStd(lasagne.mean, lasagne.std_dev),
+               margin_buf});
+    std::fflush(stdout);
+  }
+  table.Rule();
+  std::printf(
+      "Expected: the margin grows with the featureless fraction — the\n"
+      "more the optimal aggregation depth varies per node, the more\n"
+      "node-aware aggregation buys (the paper's Fig. 1 story).\n");
+}
+
+void Run() {
+  bench::PrintBanner("Design-choice ablations",
+                     "DESIGN.md documented deviations & claims");
+  const double scale = bench::BenchScale();
+  const int repeats = std::min(bench::BenchRepeats(), 2);
+  Dataset cora = LoadDataset("cora", 0.8 * scale, /*seed=*/1);
+  GcfmReluAblation(cora, repeats);
+  FlexibleDimsAblation(cora, repeats);
+  AggregatorSpectrum(cora, repeats);
+  HeterogeneitySweep(repeats);
+}
+
+}  // namespace
+}  // namespace lasagne
+
+int main() {
+  lasagne::Run();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces paper Fig. 2: mutual information between the input features
+// X and every hidden layer H(l) of converged 10-layer models on Cora.
+//
+// Expected shape (paper): vanilla GCN's MI decays sharply with depth
+// (over-smoothing); ResGCN holds MI for shallow layers; JK-Net lifts the
+// last layers; DenseGCN retains information at every layer.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "data/registry.h"
+#include "metrics/mutual_info.h"
+#include "models/model.h"
+#include "train/trainer.h"
+
+namespace lasagne {
+namespace {
+
+void Run() {
+  bench::PrintBanner("Figure 2: per-layer MI of 10-layer models on Cora",
+                     "paper Fig. 2");
+  const double scale = bench::BenchScale();
+  Dataset data = LoadDataset("cora", 0.6 * scale, /*seed=*/1);
+
+  const size_t depth = 10;
+  const std::vector<std::string> models = {"gcn", "resgcn", "jknet",
+                                           "densegcn"};
+  std::vector<int> widths = {10};
+  for (size_t l = 1; l <= depth; ++l) widths.push_back(7);
+  bench::TablePrinter table(widths);
+  std::vector<std::string> header = {"model"};
+  for (size_t l = 1; l <= depth; ++l) header.push_back("L" + std::to_string(l));
+  table.Row(header);
+  table.Rule();
+
+  for (const std::string& name : models) {
+    ModelConfig config;
+    config.depth = depth;
+    config.hidden_dim = 16;
+    config.dropout = 0.5f;
+    config.seed = 7;
+    std::unique_ptr<Model> model = MakeModel(name, data, config);
+    TrainOptions options;
+    options.max_epochs = 150;
+    options.patience = 30;
+    options.seed = 3;
+    TrainModel(*model, options);
+
+    // Converged model: capture hidden states and estimate MI(X; H(l)).
+    Rng eval_rng(5);
+    nn::ForwardContext ctx{false, &eval_rng};
+    model->Forward(ctx);
+    std::vector<std::string> row = {name};
+    Rng mi_rng(11);
+    for (const Tensor& h : model->hidden_states()) {
+      Rng layer_rng = mi_rng.Split();
+      const double mi =
+          RepresentationMutualInformation(data.features, h, 8, layer_rng);
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%.3f", mi);
+      row.push_back(buf);
+    }
+    while (row.size() < depth + 1) row.push_back("-");
+    table.Row(row);
+  }
+  table.Rule();
+  std::printf(
+      "Check the SHAPE against the paper: GCN decays with depth; JK-Net\n"
+      "lifts the final layers; DenseGCN retains the most MI per layer.\n");
+}
+
+}  // namespace
+}  // namespace lasagne
+
+int main() {
+  lasagne::Run();
+  return 0;
+}

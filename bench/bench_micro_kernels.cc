@@ -1,0 +1,149 @@
+// Micro-benchmarks of the kernels everything else is built on: SpMM,
+// dense GEMM, graph-convolution forward/backward, the three Lasagne
+// aggregators, GC-FM, edge softmax (GAT) and the MI estimator.
+
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/fm_op.h"
+#include "autograd/ops.h"
+#include "core/aggregators.h"
+#include "core/gcfm.h"
+#include "data/registry.h"
+#include "metrics/mutual_info.h"
+#include "nn/layers.h"
+
+namespace lasagne {
+namespace {
+
+struct Fixture {
+  Fixture() : data(LoadDataset("cora", 1.0, 1)) {
+    a_hat = std::make_shared<CsrMatrix>(data.graph.NormalizedAdjacency());
+    Rng rng(1);
+    h = Tensor::Normal(data.num_nodes(), 32, 0.0f, 1.0f, rng);
+  }
+  Dataset data;
+  std::shared_ptr<CsrMatrix> a_hat;
+  Tensor h;
+};
+
+Fixture& GetFixture() {
+  static Fixture& fixture = *new Fixture();
+  return fixture;
+}
+
+void BM_SpMM(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.a_hat->Multiply(f.h));
+  }
+  state.SetItemsProcessed(state.iterations() * f.a_hat->nnz());
+}
+BENCHMARK(BM_SpMM);
+
+void BM_DenseGemm(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  Rng rng(2);
+  Tensor w = Tensor::Normal(32, 32, 0.0f, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.h.MatMul(w));
+  }
+}
+BENCHMARK(BM_DenseGemm);
+
+void BM_GraphConvForwardBackward(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  Rng rng(3);
+  nn::GraphConvolution conv(32, 32, rng);
+  nn::ForwardContext ctx{true, &rng};
+  ag::Variable x = ag::MakeParameter(f.h);
+  for (auto _ : state) {
+    x->ZeroGrad();
+    for (const auto& p : conv.Parameters()) p->ZeroGrad();
+    ag::Variable out = conv.Forward(f.a_hat, x, ctx, 0.0f, true);
+    ag::BackwardWithGrad(out, Tensor::Ones(out->rows(), out->cols()));
+    benchmark::DoNotOptimize(out->value().data());
+  }
+}
+BENCHMARK(BM_GraphConvForwardBackward);
+
+template <AggregatorKind kKind>
+void BM_Aggregator(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  Rng rng(4);
+  const size_t layers = static_cast<size_t>(state.range(0));
+  ag::Variable shared_p = ag::MakeParameter(
+      Tensor::Normal(f.data.num_nodes(), layers, 0.0f, 0.1f, rng));
+  std::vector<size_t> dims(layers, 32);
+  auto agg = MakeAggregator(kKind, f.data.num_nodes(), layers, dims,
+                            shared_p, rng);
+  std::vector<ag::Variable> history;
+  for (size_t l = 0; l < layers; ++l) {
+    history.push_back(ag::MakeConstant(f.h));
+  }
+  nn::ForwardContext ctx{false, &rng};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        agg->Aggregate(f.a_hat, history, ctx)->value().data());
+  }
+}
+BENCHMARK(BM_Aggregator<AggregatorKind::kWeighted>)->Arg(4)->Arg(8);
+BENCHMARK(BM_Aggregator<AggregatorKind::kMaxPooling>)->Arg(4)->Arg(8);
+BENCHMARK(BM_Aggregator<AggregatorKind::kStochastic>)->Arg(4)->Arg(8);
+
+void BM_GcFmLayer(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  Rng rng(5);
+  const size_t layers = static_cast<size_t>(state.range(0));
+  std::vector<size_t> dims(layers, 32);
+  GcFmLayer layer(dims, f.data.num_classes, 5, rng);
+  std::vector<ag::Variable> hidden;
+  for (size_t l = 0; l < layers; ++l) {
+    hidden.push_back(ag::MakeConstant(f.h));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        layer.Forward(f.a_hat, hidden)->value().data());
+  }
+}
+BENCHMARK(BM_GcFmLayer)->Arg(3)->Arg(9);
+
+void BM_EdgeSoftmaxAggregate(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  Rng rng(6);
+  auto edges = ag::EdgeStructure::FromGraph(f.data.graph, true);
+  ag::Variable scores = ag::MakeParameter(
+      Tensor::Normal(edges->num_edges(), 1, 0.0f, 1.0f, rng));
+  ag::Variable feats = ag::MakeConstant(f.h);
+  for (auto _ : state) {
+    ag::Variable alpha = ag::EdgeSoftmax(scores, edges);
+    benchmark::DoNotOptimize(
+        ag::EdgeWeightedAggregate(alpha, feats, edges)->value().data());
+  }
+}
+BENCHMARK(BM_EdgeSoftmaxAggregate);
+
+void BM_RepresentationMI(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  Rng rng(7);
+  for (auto _ : state) {
+    Rng mi_rng = rng.Split();
+    benchmark::DoNotOptimize(RepresentationMutualInformation(
+        f.data.features, f.h, 8, mi_rng));
+  }
+}
+BENCHMARK(BM_RepresentationMI);
+
+void BM_NormalizedAdjacency(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.data.graph.NormalizedAdjacency().nnz());
+  }
+}
+BENCHMARK(BM_NormalizedAdjacency);
+
+}  // namespace
+}  // namespace lasagne
+
+BENCHMARK_MAIN();

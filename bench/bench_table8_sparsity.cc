@@ -1,0 +1,103 @@
+// Reproduces paper Table 8: accuracy as the training label rate grows,
+// on Cora (5/10/15/20 labels per class = 1.3/2.6/3.9/5.2%) and NELL
+// (0.1/1/10%).
+//
+// Expected shape: Lasagne leads at every label rate; the advantage is
+// clearest at the lowest rates (deep aggregation compensates for label
+// scarcity).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "data/registry.h"
+#include "data/splits.h"
+#include "train/experiment.h"
+
+namespace lasagne {
+namespace {
+
+const char* kModels[] = {"gcn",
+                         "resgcn",
+                         "densegcn",
+                         "jknet",
+                         "lasagne-weighted",
+                         "lasagne-stochastic",
+                         "lasagne-maxpool"};
+
+void SweepDataset(const char* name, double scale,
+                  const std::vector<size_t>& labels_per_class,
+                  int repeats) {
+  // The paper's protocol: "5, 10, 15 and 20 labeled nodes per class".
+  // Sweeping absolute per-class counts (not node fractions) keeps the
+  // label BUDGET comparable to the paper's regime on scaled graphs.
+  Dataset data = LoadDataset(name, scale, /*seed=*/1);
+  std::printf("\n-- %s (labeled nodes per class; rate shown per column)\n",
+              name);
+  std::vector<int> widths = {20};
+  for (size_t c : labels_per_class) {
+    (void)c;
+    widths.push_back(12);
+  }
+  bench::TablePrinter table(widths);
+  std::vector<std::string> header = {"model \\ labels"};
+  for (size_t c : labels_per_class) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%zu (%.1f%%)", c,
+                  100.0 * static_cast<double>(c * data.num_classes) /
+                      static_cast<double>(data.num_nodes()));
+    header.push_back(buf);
+  }
+  table.Row(header);
+  table.Rule();
+  for (const char* model : kModels) {
+    std::vector<std::string> row = {model};
+    for (size_t per_class : labels_per_class) {
+      Dataset sweep = data;
+      Rng rng(97);
+      ResampleTrainPerClass(sweep, per_class, rng);
+      ModelConfig config;
+      config.depth = 4;
+      config.hidden_dim = 24;
+      config.dropout = 0.5f;
+      config.seed = 7;
+      TrainOptions options;
+      options.max_epochs = 120;
+      options.patience = 20;
+      options.seed = 17;
+      ExperimentResult result =
+          RunRepeatedExperiment(model, sweep, config, options, repeats);
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%.1f", result.test_accuracy.mean);
+      row.push_back(buf);
+    }
+    table.Row(row);
+    std::fflush(stdout);
+  }
+  table.Rule();
+}
+
+void Run() {
+  bench::PrintBanner(
+      "Table 8: accuracy vs label rate (Cora / NELL stand-ins)",
+      "paper Table 8");
+  const double scale = bench::BenchScale();
+  const int repeats = std::min(bench::BenchRepeats(), 2);
+  // Paper: Cora 5/10/15/20 labels per class (1.3-5.2%); NELL 0.1/1/10%
+  // label rates, which on 65755 nodes are roughly 0.3/3/31 per class —
+  // we sweep {1, 3, 12} per class on the scaled stand-in.
+  SweepDataset("cora", 0.55 * scale, {5, 10, 15, 20}, repeats);
+  SweepDataset("nell", 0.4 * scale, {1, 3, 12}, repeats);
+  std::printf(
+      "\nShape check: Lasagne rows lead at every rate; their margin over\n"
+      "GCN should be widest at the smallest label rates.\n");
+}
+
+}  // namespace
+}  // namespace lasagne
+
+int main() {
+  lasagne::Run();
+  return 0;
+}

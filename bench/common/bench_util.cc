@@ -1,0 +1,81 @@
+#include "common/bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace lasagne::bench {
+
+double BenchScale() {
+  const char* env = std::getenv("LASAGNE_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double v = std::atof(env);
+  return v > 0.0 ? v : 1.0;
+}
+
+int BenchRepeats() {
+  const char* env = std::getenv("LASAGNE_BENCH_REPEATS");
+  if (env == nullptr) return 3;
+  int v = std::atoi(env);
+  return v > 0 ? v : 3;
+}
+
+std::string FormatMeanStd(double mean, double std_dev, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f+-%.*f", precision, mean, precision,
+                std_dev);
+  return buf;
+}
+
+TablePrinter::TablePrinter(std::vector<int> widths)
+    : widths_(std::move(widths)) {}
+
+void TablePrinter::Row(const std::vector<std::string>& cells) const {
+  std::ostringstream line;
+  for (size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+    const int w = widths_[i];
+    std::string cell = cells[i];
+    if (static_cast<int>(cell.size()) > w) cell = cell.substr(0, w);
+    if (i == 0) {
+      line << cell << std::string(w - cell.size(), ' ');
+    } else {
+      line << std::string(w - cell.size(), ' ') << cell;
+    }
+    line << "  ";
+  }
+  std::printf("%s\n", line.str().c_str());
+}
+
+void TablePrinter::Rule() const {
+  size_t total = 0;
+  for (int w : widths_) total += static_cast<size_t>(w) + 2;
+  std::printf("%s\n", std::string(total, '-').c_str());
+}
+
+void TuneForModel(const std::string& model, ModelConfig& config,
+                  TrainOptions& options) {
+  if (model == "gat" || model == "adsf" ||
+      model == "lasagne-stochastic-gat") {
+    options.learning_rate = 0.005f;
+    config.dropout = std::min(config.dropout, 0.3f);
+  }
+  if (model == "gcn" || model == "sgc" || model == "gat" ||
+      model == "appnp" || model == "dgcn" || model == "adsf") {
+    // Canonically shallow models.
+    config.depth = 2;
+  }
+}
+
+void PrintBanner(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("Data: synthetic stand-ins (see DESIGN.md §1); compare the\n");
+  std::printf("SHAPE (ordering / trends) with the paper, not absolute values.\n");
+  std::printf("Scale=%.2f repeats=%d (env LASAGNE_BENCH_SCALE / _REPEATS)\n",
+              BenchScale(), BenchRepeats());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace lasagne::bench

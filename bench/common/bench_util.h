@@ -1,0 +1,53 @@
+#ifndef LASAGNE_BENCH_COMMON_BENCH_UTIL_H_
+#define LASAGNE_BENCH_COMMON_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "models/model.h"
+#include "train/trainer.h"
+
+namespace lasagne::bench {
+
+/// Scale factor for bench workloads, from LASAGNE_BENCH_SCALE (default 1.0).
+/// Values < 1 shrink graphs/epochs for smoke runs; > 1 enlarges them.
+double BenchScale();
+
+/// Number of repeated trials per configuration, from
+/// LASAGNE_BENCH_REPEATS (default 3; the paper uses 10).
+int BenchRepeats();
+
+/// A "mean +- std" cell, formatted like the paper's tables.
+std::string FormatMeanStd(double mean, double std_dev, int precision = 1);
+
+/// Fixed-width table printer used by every bench binary so their output
+/// lines up like the paper's tables.
+class TablePrinter {
+ public:
+  /// `widths[i]` is the printed width of column i.
+  explicit TablePrinter(std::vector<int> widths);
+
+  /// Prints a row of cells, left-aligned first column, right-aligned rest.
+  void Row(const std::vector<std::string>& cells) const;
+
+  /// Prints a horizontal rule.
+  void Rule() const;
+
+ private:
+  std::vector<int> widths_;
+};
+
+/// Prints the standard bench banner (what this binary reproduces, how it
+/// is scaled, and the caveat about synthetic data).
+void PrintBanner(const std::string& title, const std::string& paper_ref);
+
+/// Applies the per-model hyper-parameter conventions the paper's
+/// experimental section implies: attention models (GAT/ADSF) train with
+/// a lower learning rate and lighter dropout; the 2-layer classics keep
+/// their canonical depth.
+void TuneForModel(const std::string& model, ModelConfig& config,
+                  TrainOptions& options);
+
+}  // namespace lasagne::bench
+
+#endif  // LASAGNE_BENCH_COMMON_BENCH_UTIL_H_

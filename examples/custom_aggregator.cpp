@@ -1,0 +1,114 @@
+// Extending Lasagne with a custom layer aggregator (the paper notes
+// "other custom aggregation operations (e.g., mean, LSTM) are also
+// possible"). This example implements an exponential-decay aggregator —
+// layer i gets weight gamma^(l-i) with a single trainable gamma logit —
+// and plugs it into LasagneModel through LasagneConfig::custom_aggregator.
+//
+//   $ ./build/examples/custom_aggregator
+
+#include <cstdio>
+
+#include "core/lasagne_model.h"
+#include "data/registry.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace lasagne;
+
+// A minimal LayerAggregator: softly decaying mixture of the history,
+// H(l) = sum_i gamma^(l-i) A_hat H(i) W(il) + H(l), with one scalar
+// trainable decay parameter shared by all nodes. (Deliberately NOT
+// node-aware — run it against the built-ins to see what node-awareness
+// is worth.)
+class DecayAggregator : public LayerAggregator {
+ public:
+  DecayAggregator(std::vector<size_t> layer_dims, Rng& rng)
+      : layer_dims_(std::move(layer_dims)) {
+    const size_t out = layer_dims_.back();
+    for (size_t i = 0; i + 1 < layer_dims_.size(); ++i) {
+      transforms_.push_back(ag::MakeParameter(
+          Tensor::GlorotUniform(layer_dims_[i], out, rng)));
+    }
+    gamma_logit_ = ag::MakeParameter(Tensor::Zeros(1, 1));
+  }
+
+  ag::Variable Aggregate(const std::shared_ptr<const CsrMatrix>& a_hat,
+                         const std::vector<ag::Variable>& history,
+                         const nn::ForwardContext& ctx) override {
+    (void)ctx;
+    const size_t l = history.size();
+    ag::Variable gamma = ag::Sigmoid(gamma_logit_);  // decay in (0, 1)
+    std::vector<ag::Variable> terms = {history.back()};
+    ag::Variable weight = gamma;
+    for (size_t back = 1; back < l; ++back) {
+      const size_t i = l - 1 - back;
+      ag::Variable transformed =
+          ag::SpMM(a_hat, ag::MatMul(history[i], transforms_[i]));
+      // Broadcast the scalar gamma^back over the matrix.
+      ag::Variable ones_row =
+          ag::MakeConstant(Tensor::Ones(1, transformed->cols()));
+      ag::Variable col = ag::MatMul(
+          ag::MakeConstant(Tensor::Ones(transformed->rows(), 1)), weight);
+      terms.push_back(ag::RowScale(transformed, col));
+      weight = ag::Mul(weight, gamma);
+    }
+    return terms.size() == 1 ? terms[0] : ag::AddMany(terms);
+  }
+
+  std::vector<ag::Variable> Parameters() const override {
+    std::vector<ag::Variable> params = transforms_;
+    params.push_back(gamma_logit_);
+    return params;
+  }
+  std::string name() const override { return "decay"; }
+  bool node_indexed() const override { return false; }
+
+ private:
+  std::vector<size_t> layer_dims_;
+  std::vector<ag::Variable> transforms_;
+  ag::Variable gamma_logit_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace lasagne;
+  Dataset data = LoadDataset("cora", 0.8, /*seed=*/9);
+
+  auto run = [&](const char* label, LasagneConfig config) {
+    config.depth = 6;
+    config.hidden_dim = 24;
+    config.dropout = 0.4f;
+    config.seed = 3;
+    LasagneModel model(data, config);
+    TrainOptions options;
+    options.max_epochs = 150;
+    options.seed = 7;
+    TrainResult result = TrainModel(model, options);
+    std::printf("%-28s test acc %.1f%%\n", label,
+                100.0 * result.test_accuracy);
+  };
+
+  LasagneConfig custom;
+  custom.custom_aggregator = [](size_t layer_index,
+                                std::vector<size_t> layer_dims, Rng& rng) {
+    (void)layer_index;
+    return std::make_unique<DecayAggregator>(std::move(layer_dims), rng);
+  };
+  run("custom decay aggregator", custom);
+
+  LasagneConfig stochastic;
+  stochastic.aggregator = AggregatorKind::kStochastic;
+  run("built-in stochastic (Eq. 6)", stochastic);
+
+  LasagneConfig mean;
+  mean.aggregator = AggregatorKind::kMean;
+  run("built-in mean", mean);
+
+  std::printf(
+      "\nThe node-aware stochastic aggregator should beat both uniform\n"
+      "schemes: a single global decay cannot serve hubs and leaves at\n"
+      "the same time (the paper's central argument).\n");
+  return 0;
+}

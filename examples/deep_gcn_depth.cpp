@@ -1,0 +1,51 @@
+// Over-smoothing demo: what happens to a plain GCN as it gets deeper,
+// and how Lasagne's node-aware aggregation prevents the collapse
+// (the phenomenon behind paper Fig. 5).
+//
+//   $ ./build/examples/deep_gcn_depth
+
+#include <cstdio>
+
+#include "data/registry.h"
+#include "graph/algorithms.h"
+#include "models/model.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace lasagne;
+
+  Dataset data = LoadDataset("cora", 0.8, /*seed=*/3);
+  Rng apl_rng(1);
+  std::printf(
+      "Graph: %zu nodes, avg degree %.1f, average path length %.1f\n"
+      "(an L-layer GCN sees the L-hop neighborhood; APL bounds the\n"
+      "useful depth)\n\n",
+      data.num_nodes(), data.graph.AverageDegree(),
+      AveragePathLengthSampled(data.graph, 48, apl_rng));
+
+  std::printf("%8s  %12s  %22s\n", "depth", "GCN", "Lasagne(stochastic)");
+  for (size_t depth : {2, 4, 6, 8, 10}) {
+    double acc[2];
+    int i = 0;
+    for (const char* name : {"gcn", "lasagne-stochastic"}) {
+      ModelConfig config;
+      config.depth = depth;
+      config.hidden_dim = 24;
+      config.dropout = 0.4f;
+      config.seed = 5;
+      std::unique_ptr<Model> model = MakeModel(name, data, config);
+      TrainOptions options;
+      options.max_epochs = 150;
+      options.seed = 9;
+      acc[i++] = TrainModel(*model, options).test_accuracy;
+    }
+    std::printf("%8zu  %11.1f%%  %21.1f%%\n", depth, 100.0 * acc[0],
+                100.0 * acc[1]);
+  }
+  std::printf(
+      "\nThe GCN column should peak at depth 2 and decay (over-\n"
+      "smoothing: hub nodes aggregate beyond their cluster); the\n"
+      "Lasagne column should stay flat or improve, because every node\n"
+      "learns which layers to aggregate (paper Eq. 4-6).\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Inductive learning with sampling — the paper's Table 4 protocol as a
+// walkthrough: models may only see the subgraph induced by training
+// nodes, then predict on nodes (and edges) never seen in training.
+//
+//   $ ./build/examples/inductive_sampling
+
+#include <cstdio>
+
+#include "data/registry.h"
+#include "models/model.h"
+#include "sampling/samplers.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace lasagne;
+
+  Dataset data = LoadDataset("flickr", 0.8, /*seed=*/21);
+  Dataset train_view = data.TrainSubgraph();
+  std::printf(
+      "Inductive split: full graph %zu nodes / %zu edges; training view\n"
+      "%zu nodes / %zu edges (val+test nodes and their edges are\n"
+      "invisible during training)\n\n",
+      data.num_nodes(), data.graph.num_edges(), train_view.num_nodes(),
+      train_view.graph.num_edges());
+
+  // Peek at the samplers the inductive methods are built on.
+  Rng rng(3);
+  CsrMatrix sage_op = SampleNeighborOperator(train_view.graph, 8, rng);
+  auto saint_nodes = RandomWalkSubgraphNodes(train_view.graph, 48, 3, rng);
+  std::printf("GraphSAGE sampled operator: %zu edges (fanout 8)\n",
+              sage_op.nnz());
+  std::printf("GraphSAINT walk subgraph: %zu of %zu train nodes\n\n",
+              saint_nodes.size(), train_view.num_nodes());
+
+  const char* models[] = {"graphsage", "fastgcn", "clustergcn",
+                          "graphsaint", "lasagne-maxpool"};
+  std::printf("%-18s %10s\n", "model", "test acc");
+  for (const char* name : models) {
+    ModelConfig config;
+    config.depth = 3;
+    config.hidden_dim = 32;
+    config.dropout = 0.5f;
+    config.seed = 5;
+    std::unique_ptr<Model> model = MakeModel(name, data, config);
+    TrainOptions options;
+    options.max_epochs = 120;
+    options.learning_rate = 0.01f;
+    options.weight_decay = 1e-5f;
+    options.seed = 9;
+    TrainResult result = TrainModel(*model, options);
+    std::printf("%-18s %9.1f%%\n", model->name().c_str(),
+                100.0 * result.test_accuracy);
+  }
+  std::printf(
+      "\nOnly Max-Pooling Lasagne runs inductively: the Weighted and\n"
+      "Stochastic aggregators own per-node parameters that do not exist\n"
+      "for unseen nodes (paper §5.2.1).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Mutual-information analysis of hidden representations — the paper's
+// §3.2 lens on over-smoothing (Figs. 2 and 6), as a library walkthrough.
+//
+//   $ ./build/examples/mutual_information
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/registry.h"
+#include "metrics/mutual_info.h"
+#include "models/model.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace lasagne;
+
+  Dataset data = LoadDataset("cora", 0.6, /*seed=*/5);
+
+  // Train an 8-layer GCN and an 8-layer Lasagne, then estimate
+  // MI(X; H(l)) for every hidden layer with the quantization estimator.
+  for (const std::string name : {"gcn", "lasagne-stochastic"}) {
+    ModelConfig config;
+    config.depth = 8;
+    config.hidden_dim = 16;
+    config.dropout = 0.5f;
+    config.seed = 3;
+    std::unique_ptr<Model> model = MakeModel(name, data, config);
+    TrainOptions options;
+    options.max_epochs = 120;
+    options.seed = 7;
+    TrainModel(*model, options);
+
+    Rng fwd_rng(1);
+    nn::ForwardContext ctx{false, &fwd_rng};
+    model->Forward(ctx);
+
+    std::printf("%s: MI(X; H(l)) per layer:\n  ", model->name().c_str());
+    Rng mi_rng(9);
+    for (const Tensor& h : model->hidden_states()) {
+      Rng layer_rng = mi_rng.Split();
+      std::printf("%.3f ", RepresentationMutualInformation(data.features,
+                                                           h, 8,
+                                                           layer_rng));
+    }
+    std::printf("\n");
+  }
+
+  // Calibration: what do MI values mean? Show the estimator's anchors:
+  // the entropy of the quantized input is the ceiling (a representation
+  // can at most preserve all of it), independent noise is the floor.
+  Rng rng(11);
+  Tensor x = data.features;
+  Tensor noise =
+      Tensor::Normal(x.rows(), x.cols(), 0.0f, 1.0f, rng);
+  Rng quant_rng(13);
+  std::vector<uint32_t> quantized = KMeansCluster(x, 8, 25, quant_rng);
+  Rng floor_rng(13);
+  std::printf(
+      "\nEstimator anchors: H(quantized X) = %.3f (ceiling),"
+      " MI(X;noise) = %.3f (floor)\n",
+      DiscreteEntropy(quantized, 8),
+      RepresentationMutualInformation(x, noise, 8, floor_rng));
+  std::printf(
+      "Reading: a GCN's later layers drift toward the noise floor\n"
+      "(diminishing feature reuse / over-smoothing, paper §3.2);\n"
+      "Lasagne layers should stay well above it.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Production-style scenario: classifying short-videos in a user-video
+// bipartite graph (the paper's Tencent deployment, §5.2.1 "Production").
+//
+// "Hot" videos are watched by a large share of users; plain GCN
+// aggregation makes their embeddings indistinguishable. Lasagne's
+// node-aware aggregators keep the per-item signal.
+//
+//   $ ./build/examples/recommendation
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "data/registry.h"
+#include "models/model.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace lasagne;
+
+  Dataset data = LoadDataset("tencent", 1.0, /*seed=*/11);
+  std::printf("User-video graph: %zu nodes (%zu labeled videos), "
+              "%zu watch edges, %zu video classes\n",
+              data.num_nodes(), data.TestNodes().size() +
+              data.TrainNodes().size() + data.ValNodes().size(),
+              data.graph.num_edges(), data.num_classes);
+
+  // Popularity skew: degree of the hottest vs median video.
+  std::vector<size_t> item_degrees;
+  for (uint32_t u = 0; u < data.num_nodes(); ++u) {
+    if (data.train_mask[u] > 0 || data.val_mask[u] > 0 ||
+        data.test_mask[u] > 0 || data.graph.Degree(u) > 0) {
+      item_degrees.push_back(data.graph.Degree(u));
+    }
+  }
+  std::sort(item_degrees.begin(), item_degrees.end());
+  std::printf("Degree skew: max %zu vs median %zu (hot-video effect)\n\n",
+              item_degrees.back(), item_degrees[item_degrees.size() / 2]);
+
+  const char* models[] = {"gcn", "jknet", "lasagne-stochastic"};
+  std::printf("%-22s %10s %12s\n", "model", "test acc", "epoch ms");
+  for (const char* name : models) {
+    ModelConfig config;
+    config.depth = 4;  // deep: exploit high-order user-item connectivity
+    config.hidden_dim = 32;
+    config.dropout = 0.5f;
+    config.seed = 13;
+    std::unique_ptr<Model> model = MakeModel(name, data, config);
+    TrainOptions options;
+    options.max_epochs = 150;
+    options.seed = 17;
+    TrainResult result = TrainModel(*model, options);
+    std::printf("%-22s %9.1f%% %11.1f\n", model->name().c_str(),
+                100.0 * result.test_accuracy, result.mean_epoch_time_ms);
+  }
+  std::printf(
+      "\nExpected: Lasagne ahead of GCN/JK-Net — the node-aware\n"
+      "aggregators let hot videos stay shallow while cold-start videos\n"
+      "aggregate deep user co-watch signal (paper Table 5, Tencent).\n");
+  return 0;
+}

@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Assembles the per-experiment section of EXPERIMENTS.md from
+bench_output.txt (one full recorded run of `for b in build/bench/*; do
+$b; done`). Keeps the hand-written preamble of EXPERIMENTS.md up to the
+'MEASURED RESULTS INSERTED BELOW' marker and appends the quoted bench
+sections with commentary."""
+
+import re
+import sys
+
+COMMENTARY = {
+    "Design-choice ablations": """
+**Verdict — supports DESIGN.md's documented deviations.** (a) The
+paper-literal GC-FM ReLU costs 4-35 points and makes the stochastic
+variant unstable (huge std), justifying the identity default. (b)
+Flexible hidden widths train as well as uniform ones — the freedom the
+paper claims over ResGCN is real and free. (c) All four node-aware
+aggregators beat the uniform mean aggregator. (d) The Lasagne-over-GCN
+margin rises monotonically with per-node heterogeneity, from negative
+on a perfectly homogeneous graph to strongly positive — the paper's
+Fig. 1 node-locality argument, made quantitative.
+""",
+    "Figure 2": """
+**Verdict — shape reproduced.** As in the paper's Fig. 2: vanilla GCN's
+per-layer MI decays toward the estimator's noise floor with depth;
+ResGCN and DenseGCN retain clearly more information per layer. JK-Net
+sits between (its lift concentrates in the classifier-facing concat
+rather than the per-layer outputs probed here).
+""",
+    "Figure 5": """
+**Verdict — the headline shape reproduces.** Plain GCN peaks shallow
+(depth 2-6 depending on the stand-in) and collapses at depth 8-10 —
+down to near chance on several datasets. ResGCN/DenseGCN/JK-Net decay
+slowly. All three Lasagne aggregators stay flat or improve through
+depth 10 and dominate the Fig. 5 comparison set at depth >= 6, matching
+the paper ("even with very high depth, the performance of Lasagne does
+not decrease"; "best result with more than 5 layers"). One deviation:
+our GCN sometimes peaks at 4-6 rather than 2, because ~40% of stand-in
+nodes carry featureless noise and need >= 2 hops of aggregation.
+
+The §5.2.2 depth analysis (printed after the sweeps) mirrors the
+paper's interpretation: the learned stochastic gates differ by node
+locality; the Spearman statistic quantifies the central-nodes-prefer-
+early-layers trend across all nodes rather than the paper's two
+anecdotal nodes.
+""",
+    "Figure 6": """
+**Verdict — shape reproduced.** Tracking MI(X; last layer) during
+training of 10-layer models: the plain GCN row sits at the bottom
+(over-smoothed final layer), and Lasagne holds the highest last-layer
+MI through training, which is the paper's Fig. 6 claim ("our method
+achieves the highest MI than other baselines").
+""",
+    "Figure 7": """
+**Verdict — relative costs reproduce.** Lasagne (Weighted) stays within
+a small constant factor of GCN per epoch at every depth (both are
+linear in N and |E|), while GAT costs several times more and grows
+faster with depth — the paper reports the same ordering (up to 100x on
+large graphs / GPU memory exhaustion; our CPU ratios are smaller
+because the graphs are smaller and single-core BLAS-free costs are
+dominated by the same SpMM kernels). The hardware-independent FLOP
+estimates show the same ordering as measured wall-clock.
+""",
+    "Table 2": """
+**Verdict — by construction, verified.** The stand-ins match the
+paper's datasets in class counts and relative scale; the second table
+verifies the structural knobs that drive over-smoothing: homophily in
+the 0.6-0.9 band (citation-like), hub-skewed degree distributions
+(max degree 10-40x the average), and the bipartite Tencent shape.
+""",
+    "Table 3": """
+**Verdict — mostly reproduced; documented artifact on three rows.**
+The Lasagne rows beat GCN/JK-Net/ResGCN/DenseGCN and most of the field,
+with the GCN-relative margin larger than the paper's (+4-9 points vs
++2.4) because the stand-ins have more node heterogeneity for the
+aggregators to exploit. GIN ranks near the bottom, as in the paper.
+The documented substrate artifact: APPNP / MixHop / DGCN over-perform
+their paper rank (uniform multi-scale smoothing is near-optimal on
+planted partitions; see 'Known substrate artifacts' above) and can top
+some columns. Conversely, the unsupervised pipelines (DGI, and NGCN's
+label-free power instances) under-perform their paper rank: with ~40%
+of stand-in nodes carrying featureless noise, objectives that never see
+labels waste capacity reconstructing noise. Both directions of
+deviation stem from the same substrate property and are flagged here
+rather than tuned away.
+""",
+    "Table 4": """
+**Verdict — reproduced.** Only Max-Pooling Lasagne runs inductively
+(node-indexed Weighted/Stochastic parameters do not transfer to unseen
+nodes — enforced by the library, matching the paper's protocol), and it
+matches or beats the four sampling baselines on both inductive
+stand-ins. Absolute numbers exceed the paper's Flickr (~50%) because
+synthetic Flickr is cleaner than the real one; compare ordering.
+""",
+    "Table 5": """
+**Verdict — partially reproduced; instructive failure for the
+node-indexed aggregators on Tencent.** The Amazon/Coauthor stand-ins
+saturated above 92% despite hardening (their high average degree makes
+propagation very effective), compressing the rankings into noise —
+Lasagne leads or ties most columns but the margins are not meaningful
+at that ceiling. On the bipartite
+Tencent stand-in (many classes, 1-2% label rate, extreme hub skew plus
+co-click item-item edges) the absolute band matches the paper
+(~40-52%); Lasagne (Max pooling) beats GCN/GAT/JK-Net/ResGCN (DenseGCN
+edges it out), but the Weighted/Stochastic variants UNDER-perform: their
+node-indexed gates C/P for test nodes receive only indirect gradients
+(through their influence on training-node predictions), and on a small
+40-class bipartite graph that transductive weakness dominates (train
+accuracy ~90%, test far lower). The paper's 1M-node production graph
+evidently sits in a friendlier regime; we report the failure instead of
+tuning it away — it is the transductive cousin of the inductive
+limitation the paper itself concedes in §5.2.1.
+""",
+    "Table 6": """
+**Verdict — NOT reproduced, with a clear mechanistic reason.** On our
+stand-ins the +GC-FM columns sit 1-5 points below (occasionally at)
+their bases. The substitution explains it: the generators draw class
+features from Gaussian centroids, so the class signal is *linear* in
+the features by construction — quadratic cross-layer interactions have
+no structure to capture and only add estimation variance at 36-56
+training labels. The paper's +0.1..+0.6 gains come from real
+bag-of-words/co-purchase features where feature interactions exist.
+This is the one table whose shape depends on a dataset property our
+substitution deliberately simplifies; we report the negative rather
+than inject artificial feature interactions post hoc. (The GC-FM layer
+itself is verified correct against the naive Eq. 7 double loop and by
+gradient checks in the test suite.)
+""",
+    "Table 7": """
+**Verdict — mostly reproduced.** Wrapping a base model in Lasagne
+(Stochastic) improves 6 of the 9 cells — all three bases gain on the
+Pubmed stand-in (+4.6 to +5.8) and two of three on Citeseer — while the
+Cora cells land within a standard deviation of their bases. The
+framework claim (§5.2.5: the node-aware architecture applies across
+base convolutions) holds directionally; the per-cell margins are
+noisier than the paper's because each cell is 3 runs on a 600-node
+stand-in rather than 10 runs on Cora.
+""",
+    "Table 8": """
+**Verdict — mixed, with a protocol lesson.** The first recorded sweep
+used label RATES, which on a 440-node stand-in clamp to one label per
+class (two columns even collapse to identical numbers) — an artifact of
+scaling the graph but not the protocol; the addendum re-runs the bench
+with the paper's actual protocol (labels PER CLASS). With that fix, the
+NELL stand-in reproduces the paper's shape: Lasagne beats GCN at every
+label budget, with the largest margin at the smallest budget (59.7 vs
+54.1 at 1 label/class), as the paper reports. On the small Cora
+stand-in the parameter-light GCN stays 2-4 points ahead at every
+budget: with under ~450 nodes, Lasagne's extra aggregator parameters do
+not amortize (the same effect quantified in the Table 5 Tencent
+analysis). At full stand-in size with 6 labels/class (Table 3, Fig. 5)
+Lasagne does lead on Cora.
+""",
+    "Micro": """
+Micro-benchmarks of the kernels (SpMM, GC forward/backward, the three
+aggregators, GC-FM, edge softmax, the MI estimator) — no paper
+counterpart; included for performance regression tracking.
+""",
+}
+
+
+def main():
+    bench = open("bench_output.txt").read()
+    # split on banner lines
+    parts = re.split(r"={50,}\n", bench)
+    # find section bodies: banner text lines pair with following content
+    sections = []  # (title_line, text)
+    i = 0
+    while i < len(parts):
+        part = parts[i]
+        first = part.strip().splitlines()[0] if part.strip() else ""
+        if first.startswith(("Table", "Figure", "Design-choice")):
+            # banner body; content is the next part
+            content = parts[i + 1] if i + 1 < len(parts) else ""
+            sections.append((part.strip(), content.rstrip()))
+            i += 2
+        else:
+            i += 1
+
+    head = open("EXPERIMENTS.md").read()
+    marker = "<!-- MEASURED RESULTS INSERTED BELOW -->"
+    head = head.split(marker)[0] + marker + "\n"
+
+    out = [head]
+    for banner, content in sections:
+        title = banner.splitlines()[0]
+        out.append(f"\n### {title}\n")
+        key = next((k for k in COMMENTARY if title.startswith(k)), None)
+        out.append("```\n" + banner + "\n\n" + content + "\n```\n")
+        if key:
+            out.append(COMMENTARY[key])
+    # google-benchmark output (no banner)
+    if "BM_SpMM" in bench:
+        out.append("\n### Micro-kernel benchmarks\n")
+        micro = bench[bench.find("----------------------------------------"
+                                 ):]
+        out.append("```\n" + micro.strip()[:4000] + "\n```\n")
+        out.append(COMMENTARY["Micro"])
+    open("EXPERIMENTS.md", "w").write("".join(out))
+    print("EXPERIMENTS.md assembled:",
+          sum(len(s) for s in out), "chars,", len(sections), "sections")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+#ifndef LASAGNE_AUTOGRAD_FM_OP_H_
+#define LASAGNE_AUTOGRAD_FM_OP_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace lasagne::ag {
+
+/// Cross-field Factorization Machine scores (the GC-FM layer core,
+/// paper Eq. 7).
+///
+/// `x` is (N x M) with M columns grouped into P fields (one field per
+/// stacked hidden layer); `field_offsets` has P+1 entries with
+/// field p occupying columns [field_offsets[p], field_offsets[p+1]).
+/// `w` is the (M x F) linear term; `v` is (M x F*k): the latent factor
+/// of input coordinate m for output class j is v[m, j*k .. j*k+k).
+///
+/// Output (N x F):
+///   O_ij = <w[:,j], x_i>
+///        + sum_{p<q} sum_{m in p} sum_{n in q} <v_jm, v_jn> x_im x_in
+/// computed with the field identity
+///   cross = 0.5 * (||sum_p t_p||^2 - sum_p ||t_p||^2),
+///   t_ijp = sum_{m in p} v_jm x_im,
+/// which restricts interactions to *different* fields (layers), exactly
+/// as the paper requires ("we only interact between different layers'
+/// embeddings"). Cost O(N * F * M * k) instead of O(N * F * M^2).
+///
+/// Gradients flow to x, w and v.
+Variable FmInteraction(const Variable& x, const Variable& w,
+                       const Variable& v,
+                       std::vector<size_t> field_offsets, size_t k);
+
+}  // namespace lasagne::ag
+
+#endif  // LASAGNE_AUTOGRAD_FM_OP_H_

@@ -1,0 +1,840 @@
+#include "autograd/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lasagne::ag {
+
+Variable MakeOpNode(Tensor value, std::vector<Variable> parents,
+                    const char* op_name) {
+  bool requires_grad = false;
+  for (const Variable& p : parents) {
+    LASAGNE_CHECK(p != nullptr);
+    requires_grad = requires_grad || p->requires_grad();
+  }
+  auto node = std::make_shared<Node>(std::move(value), requires_grad);
+  node->set_parents(std::move(parents));
+  node->set_op_name(op_name);
+  return node;
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise / arithmetic
+// ---------------------------------------------------------------------------
+
+Variable Add(const Variable& a, const Variable& b) {
+  Variable out = MakeOpNode(a->value() + b->value(), {a, b}, "Add");
+  Node* pa = a.get();
+  Node* pb = b.get();
+  out->set_backward_fn([pa, pb](const Tensor& g) {
+    pa->AccumulateGrad(g);
+    pb->AccumulateGrad(g);
+  });
+  return out;
+}
+
+Variable AddMany(const std::vector<Variable>& inputs) {
+  LASAGNE_CHECK(!inputs.empty());
+  Tensor total = inputs[0]->value();
+  for (size_t i = 1; i < inputs.size(); ++i) total += inputs[i]->value();
+  Variable out = MakeOpNode(std::move(total), inputs, "AddMany");
+  std::vector<Node*> raw;
+  raw.reserve(inputs.size());
+  for (const Variable& v : inputs) raw.push_back(v.get());
+  out->set_backward_fn([raw](const Tensor& g) {
+    for (Node* n : raw) n->AccumulateGrad(g);
+  });
+  return out;
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  Variable out = MakeOpNode(a->value() - b->value(), {a, b}, "Sub");
+  Node* pa = a.get();
+  Node* pb = b.get();
+  out->set_backward_fn([pa, pb](const Tensor& g) {
+    pa->AccumulateGrad(g);
+    pb->AccumulateGrad(g * -1.0f);
+  });
+  return out;
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  Variable out = MakeOpNode(a->value() * b->value(), {a, b}, "Mul");
+  Node* pa = a.get();
+  Node* pb = b.get();
+  out->set_backward_fn([pa, pb](const Tensor& g) {
+    pa->AccumulateGrad(g * pb->value());
+    pb->AccumulateGrad(g * pa->value());
+  });
+  return out;
+}
+
+Variable ScalarMul(const Variable& x, float scalar) {
+  Variable out = MakeOpNode(x->value() * scalar, {x}, "ScalarMul");
+  Node* px = x.get();
+  out->set_backward_fn([px, scalar](const Tensor& g) {
+    px->AccumulateGrad(g * scalar);
+  });
+  return out;
+}
+
+namespace {
+
+// Shared implementation for y = f(x) with dy/dx a function of (x, y).
+Variable UnaryOp(const Variable& x, const char* name,
+                 const std::function<float(float)>& fwd,
+                 std::function<Tensor(const Tensor& g, const Tensor& x_val,
+                                      const Tensor& y_val)>
+                     bwd) {
+  Tensor y = x->value().Map(fwd);
+  Variable out = MakeOpNode(std::move(y), {x}, name);
+  Node* px = x.get();
+  Node* pout = out.get();
+  out->set_backward_fn([px, pout, bwd](const Tensor& g) {
+    px->AccumulateGrad(bwd(g, px->value(), pout->value()));
+  });
+  return out;
+}
+
+}  // namespace
+
+Variable Relu(const Variable& x) {
+  return UnaryOp(
+      x, "Relu", [](float v) { return v > 0.0f ? v : 0.0f; },
+      [](const Tensor& g, const Tensor& x_val, const Tensor&) {
+        Tensor dx = g;
+        for (size_t r = 0; r < dx.rows(); ++r) {
+          for (size_t c = 0; c < dx.cols(); ++c) {
+            if (x_val(r, c) <= 0.0f) dx(r, c) = 0.0f;
+          }
+        }
+        return dx;
+      });
+}
+
+Variable LeakyRelu(const Variable& x, float alpha) {
+  return UnaryOp(
+      x, "LeakyRelu",
+      [alpha](float v) { return v >= 0.0f ? v : alpha * v; },
+      [alpha](const Tensor& g, const Tensor& x_val, const Tensor&) {
+        Tensor dx = g;
+        for (size_t r = 0; r < dx.rows(); ++r) {
+          for (size_t c = 0; c < dx.cols(); ++c) {
+            if (x_val(r, c) < 0.0f) dx(r, c) *= alpha;
+          }
+        }
+        return dx;
+      });
+}
+
+Variable Sigmoid(const Variable& x) {
+  return UnaryOp(
+      x, "Sigmoid",
+      [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
+      [](const Tensor& g, const Tensor&, const Tensor& y_val) {
+        Tensor dx = g;
+        for (size_t i = 0; i < dx.rows(); ++i) {
+          for (size_t j = 0; j < dx.cols(); ++j) {
+            const float s = y_val(i, j);
+            dx(i, j) *= s * (1.0f - s);
+          }
+        }
+        return dx;
+      });
+}
+
+Variable Tanh(const Variable& x) {
+  return UnaryOp(
+      x, "Tanh", [](float v) { return std::tanh(v); },
+      [](const Tensor& g, const Tensor&, const Tensor& y_val) {
+        Tensor dx = g;
+        for (size_t i = 0; i < dx.rows(); ++i) {
+          for (size_t j = 0; j < dx.cols(); ++j) {
+            const float t = y_val(i, j);
+            dx(i, j) *= 1.0f - t * t;
+          }
+        }
+        return dx;
+      });
+}
+
+Variable Exp(const Variable& x) {
+  return UnaryOp(
+      x, "Exp", [](float v) { return std::exp(v); },
+      [](const Tensor& g, const Tensor&, const Tensor& y_val) {
+        return g * y_val;
+      });
+}
+
+Variable Log(const Variable& x, float eps) {
+  return UnaryOp(
+      x, "Log",
+      [eps](float v) { return std::log(std::max(v, eps)); },
+      [eps](const Tensor& g, const Tensor& x_val, const Tensor&) {
+        Tensor dx = g;
+        for (size_t i = 0; i < dx.rows(); ++i) {
+          for (size_t j = 0; j < dx.cols(); ++j) {
+            dx(i, j) /= std::max(x_val(i, j), eps);
+          }
+        }
+        return dx;
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Linear algebra
+// ---------------------------------------------------------------------------
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  Variable out = MakeOpNode(a->value().MatMul(b->value()), {a, b}, "MatMul");
+  Node* pa = a.get();
+  Node* pb = b.get();
+  out->set_backward_fn([pa, pb](const Tensor& g) {
+    if (pa->requires_grad()) {
+      pa->AccumulateGrad(g.MatMulTransposed(pb->value()));
+    }
+    if (pb->requires_grad()) {
+      pb->AccumulateGrad(pa->value().TransposedMatMul(g));
+    }
+  });
+  return out;
+}
+
+Variable Transpose(const Variable& x) {
+  Variable out = MakeOpNode(x->value().Transpose(), {x}, "Transpose");
+  Node* px = x.get();
+  out->set_backward_fn([px](const Tensor& g) {
+    px->AccumulateGrad(g.Transpose());
+  });
+  return out;
+}
+
+Variable SpMM(std::shared_ptr<const CsrMatrix> matrix, const Variable& x) {
+  LASAGNE_CHECK(matrix != nullptr);
+  Variable out = MakeOpNode(matrix->Multiply(x->value()), {x}, "SpMM");
+  Node* px = x.get();
+  out->set_backward_fn([matrix, px](const Tensor& g) {
+    px->AccumulateGrad(matrix->TransposedMultiply(g));
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Broadcasting / shaping
+// ---------------------------------------------------------------------------
+
+Variable RowScale(const Variable& x, const Variable& c) {
+  LASAGNE_CHECK_EQ(c->cols(), 1u);
+  LASAGNE_CHECK_EQ(c->rows(), x->rows());
+  Tensor y = x->value();
+  for (size_t r = 0; r < y.rows(); ++r) {
+    const float f = c->value()(r, 0);
+    float* row = y.RowPtr(r);
+    for (size_t j = 0; j < y.cols(); ++j) row[j] *= f;
+  }
+  Variable out = MakeOpNode(std::move(y), {x, c}, "RowScale");
+  Node* px = x.get();
+  Node* pc = c.get();
+  out->set_backward_fn([px, pc](const Tensor& g) {
+    if (px->requires_grad()) {
+      Tensor dx = g;
+      for (size_t r = 0; r < dx.rows(); ++r) {
+        const float f = pc->value()(r, 0);
+        float* row = dx.RowPtr(r);
+        for (size_t j = 0; j < dx.cols(); ++j) row[j] *= f;
+      }
+      px->AccumulateGrad(dx);
+    }
+    if (pc->requires_grad()) {
+      Tensor dc(g.rows(), 1);
+      for (size_t r = 0; r < g.rows(); ++r) {
+        const float* g_row = g.RowPtr(r);
+        const float* x_row = px->value().RowPtr(r);
+        double acc = 0.0;
+        for (size_t j = 0; j < g.cols(); ++j) acc += g_row[j] * x_row[j];
+        dc(r, 0) = static_cast<float>(acc);
+      }
+      pc->AccumulateGrad(dc);
+    }
+  });
+  return out;
+}
+
+Variable RowDivide(const Variable& x, const Variable& d, float eps) {
+  LASAGNE_CHECK_EQ(d->cols(), 1u);
+  LASAGNE_CHECK_EQ(d->rows(), x->rows());
+  Tensor y = x->value();
+  for (size_t r = 0; r < y.rows(); ++r) {
+    const float denom = d->value()(r, 0);
+    const float inv = 1.0f / (std::fabs(denom) > eps
+                                  ? denom
+                                  : (denom < 0 ? -eps : eps));
+    float* row = y.RowPtr(r);
+    for (size_t j = 0; j < y.cols(); ++j) row[j] *= inv;
+  }
+  Variable out = MakeOpNode(std::move(y), {x, d}, "RowDivide");
+  Node* px = x.get();
+  Node* pd = d.get();
+  Node* pout = out.get();
+  out->set_backward_fn([px, pd, pout, eps](const Tensor& g) {
+    if (px->requires_grad()) {
+      Tensor dx = g;
+      for (size_t r = 0; r < dx.rows(); ++r) {
+        const float denom = pd->value()(r, 0);
+        const float inv = 1.0f / (std::fabs(denom) > eps
+                                      ? denom
+                                      : (denom < 0 ? -eps : eps));
+        float* row = dx.RowPtr(r);
+        for (size_t j = 0; j < dx.cols(); ++j) row[j] *= inv;
+      }
+      px->AccumulateGrad(dx);
+    }
+    if (pd->requires_grad()) {
+      // dL/dd_r = -sum_j g_rj * y_rj / d_r
+      Tensor dd(g.rows(), 1);
+      for (size_t r = 0; r < g.rows(); ++r) {
+        const float denom = pd->value()(r, 0);
+        const float inv = 1.0f / (std::fabs(denom) > eps
+                                      ? denom
+                                      : (denom < 0 ? -eps : eps));
+        const float* g_row = g.RowPtr(r);
+        const float* y_row = pout->value().RowPtr(r);
+        double acc = 0.0;
+        for (size_t j = 0; j < g.cols(); ++j) acc += g_row[j] * y_row[j];
+        dd(r, 0) = static_cast<float>(-acc * inv);
+      }
+      pd->AccumulateGrad(dd);
+    }
+  });
+  return out;
+}
+
+Variable RowMax(const Variable& x) {
+  LASAGNE_CHECK_GT(x->cols(), 0u);
+  Tensor y(x->rows(), 1);
+  auto argmax = std::make_shared<std::vector<size_t>>(x->rows());
+  for (size_t r = 0; r < x->rows(); ++r) {
+    const float* row = x->value().RowPtr(r);
+    size_t best = 0;
+    for (size_t j = 1; j < x->cols(); ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    (*argmax)[r] = best;
+    y(r, 0) = row[best];
+  }
+  Variable out = MakeOpNode(std::move(y), {x}, "RowMax");
+  Node* px = x.get();
+  out->set_backward_fn([px, argmax](const Tensor& g) {
+    Tensor dx(px->rows(), px->cols());
+    for (size_t r = 0; r < g.rows(); ++r) {
+      dx(r, (*argmax)[r]) = g(r, 0);
+    }
+    px->AccumulateGrad(dx);
+  });
+  return out;
+}
+
+Variable ConcatCols(const std::vector<Variable>& inputs) {
+  LASAGNE_CHECK(!inputs.empty());
+  const size_t rows = inputs[0]->rows();
+  size_t total_cols = 0;
+  for (const Variable& v : inputs) {
+    LASAGNE_CHECK_EQ(v->rows(), rows);
+    total_cols += v->cols();
+  }
+  Tensor y(rows, total_cols);
+  size_t offset = 0;
+  for (const Variable& v : inputs) {
+    for (size_t r = 0; r < rows; ++r) {
+      std::copy(v->value().RowPtr(r), v->value().RowPtr(r) + v->cols(),
+                y.RowPtr(r) + offset);
+    }
+    offset += v->cols();
+  }
+  Variable out = MakeOpNode(std::move(y), inputs, "ConcatCols");
+  std::vector<Node*> raw;
+  std::vector<size_t> offsets;
+  size_t acc = 0;
+  for (const Variable& v : inputs) {
+    raw.push_back(v.get());
+    offsets.push_back(acc);
+    acc += v->cols();
+  }
+  out->set_backward_fn([raw, offsets, rows](const Tensor& g) {
+    for (size_t i = 0; i < raw.size(); ++i) {
+      Node* n = raw[i];
+      if (!n->requires_grad()) continue;
+      Tensor dx(n->rows(), n->cols());
+      for (size_t r = 0; r < rows; ++r) {
+        std::copy(g.RowPtr(r) + offsets[i],
+                  g.RowPtr(r) + offsets[i] + n->cols(), dx.RowPtr(r));
+      }
+      n->AccumulateGrad(dx);
+    }
+  });
+  return out;
+}
+
+Variable SliceCols(const Variable& x, size_t start, size_t len) {
+  LASAGNE_CHECK_LE(start + len, x->cols());
+  Tensor y(x->rows(), len);
+  for (size_t r = 0; r < x->rows(); ++r) {
+    std::copy(x->value().RowPtr(r) + start,
+              x->value().RowPtr(r) + start + len, y.RowPtr(r));
+  }
+  Variable out = MakeOpNode(std::move(y), {x}, "SliceCols");
+  Node* px = x.get();
+  out->set_backward_fn([px, start, len](const Tensor& g) {
+    Tensor dx(px->rows(), px->cols());
+    for (size_t r = 0; r < g.rows(); ++r) {
+      std::copy(g.RowPtr(r), g.RowPtr(r) + len, dx.RowPtr(r) + start);
+    }
+    px->AccumulateGrad(dx);
+  });
+  return out;
+}
+
+Variable GatherRows(const Variable& x, std::vector<size_t> indices) {
+  Tensor y = x->value().GatherRows(indices);
+  Variable out = MakeOpNode(std::move(y), {x}, "GatherRows");
+  Node* px = x.get();
+  auto idx = std::make_shared<std::vector<size_t>>(std::move(indices));
+  out->set_backward_fn([px, idx](const Tensor& g) {
+    Tensor dx(px->rows(), px->cols());
+    for (size_t i = 0; i < idx->size(); ++i) {
+      const float* g_row = g.RowPtr(i);
+      float* dx_row = dx.RowPtr((*idx)[i]);
+      for (size_t j = 0; j < g.cols(); ++j) dx_row[j] += g_row[j];
+    }
+    px->AccumulateGrad(dx);
+  });
+  return out;
+}
+
+Variable MaxOverSet(const std::vector<Variable>& inputs) {
+  LASAGNE_CHECK(!inputs.empty());
+  const size_t rows = inputs[0]->rows();
+  const size_t cols = inputs[0]->cols();
+  for (const Variable& v : inputs) {
+    LASAGNE_CHECK_EQ(v->rows(), rows);
+    LASAGNE_CHECK_EQ(v->cols(), cols);
+  }
+  Tensor y = inputs[0]->value();
+  auto winner =
+      std::make_shared<std::vector<uint8_t>>(rows * cols, uint8_t{0});
+  for (size_t k = 1; k < inputs.size(); ++k) {
+    const Tensor& v = inputs[k]->value();
+    for (size_t i = 0; i < rows * cols; ++i) {
+      if (v.data()[i] > y.data()[i]) {
+        y.data()[i] = v.data()[i];
+        (*winner)[i] = static_cast<uint8_t>(k);
+      }
+    }
+  }
+  Variable out = MakeOpNode(std::move(y), inputs, "MaxOverSet");
+  std::vector<Node*> raw;
+  for (const Variable& v : inputs) raw.push_back(v.get());
+  out->set_backward_fn([raw, winner, rows, cols](const Tensor& g) {
+    std::vector<Tensor> grads;
+    grads.reserve(raw.size());
+    for (size_t k = 0; k < raw.size(); ++k) grads.emplace_back(rows, cols);
+    for (size_t i = 0; i < rows * cols; ++i) {
+      grads[(*winner)[i]].data()[i] = g.data()[i];
+    }
+    for (size_t k = 0; k < raw.size(); ++k) {
+      if (raw[k]->requires_grad()) raw[k]->AccumulateGrad(grads[k]);
+    }
+  });
+  return out;
+}
+
+Variable MeanRows(const Variable& x) {
+  LASAGNE_CHECK_GT(x->rows(), 0u);
+  Tensor y(1, x->cols());
+  for (size_t r = 0; r < x->rows(); ++r) {
+    const float* row = x->value().RowPtr(r);
+    for (size_t j = 0; j < x->cols(); ++j) y(0, j) += row[j];
+  }
+  y *= 1.0f / static_cast<float>(x->rows());
+  Variable out = MakeOpNode(std::move(y), {x}, "MeanRows");
+  Node* px = x.get();
+  out->set_backward_fn([px](const Tensor& g) {
+    const float inv = 1.0f / static_cast<float>(px->rows());
+    Tensor dx(px->rows(), px->cols());
+    for (size_t r = 0; r < px->rows(); ++r) {
+      float* row = dx.RowPtr(r);
+      for (size_t j = 0; j < px->cols(); ++j) row[j] = g(0, j) * inv;
+    }
+    px->AccumulateGrad(dx);
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+Variable Sum(const Variable& x) {
+  Tensor y(1, 1);
+  y(0, 0) = x->value().Sum();
+  Variable out = MakeOpNode(std::move(y), {x}, "Sum");
+  Node* px = x.get();
+  out->set_backward_fn([px](const Tensor& g) {
+    px->AccumulateGrad(Tensor::Full(px->rows(), px->cols(), g(0, 0)));
+  });
+  return out;
+}
+
+Variable Mean(const Variable& x) {
+  LASAGNE_CHECK_GT(x->value().size(), 0u);
+  Tensor y(1, 1);
+  y(0, 0) = x->value().Mean();
+  Variable out = MakeOpNode(std::move(y), {x}, "Mean");
+  Node* px = x.get();
+  out->set_backward_fn([px](const Tensor& g) {
+    const float scale =
+        g(0, 0) / static_cast<float>(px->value().size());
+    px->AccumulateGrad(Tensor::Full(px->rows(), px->cols(), scale));
+  });
+  return out;
+}
+
+Variable SquaredSum(const Variable& x) {
+  Tensor y(1, 1);
+  y(0, 0) = x->value().SquaredNorm();
+  Variable out = MakeOpNode(std::move(y), {x}, "SquaredSum");
+  Node* px = x.get();
+  out->set_backward_fn([px](const Tensor& g) {
+    px->AccumulateGrad(px->value() * (2.0f * g(0, 0)));
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Stochastic / regularization ops
+// ---------------------------------------------------------------------------
+
+Variable Dropout(const Variable& x, float rate, Rng& rng, bool training) {
+  LASAGNE_CHECK_GE(rate, 0.0f);
+  LASAGNE_CHECK_LT(rate, 1.0f);
+  if (!training || rate == 0.0f) return x;
+  const float keep = 1.0f - rate;
+  const float scale = 1.0f / keep;
+  auto mask = std::make_shared<Tensor>(x->rows(), x->cols());
+  Tensor y = x->value();
+  for (size_t i = 0; i < y.size(); ++i) {
+    const float m = rng.Bernoulli(keep) ? scale : 0.0f;
+    mask->data()[i] = m;
+    y.data()[i] *= m;
+  }
+  Variable out = MakeOpNode(std::move(y), {x}, "Dropout");
+  Node* px = x.get();
+  out->set_backward_fn([px, mask](const Tensor& g) {
+    px->AccumulateGrad(g * *mask);
+  });
+  return out;
+}
+
+Variable BernoulliStraightThrough(const Variable& probs, Rng& rng,
+                                  bool training) {
+  Tensor y = probs->value();
+  if (training) {
+    for (size_t i = 0; i < y.size(); ++i) {
+      const float p = std::clamp(y.data()[i], 0.0f, 1.0f);
+      y.data()[i] = rng.Bernoulli(p) ? 1.0f : 0.0f;
+    }
+  }
+  Variable out =
+      MakeOpNode(std::move(y), {probs}, "BernoulliStraightThrough");
+  Node* pp = probs.get();
+  out->set_backward_fn([pp](const Tensor& g) { pp->AccumulateGrad(g); });
+  return out;
+}
+
+Variable PairNorm(const Variable& x, float scale, float eps) {
+  const size_t n = x->rows();
+  const size_t d = x->cols();
+  LASAGNE_CHECK_GT(n, 0u);
+  // Forward: center columns, then normalize each row to `scale`.
+  Tensor col_mean(1, d);
+  for (size_t r = 0; r < n; ++r) {
+    const float* row = x->value().RowPtr(r);
+    for (size_t j = 0; j < d; ++j) col_mean(0, j) += row[j];
+  }
+  col_mean *= 1.0f / static_cast<float>(n);
+  Tensor centered(n, d);
+  auto inv_norms = std::make_shared<std::vector<float>>(n);
+  Tensor y(n, d);
+  for (size_t r = 0; r < n; ++r) {
+    const float* row = x->value().RowPtr(r);
+    float* c_row = centered.RowPtr(r);
+    double sq = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      c_row[j] = row[j] - col_mean(0, j);
+      sq += static_cast<double>(c_row[j]) * c_row[j];
+    }
+    const float inv = scale / std::sqrt(static_cast<float>(sq) + eps);
+    (*inv_norms)[r] = inv;
+    float* y_row = y.RowPtr(r);
+    for (size_t j = 0; j < d; ++j) y_row[j] = c_row[j] * inv;
+  }
+  auto centered_ptr = std::make_shared<Tensor>(std::move(centered));
+  Variable out = MakeOpNode(std::move(y), {x}, "PairNorm");
+  Node* px = x.get();
+  out->set_backward_fn([px, centered_ptr, inv_norms, scale, eps,
+                        n, d](const Tensor& g) {
+    // y_r = s * c_r / ||c_r||, c = x - colmean(x).
+    // dL/dc_r = inv_r * (g_r - (g_r . c_r) * c_r / (||c_r||^2 + eps))
+    // dL/dx = dL/dc - colmean(dL/dc)   (centering backward)
+    Tensor dc(n, d);
+    for (size_t r = 0; r < n; ++r) {
+      const float* g_row = g.RowPtr(r);
+      const float* c_row = centered_ptr->RowPtr(r);
+      double dot = 0.0;
+      double sq = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        dot += static_cast<double>(g_row[j]) * c_row[j];
+        sq += static_cast<double>(c_row[j]) * c_row[j];
+      }
+      const float inv = (*inv_norms)[r];  // = s / sqrt(sq + eps)
+      const float coeff =
+          static_cast<float>(dot / (sq + static_cast<double>(eps)));
+      float* dc_row = dc.RowPtr(r);
+      for (size_t j = 0; j < d; ++j) {
+        dc_row[j] = inv * (g_row[j] - coeff * c_row[j]);
+      }
+    }
+    Tensor mean_dc(1, d);
+    for (size_t r = 0; r < n; ++r) {
+      const float* row = dc.RowPtr(r);
+      for (size_t j = 0; j < d; ++j) mean_dc(0, j) += row[j];
+    }
+    mean_dc *= 1.0f / static_cast<float>(n);
+    for (size_t r = 0; r < n; ++r) {
+      float* row = dc.RowPtr(r);
+      for (size_t j = 0; j < d; ++j) row[j] -= mean_dc(0, j);
+    }
+    px->AccumulateGrad(dc);
+    (void)scale;
+  });
+  return out;
+}
+
+Variable BatchNormColumns(const Variable& x, float eps) {
+  const size_t n = x->rows();
+  const size_t d = x->cols();
+  LASAGNE_CHECK_GT(n, 1u);
+  Tensor mean(1, d);
+  Tensor inv_std(1, d);
+  for (size_t j = 0; j < d; ++j) {
+    double mu = 0.0;
+    for (size_t i = 0; i < n; ++i) mu += x->value()(i, j);
+    mu /= static_cast<double>(n);
+    double var = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double diff = x->value()(i, j) - mu;
+      var += diff * diff;
+    }
+    var /= static_cast<double>(n);
+    mean(0, j) = static_cast<float>(mu);
+    inv_std(0, j) =
+        static_cast<float>(1.0 / std::sqrt(var + static_cast<double>(eps)));
+  }
+  Tensor y(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      y(i, j) = (x->value()(i, j) - mean(0, j)) * inv_std(0, j);
+    }
+  }
+  Variable out = MakeOpNode(y, {x}, "BatchNormColumns");
+  Node* px = x.get();
+  auto y_cache = std::make_shared<Tensor>(std::move(y));
+  auto inv_cache = std::make_shared<Tensor>(std::move(inv_std));
+  out->set_backward_fn([px, y_cache, inv_cache, n, d](const Tensor& g) {
+    // dx = inv_std * (g - mean(g) - y * mean(g * y)), per column.
+    Tensor dx(n, d);
+    for (size_t j = 0; j < d; ++j) {
+      double g_mean = 0.0;
+      double gy_mean = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        g_mean += g(i, j);
+        gy_mean += static_cast<double>(g(i, j)) * (*y_cache)(i, j);
+      }
+      g_mean /= static_cast<double>(n);
+      gy_mean /= static_cast<double>(n);
+      const float inv = (*inv_cache)(0, j);
+      for (size_t i = 0; i < n; ++i) {
+        dx(i, j) = inv * (g(i, j) - static_cast<float>(g_mean) -
+                          (*y_cache)(i, j) * static_cast<float>(gy_mean));
+      }
+    }
+    px->AccumulateGrad(dx);
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Losses
+// ---------------------------------------------------------------------------
+
+Tensor SoftmaxRows(const Tensor& logits) {
+  Tensor probs = logits;
+  for (size_t r = 0; r < probs.rows(); ++r) {
+    float* row = probs.RowPtr(r);
+    float max_v = row[0];
+    for (size_t j = 1; j < probs.cols(); ++j) max_v = std::max(max_v, row[j]);
+    double total = 0.0;
+    for (size_t j = 0; j < probs.cols(); ++j) {
+      row[j] = std::exp(row[j] - max_v);
+      total += row[j];
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (size_t j = 0; j < probs.cols(); ++j) row[j] *= inv;
+  }
+  return probs;
+}
+
+Variable WeightedSoftmaxCrossEntropy(const Variable& logits,
+                                     const std::vector<int32_t>& labels,
+                                     const std::vector<float>& weights) {
+  const size_t n = logits->rows();
+  const size_t c = logits->cols();
+  LASAGNE_CHECK_EQ(labels.size(), n);
+  LASAGNE_CHECK_EQ(weights.size(), n);
+  auto probs = std::make_shared<Tensor>(SoftmaxRows(logits->value()));
+  double weight_total = 0.0;
+  double loss = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (weights[i] <= 0.0f) continue;
+    LASAGNE_CHECK_GE(labels[i], 0);
+    LASAGNE_CHECK_LT(static_cast<size_t>(labels[i]), c);
+    weight_total += weights[i];
+    const float p = std::max((*probs)(i, labels[i]), 1e-12f);
+    loss -= weights[i] * std::log(p);
+  }
+  LASAGNE_CHECK_GT(weight_total, 0.0);
+  Tensor y(1, 1);
+  y(0, 0) = static_cast<float>(loss / weight_total);
+  Variable out =
+      MakeOpNode(std::move(y), {logits}, "SoftmaxCrossEntropy");
+  Node* pl = logits.get();
+  auto labels_ptr = std::make_shared<std::vector<int32_t>>(labels);
+  auto weights_ptr = std::make_shared<std::vector<float>>(weights);
+  out->set_backward_fn([pl, probs, labels_ptr, weights_ptr, weight_total, n,
+                        c](const Tensor& g) {
+    const float scale =
+        g(0, 0) / static_cast<float>(weight_total);
+    Tensor dx(n, c);
+    for (size_t i = 0; i < n; ++i) {
+      const float w = (*weights_ptr)[i];
+      if (w <= 0.0f) continue;
+      const float* p_row = probs->RowPtr(i);
+      float* dx_row = dx.RowPtr(i);
+      for (size_t j = 0; j < c; ++j) dx_row[j] = w * scale * p_row[j];
+      dx_row[(*labels_ptr)[i]] -= w * scale;
+    }
+    pl->AccumulateGrad(dx);
+  });
+  return out;
+}
+
+Variable SoftmaxCrossEntropy(const Variable& logits,
+                             const std::vector<int32_t>& labels,
+                             const std::vector<float>& mask) {
+  return WeightedSoftmaxCrossEntropy(logits, labels, mask);
+}
+
+Variable BinaryCrossEntropyWithLogits(const Variable& logits,
+                                      const Tensor& targets) {
+  LASAGNE_CHECK(logits->value().SameShape(targets));
+  const size_t total = logits->value().size();
+  LASAGNE_CHECK_GT(total, 0u);
+  auto sig = std::make_shared<Tensor>(logits->value().Map(
+      [](float v) { return 1.0f / (1.0f + std::exp(-v)); }));
+  double loss = 0.0;
+  for (size_t i = 0; i < total; ++i) {
+    const float p = std::clamp(sig->data()[i], 1e-7f, 1.0f - 1e-7f);
+    const float t = targets.data()[i];
+    loss -= t * std::log(p) + (1.0f - t) * std::log(1.0f - p);
+  }
+  Tensor y(1, 1);
+  y(0, 0) = static_cast<float>(loss / static_cast<double>(total));
+  Variable out =
+      MakeOpNode(std::move(y), {logits}, "BinaryCrossEntropyWithLogits");
+  Node* pl = logits.get();
+  auto targets_ptr = std::make_shared<Tensor>(targets);
+  out->set_backward_fn([pl, sig, targets_ptr, total](const Tensor& g) {
+    const float scale = g(0, 0) / static_cast<float>(total);
+    Tensor dx(pl->rows(), pl->cols());
+    for (size_t i = 0; i < total; ++i) {
+      dx.data()[i] = scale * (sig->data()[i] - targets_ptr->data()[i]);
+    }
+    pl->AccumulateGrad(dx);
+  });
+  return out;
+}
+
+Variable MeanCosineDistance(
+    const Variable& x, std::vector<std::pair<uint32_t, uint32_t>> pairs,
+    float eps) {
+  LASAGNE_CHECK(!pairs.empty());
+  const size_t d = x->cols();
+  const Tensor& v = x->value();
+  double total = 0.0;
+  for (const auto& [a, b] : pairs) {
+    LASAGNE_CHECK_LT(a, v.rows());
+    LASAGNE_CHECK_LT(b, v.rows());
+    const float* ra = v.RowPtr(a);
+    const float* rb = v.RowPtr(b);
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      dot += static_cast<double>(ra[j]) * rb[j];
+      na += static_cast<double>(ra[j]) * ra[j];
+      nb += static_cast<double>(rb[j]) * rb[j];
+    }
+    const double denom = std::sqrt(na) * std::sqrt(nb) + eps;
+    total += 1.0 - dot / denom;
+  }
+  Tensor y(1, 1);
+  y(0, 0) = static_cast<float>(total / static_cast<double>(pairs.size()));
+  Variable out = MakeOpNode(std::move(y), {x}, "MeanCosineDistance");
+  Node* px = x.get();
+  auto pairs_ptr =
+      std::make_shared<std::vector<std::pair<uint32_t, uint32_t>>>(
+          std::move(pairs));
+  out->set_backward_fn([px, pairs_ptr, eps, d](const Tensor& g) {
+    const Tensor& v = px->value();
+    Tensor dx(v.rows(), v.cols());
+    const float scale =
+        g(0, 0) / static_cast<float>(pairs_ptr->size());
+    for (const auto& [a, b] : *pairs_ptr) {
+      const float* ra = v.RowPtr(a);
+      const float* rb = v.RowPtr(b);
+      double dot = 0.0, na = 0.0, nb = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        dot += static_cast<double>(ra[j]) * rb[j];
+        na += static_cast<double>(ra[j]) * ra[j];
+        nb += static_cast<double>(rb[j]) * rb[j];
+      }
+      const double norm_a = std::sqrt(na);
+      const double norm_b = std::sqrt(nb);
+      const double denom = norm_a * norm_b + eps;
+      // d(1 - cos)/da_j = -(b_j / denom - cos * a_j / (na + eps'))
+      const double cos_ab = dot / denom;
+      float* da = dx.RowPtr(a);
+      float* db = dx.RowPtr(b);
+      for (size_t j = 0; j < d; ++j) {
+        da[j] += scale * static_cast<float>(
+                     -(rb[j] / denom - cos_ab * ra[j] / (na + eps)));
+        db[j] += scale * static_cast<float>(
+                     -(ra[j] / denom - cos_ab * rb[j] / (nb + eps)));
+      }
+    }
+    px->AccumulateGrad(dx);
+  });
+  return out;
+}
+
+}  // namespace lasagne::ag

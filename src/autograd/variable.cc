@@ -1,0 +1,83 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace lasagne::ag {
+
+void Node::AccumulateGrad(const Tensor& g) {
+  if (!requires_grad_) return;
+  LASAGNE_CHECK_EQ(g.rows(), value_.rows());
+  LASAGNE_CHECK_EQ(g.cols(), value_.cols());
+  if (grad_.empty()) {
+    grad_ = g;
+  } else {
+    grad_ += g;
+  }
+}
+
+void Node::ZeroGrad() {
+  if (!grad_.empty()) grad_.SetZero();
+}
+
+Variable MakeParameter(Tensor value) {
+  return std::make_shared<Node>(std::move(value), /*requires_grad=*/true);
+}
+
+Variable MakeConstant(Tensor value) {
+  return std::make_shared<Node>(std::move(value), /*requires_grad=*/false);
+}
+
+namespace {
+
+// Iterative post-order DFS producing a topological order (parents before
+// children in the returned vector; we traverse it in reverse).
+void TopologicalOrder(const Variable& root, std::vector<Node*>& order) {
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(root.get(), 0);
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents().size()) {
+      Node* parent = node->parents()[next_child].get();
+      ++next_child;
+      if (parent != nullptr && visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void BackwardWithGrad(const Variable& root, const Tensor& seed) {
+  LASAGNE_CHECK(root != nullptr);
+  LASAGNE_CHECK_EQ(seed.rows(), root->value().rows());
+  LASAGNE_CHECK_EQ(seed.cols(), root->value().cols());
+  std::vector<Node*> order;
+  TopologicalOrder(root, order);
+  root->AccumulateGrad(seed);
+  // Reverse topological order: each node's grad is complete before its
+  // backward fn runs (all consumers appear later in `order`).
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn() && node->requires_grad() &&
+        !node->grad().empty()) {
+      node->backward_fn()(node->grad());
+    }
+  }
+}
+
+void Backward(const Variable& root) {
+  LASAGNE_CHECK(root != nullptr);
+  LASAGNE_CHECK_EQ(root->value().rows(), 1u);
+  LASAGNE_CHECK_EQ(root->value().cols(), 1u);
+  BackwardWithGrad(root, Tensor::Ones(1, 1));
+}
+
+}  // namespace lasagne::ag

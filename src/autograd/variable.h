@@ -1,0 +1,91 @@
+#ifndef LASAGNE_AUTOGRAD_VARIABLE_H_
+#define LASAGNE_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace lasagne::ag {
+
+class Node;
+
+/// A handle to a node in the dynamic computation graph.
+///
+/// Variables are produced either by `MakeParameter` / `MakeConstant`
+/// (leaves) or by the differentiable ops in ops.h (interior nodes). The
+/// graph is define-by-run: every op allocates a new node that remembers
+/// its parents and a closure that propagates gradients to them.
+using Variable = std::shared_ptr<Node>;
+
+/// One node of the computation graph: a value, an optional gradient and
+/// the backward closure that routes `grad` into the parents' grads.
+class Node {
+ public:
+  Node(Tensor value, bool requires_grad)
+      : value_(std::move(value)), requires_grad_(requires_grad) {}
+
+  const Tensor& value() const { return value_; }
+  Tensor& mutable_value() { return value_; }
+
+  /// Accumulated gradient; zero-sized until the first accumulation.
+  const Tensor& grad() const { return grad_; }
+
+  bool requires_grad() const { return requires_grad_; }
+
+  /// Adds `g` into this node's gradient (allocating on first use).
+  void AccumulateGrad(const Tensor& g);
+
+  /// Clears the gradient buffer (kept allocated).
+  void ZeroGrad();
+
+  size_t rows() const { return value_.rows(); }
+  size_t cols() const { return value_.cols(); }
+
+  // -- Graph wiring (used by op implementations) -------------------------
+
+  void set_parents(std::vector<Variable> parents) {
+    parents_ = std::move(parents);
+  }
+  const std::vector<Variable>& parents() const { return parents_; }
+
+  /// `fn` receives this node's gradient and must accumulate into parents.
+  void set_backward_fn(std::function<void(const Tensor&)> fn) {
+    backward_fn_ = std::move(fn);
+  }
+  const std::function<void(const Tensor&)>& backward_fn() const {
+    return backward_fn_;
+  }
+
+  void set_op_name(std::string name) { op_name_ = std::move(name); }
+  const std::string& op_name() const { return op_name_; }
+
+ private:
+  Tensor value_;
+  Tensor grad_;
+  bool requires_grad_;
+  std::vector<Variable> parents_;
+  std::function<void(const Tensor&)> backward_fn_;
+  std::string op_name_;
+};
+
+/// Creates a trainable leaf (gradients will be accumulated).
+Variable MakeParameter(Tensor value);
+
+/// Creates a non-trainable leaf (no gradient tracking).
+Variable MakeConstant(Tensor value);
+
+/// Runs reverse-mode differentiation from `root`, which must be a 1x1
+/// scalar. Gradients accumulate into every reachable node that
+/// `requires_grad`. Call `ZeroGrad` on parameters between steps.
+void Backward(const Variable& root);
+
+/// Runs reverse-mode differentiation from `root` seeded with an explicit
+/// output gradient of the same shape as `root->value()`.
+void BackwardWithGrad(const Variable& root, const Tensor& seed);
+
+}  // namespace lasagne::ag
+
+#endif  // LASAGNE_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,81 @@
+#ifndef LASAGNE_COMMON_CHECK_H_
+#define LASAGNE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+// Invariant-checking macros in the spirit of glog's CHECK family.
+//
+// The library does not use exceptions (per the project style); a failed
+// check prints the failing condition with file/line context and aborts.
+// LASAGNE_DCHECK compiles away in NDEBUG builds and is meant for hot
+// inner loops.
+
+namespace lasagne::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition,
+                                     const std::string& message) {
+  std::fprintf(stderr, "LASAGNE_CHECK failed at %s:%d: %s %s\n", file, line,
+               condition, message.c_str());
+  std::abort();
+}
+
+// Builds the optional "extra context" message for a failed check.
+class CheckMessageBuilder {
+ public:
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace lasagne::internal
+
+#define LASAGNE_CHECK(condition)                                          \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      ::lasagne::internal::CheckFailed(__FILE__, __LINE__, #condition,    \
+                                       std::string());                    \
+    }                                                                     \
+  } while (0)
+
+#define LASAGNE_CHECK_MSG(condition, ...)                                 \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      ::lasagne::internal::CheckMessageBuilder builder_;                  \
+      builder_ << __VA_ARGS__;                                            \
+      ::lasagne::internal::CheckFailed(__FILE__, __LINE__, #condition,    \
+                                       builder_.str());                   \
+    }                                                                     \
+  } while (0)
+
+#define LASAGNE_CHECK_EQ(a, b) \
+  LASAGNE_CHECK_MSG((a) == (b), "(" << (a) << " vs " << (b) << ")")
+#define LASAGNE_CHECK_NE(a, b) \
+  LASAGNE_CHECK_MSG((a) != (b), "(" << (a) << " vs " << (b) << ")")
+#define LASAGNE_CHECK_LT(a, b) \
+  LASAGNE_CHECK_MSG((a) < (b), "(" << (a) << " vs " << (b) << ")")
+#define LASAGNE_CHECK_LE(a, b) \
+  LASAGNE_CHECK_MSG((a) <= (b), "(" << (a) << " vs " << (b) << ")")
+#define LASAGNE_CHECK_GT(a, b) \
+  LASAGNE_CHECK_MSG((a) > (b), "(" << (a) << " vs " << (b) << ")")
+#define LASAGNE_CHECK_GE(a, b) \
+  LASAGNE_CHECK_MSG((a) >= (b), "(" << (a) << " vs " << (b) << ")")
+
+#ifdef NDEBUG
+#define LASAGNE_DCHECK(condition) \
+  do {                            \
+  } while (0)
+#else
+#define LASAGNE_DCHECK(condition) LASAGNE_CHECK(condition)
+#endif
+
+#endif  // LASAGNE_COMMON_CHECK_H_

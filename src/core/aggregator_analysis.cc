@@ -1,0 +1,112 @@
+#include "core/aggregator_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.h"
+#include "graph/algorithms.h"
+#include "metrics/mutual_info.h"
+
+namespace lasagne {
+
+std::string AggregatorReport::Summary() const {
+  std::ostringstream os;
+  os << "Aggregator analysis (" << aggregator << ", " << num_layers
+     << " gated layers)\n";
+  os << "  mean gate per layer:";
+  for (double m : mean_per_layer) {
+    os << " " << std::round(m * 100.0) / 100.0;
+  }
+  os << "\n  Spearman(PageRank, early-layer preference) = "
+     << std::round(pagerank_early_preference_spearman * 1000.0) / 1000.0
+     << "\n  central decile early-preference    = "
+     << std::round(central_early_preference * 1000.0) / 1000.0
+     << "\n  peripheral decile early-preference = "
+     << std::round(peripheral_early_preference * 1000.0) / 1000.0 << "\n";
+  auto row = [&os](const char* tag, const std::vector<double>& gates) {
+    os << "  " << tag << " gates: [";
+    for (size_t i = 0; i < gates.size(); ++i) {
+      os << (i ? ", " : "") << std::round(gates[i] * 100.0) / 100.0;
+    }
+    os << "]\n";
+  };
+  row("most central node  ", most_central_gates);
+  row("least central node ", least_central_gates);
+  return os.str();
+}
+
+AggregatorReport AnalyzeAggregator(const LasagneModel& model,
+                                   const Dataset& data) {
+  // Gate matrix: stochastic probabilities or normalized |C| weights.
+  Tensor gates;
+  AggregatorReport report;
+  if (model.config().aggregator == AggregatorKind::kStochastic) {
+    gates = model.StochasticProbabilities();
+    report.aggregator = "stochastic";
+  } else if (model.config().aggregator == AggregatorKind::kWeighted) {
+    Tensor c = model.WeightedContributions();
+    LASAGNE_CHECK(!c.empty());
+    gates = Tensor(c.rows(), c.cols());
+    for (size_t i = 0; i < c.rows(); ++i) {
+      double total = 0.0;
+      for (size_t j = 0; j < c.cols(); ++j) {
+        total += std::fabs(c(i, j));
+      }
+      for (size_t j = 0; j < c.cols(); ++j) {
+        gates(i, j) = total > 1e-12
+                          ? static_cast<float>(std::fabs(c(i, j)) / total)
+                          : 0.0f;
+      }
+    }
+    report.aggregator = "weighted";
+  } else {
+    LASAGNE_CHECK_MSG(false,
+                      "AnalyzeAggregator requires a node-indexed "
+                      "aggregator (stochastic or weighted)");
+  }
+  LASAGNE_CHECK_EQ(gates.rows(), data.num_nodes());
+  const size_t n = gates.rows();
+  const size_t l = gates.cols();
+  LASAGNE_CHECK_GE(l, 2u);
+  report.num_layers = l;
+
+  for (size_t j = 0; j < l; ++j) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) total += gates(i, j);
+    report.mean_per_layer.push_back(total / static_cast<double>(n));
+  }
+
+  Tensor pagerank = PageRank(data.graph);
+  std::vector<double> pr(n), early(n);
+  for (size_t i = 0; i < n; ++i) {
+    pr[i] = pagerank(i, 0);
+    early[i] = gates(i, 0) - gates(i, l - 1);
+  }
+  report.pagerank_early_preference_spearman =
+      SpearmanCorrelation(pr, early);
+
+  // Decile means and the two anecdote nodes.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&pr](size_t a, size_t b) { return pr[a] > pr[b]; });
+  const size_t decile = std::max<size_t>(1, n / 10);
+  double central = 0.0, peripheral = 0.0;
+  for (size_t k = 0; k < decile; ++k) {
+    central += early[order[k]];
+    peripheral += early[order[n - 1 - k]];
+  }
+  report.central_early_preference = central / static_cast<double>(decile);
+  report.peripheral_early_preference =
+      peripheral / static_cast<double>(decile);
+
+  for (size_t j = 0; j < l; ++j) {
+    report.most_central_gates.push_back(gates(order.front(), j));
+    report.least_central_gates.push_back(gates(order.back(), j));
+  }
+  return report;
+}
+
+}  // namespace lasagne

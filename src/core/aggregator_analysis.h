@@ -1,0 +1,53 @@
+#ifndef LASAGNE_CORE_AGGREGATOR_ANALYSIS_H_
+#define LASAGNE_CORE_AGGREGATOR_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/lasagne_model.h"
+#include "data/dataset.h"
+
+namespace lasagne {
+
+/// Interpretability report for a trained Lasagne model's node-aware
+/// aggregation — the analysis the paper performs manually in §5.2.2
+/// (P distributions of the most/least central node) and names as future
+/// work ("how to make them interpretable"), packaged as an API.
+struct AggregatorReport {
+  /// Aggregator kind analyzed ("stochastic" gate probabilities or
+  /// "weighted" contribution magnitudes).
+  std::string aggregator;
+  size_t num_layers = 0;
+
+  /// Per-layer mean gate/contribution over all nodes.
+  std::vector<double> mean_per_layer;
+
+  /// Spearman correlation between PageRank and each node's preference
+  /// for early layers (first-layer minus last-layer gate). Positive =
+  /// central nodes prefer nearby hops (the paper's hub hypothesis).
+  double pagerank_early_preference_spearman = 0.0;
+
+  /// Mean early-layer preference of the top-decile PageRank nodes
+  /// ("central") and bottom-decile nodes ("peripheral").
+  double central_early_preference = 0.0;
+  double peripheral_early_preference = 0.0;
+
+  /// Gate rows of the single most and least central node (the paper's
+  /// §5.2.2 anecdote, reproducibly).
+  std::vector<double> most_central_gates;
+  std::vector<double> least_central_gates;
+
+  /// Human-readable multi-line summary.
+  std::string Summary() const;
+};
+
+/// Builds the report from a trained model. Supported aggregators:
+/// stochastic (gate probabilities) and weighted (|C| of the last hidden
+/// layer, column-normalized). Aborts for aggregators without node-
+/// indexed state (max pooling / mean / lstm have nothing to tabulate).
+AggregatorReport AnalyzeAggregator(const LasagneModel& model,
+                                   const Dataset& data);
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_CORE_AGGREGATOR_ANALYSIS_H_

@@ -1,0 +1,225 @@
+#include "core/aggregators.h"
+
+#include "core/lstm_aggregator.h"
+
+#include "common/check.h"
+
+namespace lasagne {
+
+std::string AggregatorKindName(AggregatorKind kind) {
+  switch (kind) {
+    case AggregatorKind::kWeighted:
+      return "weighted";
+    case AggregatorKind::kMaxPooling:
+      return "maxpool";
+    case AggregatorKind::kStochastic:
+      return "stochastic";
+    case AggregatorKind::kMean:
+      return "mean";
+    case AggregatorKind::kLstm:
+      return "lstm";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Cross-layer GC transformations W(il) for history entries i < l; the
+// current (last) layer needs none.
+std::vector<ag::Variable> MakeTransforms(
+    const std::vector<size_t>& layer_dims, Rng& rng) {
+  std::vector<ag::Variable> transforms;
+  LASAGNE_CHECK(!layer_dims.empty());
+  const size_t out_dim = layer_dims.back();
+  for (size_t i = 0; i + 1 < layer_dims.size(); ++i) {
+    transforms.push_back(ag::MakeParameter(
+        Tensor::GlorotUniform(layer_dims[i], out_dim, rng)));
+  }
+  return transforms;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Weighted (Eq. 5)
+// ---------------------------------------------------------------------------
+
+WeightedAggregator::WeightedAggregator(size_t num_nodes,
+                                       std::vector<size_t> layer_dims,
+                                       Rng& rng)
+    : layer_dims_(std::move(layer_dims)) {
+  LASAGNE_CHECK(!layer_dims_.empty());
+  const size_t l = layer_dims_.size();
+  // Initialize every contribution to 1/l so the initial behaviour is a
+  // balanced dense aggregation; training then specializes per node.
+  c_ = ag::MakeParameter(
+      Tensor::Full(num_nodes, l, 1.0f / static_cast<float>(l)));
+  transforms_ = MakeTransforms(layer_dims_, rng);
+}
+
+ag::Variable WeightedAggregator::Aggregate(
+    const std::shared_ptr<const CsrMatrix>& a_hat,
+    const std::vector<ag::Variable>& history,
+    const nn::ForwardContext& ctx) {
+  (void)ctx;
+  LASAGNE_CHECK_EQ(history.size(), layer_dims_.size());
+  const size_t l = history.size();
+  std::vector<ag::Variable> terms;
+  terms.reserve(l);
+  for (size_t i = 0; i + 1 < l; ++i) {
+    ag::Variable weight_col = ag::SliceCols(c_, i, 1);
+    ag::Variable transformed = ag::MatMul(history[i], transforms_[i]);
+    terms.push_back(
+        ag::SpMM(a_hat, ag::RowScale(transformed, weight_col)));
+  }
+  ag::Variable current_col = ag::SliceCols(c_, l - 1, 1);
+  terms.push_back(ag::RowScale(history.back(), current_col));
+  return terms.size() == 1 ? terms[0] : ag::AddMany(terms);
+}
+
+std::vector<ag::Variable> WeightedAggregator::Parameters() const {
+  std::vector<ag::Variable> params = {c_};
+  for (const auto& w : transforms_) params.push_back(w);
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// Max pooling (§4.1.2)
+// ---------------------------------------------------------------------------
+
+MaxPoolingAggregator::MaxPoolingAggregator(std::vector<size_t> layer_dims,
+                                           Rng& rng)
+    : layer_dims_(std::move(layer_dims)) {
+  transforms_ = MakeTransforms(layer_dims_, rng);
+}
+
+ag::Variable MaxPoolingAggregator::Aggregate(
+    const std::shared_ptr<const CsrMatrix>& a_hat,
+    const std::vector<ag::Variable>& history,
+    const nn::ForwardContext& ctx) {
+  (void)ctx;
+  LASAGNE_CHECK_EQ(history.size(), layer_dims_.size());
+  const size_t l = history.size();
+  if (l == 1) return history[0];
+  std::vector<ag::Variable> candidates;
+  candidates.reserve(l);
+  for (size_t i = 0; i + 1 < l; ++i) {
+    candidates.push_back(
+        ag::SpMM(a_hat, ag::MatMul(history[i], transforms_[i])));
+  }
+  candidates.push_back(history.back());
+  return ag::MaxOverSet(candidates);
+}
+
+std::vector<ag::Variable> MaxPoolingAggregator::Parameters() const {
+  return transforms_;
+}
+
+// ---------------------------------------------------------------------------
+// Stochastic (Eq. 6)
+// ---------------------------------------------------------------------------
+
+StochasticAggregator::StochasticAggregator(ag::Variable shared_p,
+                                           size_t layer_index,
+                                           std::vector<size_t> layer_dims,
+                                           Rng& rng)
+    : p_(std::move(shared_p)),
+      layer_index_(layer_index),
+      layer_dims_(std::move(layer_dims)) {
+  LASAGNE_CHECK(p_ != nullptr);
+  LASAGNE_CHECK_LE(layer_dims_.size(), p_->cols());
+  transforms_ = MakeTransforms(layer_dims_, rng);
+}
+
+ag::Variable StochasticAggregator::Aggregate(
+    const std::shared_ptr<const CsrMatrix>& a_hat,
+    const std::vector<ag::Variable>& history,
+    const nn::ForwardContext& ctx) {
+  LASAGNE_CHECK(ctx.rng != nullptr);
+  LASAGNE_CHECK_EQ(history.size(), layer_dims_.size());
+  const size_t l = history.size();
+  // Eq. 6: activation probability exp(P_ij) / max_j exp(P_ij) over the
+  // columns visible to this layer.
+  ag::Variable visible = ag::SliceCols(p_, 0, l);
+  ag::Variable exp_p = ag::Exp(visible);
+  ag::Variable row_max = ag::RowMax(exp_p);
+  ag::Variable probs = ag::RowDivide(exp_p, row_max);
+  ag::Variable gates =
+      ag::BernoulliStraightThrough(probs, *ctx.rng, ctx.training);
+  std::vector<ag::Variable> terms;
+  terms.reserve(l);
+  for (size_t i = 0; i + 1 < l; ++i) {
+    ag::Variable gate_col = ag::SliceCols(gates, i, 1);
+    ag::Variable transformed = ag::MatMul(history[i], transforms_[i]);
+    terms.push_back(ag::SpMM(a_hat, ag::RowScale(transformed, gate_col)));
+  }
+  terms.push_back(
+      ag::RowScale(history.back(), ag::SliceCols(gates, l - 1, 1)));
+  return terms.size() == 1 ? terms[0] : ag::AddMany(terms);
+}
+
+std::vector<ag::Variable> StochasticAggregator::Parameters() const {
+  // p_ is shared across layers; the model deduplicates when collecting.
+  std::vector<ag::Variable> params = {p_};
+  for (const auto& w : transforms_) params.push_back(w);
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// Mean (custom-aggregator example)
+// ---------------------------------------------------------------------------
+
+MeanAggregator::MeanAggregator(std::vector<size_t> layer_dims, Rng& rng)
+    : layer_dims_(std::move(layer_dims)) {
+  transforms_ = MakeTransforms(layer_dims_, rng);
+}
+
+ag::Variable MeanAggregator::Aggregate(
+    const std::shared_ptr<const CsrMatrix>& a_hat,
+    const std::vector<ag::Variable>& history,
+    const nn::ForwardContext& ctx) {
+  (void)ctx;
+  LASAGNE_CHECK_EQ(history.size(), layer_dims_.size());
+  const size_t l = history.size();
+  std::vector<ag::Variable> terms;
+  for (size_t i = 0; i + 1 < l; ++i) {
+    terms.push_back(
+        ag::SpMM(a_hat, ag::MatMul(history[i], transforms_[i])));
+  }
+  terms.push_back(history.back());
+  ag::Variable sum = terms.size() == 1 ? terms[0] : ag::AddMany(terms);
+  return ag::ScalarMul(sum, 1.0f / static_cast<float>(l));
+}
+
+std::vector<ag::Variable> MeanAggregator::Parameters() const {
+  return transforms_;
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<LayerAggregator> MakeAggregator(
+    AggregatorKind kind, size_t num_nodes, size_t layer_index,
+    std::vector<size_t> layer_dims, ag::Variable shared_p, Rng& rng) {
+  switch (kind) {
+    case AggregatorKind::kWeighted:
+      return std::make_unique<WeightedAggregator>(num_nodes,
+                                                  std::move(layer_dims), rng);
+    case AggregatorKind::kMaxPooling:
+      return std::make_unique<MaxPoolingAggregator>(std::move(layer_dims),
+                                                    rng);
+    case AggregatorKind::kStochastic:
+      return std::make_unique<StochasticAggregator>(
+          std::move(shared_p), layer_index, std::move(layer_dims), rng);
+    case AggregatorKind::kMean:
+      return std::make_unique<MeanAggregator>(std::move(layer_dims), rng);
+    case AggregatorKind::kLstm:
+      return std::make_unique<LstmAggregator>(std::move(layer_dims),
+                                              /*lstm_hidden=*/16, rng);
+  }
+  LASAGNE_CHECK_MSG(false, "unknown aggregator kind");
+  return nullptr;
+}
+
+}  // namespace lasagne

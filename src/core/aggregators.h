@@ -1,0 +1,158 @@
+#ifndef LASAGNE_CORE_AGGREGATORS_H_
+#define LASAGNE_CORE_AGGREGATORS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "nn/layers.h"
+#include "sparse/csr_matrix.h"
+
+namespace lasagne {
+
+/// Which node-aware layer aggregator Lasagne uses (paper §4.1).
+enum class AggregatorKind {
+  kWeighted,    // §4.1.1, Eq. 5
+  kMaxPooling,  // §4.1.2
+  kStochastic,  // §4.1.3, Eq. 6
+  kMean,        // the "other custom aggregations are possible" example
+  kLstm,        // LSTM over the layer history (also paper-suggested)
+};
+
+std::string AggregatorKindName(AggregatorKind kind);
+
+/// Node-aware layer aggregator (paper Eq. 4):
+///   H(l) = Aggregator(C(l), H(1), ..., H(l)).
+///
+/// One instance serves one layer position `l`; it owns that position's
+/// trainable state (the contribution matrix C(l) and the cross-layer GC
+/// transformations W(il)). `history` holds the aggregated outputs of
+/// layers 1..l-1 followed by the current layer's raw output.
+class LayerAggregator {
+ public:
+  virtual ~LayerAggregator() = default;
+
+  /// Combines the layer history into this layer's output. The
+  /// propagation operator is passed per call so inductive training can
+  /// swap graphs.
+  virtual ag::Variable Aggregate(
+      const std::shared_ptr<const CsrMatrix>& a_hat,
+      const std::vector<ag::Variable>& history,
+      const nn::ForwardContext& ctx) = 0;
+
+  virtual std::vector<ag::Variable> Parameters() const = 0;
+  virtual std::string name() const = 0;
+
+  /// True when the aggregator owns parameters indexed by node id (the
+  /// paper's reason Weighted/Stochastic cannot run inductively).
+  virtual bool node_indexed() const = 0;
+};
+
+/// Weighted aggregator (Eq. 5):
+///   H(l) = sum_{i<l} A_hat (C(l)[:,i] (x) H(i) W(il)) + C(l)[:,l] (x) H(l)
+/// where C(l) in R^{N x l} gives every node its own per-layer mixing
+/// weights and W(il) are cross-layer GC transformations that also free
+/// the layers to use different hidden dimensions.
+class WeightedAggregator : public LayerAggregator {
+ public:
+  /// `layer_dims`: dims of history entries 1..l (last = current layer).
+  WeightedAggregator(size_t num_nodes, std::vector<size_t> layer_dims,
+                     Rng& rng);
+
+  ag::Variable Aggregate(const std::shared_ptr<const CsrMatrix>& a_hat,
+                         const std::vector<ag::Variable>& history,
+                         const nn::ForwardContext& ctx) override;
+  std::vector<ag::Variable> Parameters() const override;
+  std::string name() const override { return "weighted"; }
+  bool node_indexed() const override { return true; }
+
+  /// The learned per-node contribution matrix C(l) (for analysis).
+  const ag::Variable& contributions() const { return c_; }
+
+ private:
+  std::vector<size_t> layer_dims_;
+  ag::Variable c_;  // N x l
+  std::vector<ag::Variable> transforms_;  // W(il), i < l
+};
+
+/// Max-Pooling aggregator (§4.1.2): the special case of the weighted
+/// aggregator where C(l) becomes a per-node, per-coordinate one-hot
+/// selection — i.e., an elementwise max over the candidate terms of
+/// Eq. 5 ({A_hat H(i) W(il)} for i < l, plus the current layer). The
+/// selection itself is adaptive with *no additional parameters to
+/// learn* (no C), and nothing is node-indexed, which is why this is the
+/// one aggregator the paper can run inductively.
+class MaxPoolingAggregator : public LayerAggregator {
+ public:
+  MaxPoolingAggregator(std::vector<size_t> layer_dims, Rng& rng);
+
+  ag::Variable Aggregate(const std::shared_ptr<const CsrMatrix>& a_hat,
+                         const std::vector<ag::Variable>& history,
+                         const nn::ForwardContext& ctx) override;
+  std::vector<ag::Variable> Parameters() const override;
+  std::string name() const override { return "maxpool"; }
+  bool node_indexed() const override { return false; }
+
+ private:
+  std::vector<size_t> layer_dims_;
+  std::vector<ag::Variable> transforms_;  // W(il), i < l
+};
+
+/// Stochastic aggregator (§4.1.3, Eq. 6): the form of Eq. 5 where each
+/// C entry is an independent Bernoulli draw,
+///   C_ij ~ Bernoulli(exp(P_ij) / max_j exp(P_ij)),
+/// with trainable probabilities P (straight-through gradients). At eval
+/// time the expectation (the probability itself) is used. Layers share
+/// the global P in R^{N x (L-1)}; instance `layer_index` reads columns
+/// 0..layer_index.
+class StochasticAggregator : public LayerAggregator {
+ public:
+  StochasticAggregator(ag::Variable shared_p, size_t layer_index,
+                       std::vector<size_t> layer_dims, Rng& rng);
+
+  ag::Variable Aggregate(const std::shared_ptr<const CsrMatrix>& a_hat,
+                         const std::vector<ag::Variable>& history,
+                         const nn::ForwardContext& ctx) override;
+  std::vector<ag::Variable> Parameters() const override;
+  std::string name() const override { return "stochastic"; }
+  bool node_indexed() const override { return true; }
+
+ private:
+  ag::Variable p_;  // shared N x (L-1)
+  size_t layer_index_;
+  std::vector<size_t> layer_dims_;
+  std::vector<ag::Variable> transforms_;
+};
+
+/// Mean aggregator: uniform average of cross-layer GC transformations —
+/// the simple non-node-aware custom aggregator the paper mentions as an
+/// alternative; used by tests and the custom-aggregator example as the
+/// extensibility baseline.
+class MeanAggregator : public LayerAggregator {
+ public:
+  MeanAggregator(std::vector<size_t> layer_dims, Rng& rng);
+
+  ag::Variable Aggregate(const std::shared_ptr<const CsrMatrix>& a_hat,
+                         const std::vector<ag::Variable>& history,
+                         const nn::ForwardContext& ctx) override;
+  std::vector<ag::Variable> Parameters() const override;
+  std::string name() const override { return "mean"; }
+  bool node_indexed() const override { return false; }
+
+ private:
+  std::vector<size_t> layer_dims_;
+  std::vector<ag::Variable> transforms_;
+};
+
+/// Builds the aggregator for layer position `layer_index` (1-based count
+/// of available history entries == layer_dims.size()). `shared_p` is
+/// only consulted for the stochastic kind.
+std::unique_ptr<LayerAggregator> MakeAggregator(
+    AggregatorKind kind, size_t num_nodes, size_t layer_index,
+    std::vector<size_t> layer_dims, ag::Variable shared_p, Rng& rng);
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_CORE_AGGREGATORS_H_

@@ -1,0 +1,42 @@
+#include "core/gcfm.h"
+
+#include "common/check.h"
+
+namespace lasagne {
+
+GcFmLayer::GcFmLayer(std::vector<size_t> layer_dims, size_t num_classes,
+                     size_t fm_rank, Rng& rng, bool final_relu)
+    : fm_rank_(fm_rank), final_relu_(final_relu) {
+  LASAGNE_CHECK(!layer_dims.empty());
+  LASAGNE_CHECK_GT(fm_rank, 0u);
+  field_offsets_.push_back(0);
+  for (size_t d : layer_dims) {
+    field_offsets_.push_back(field_offsets_.back() + d);
+  }
+  const size_t m = field_offsets_.back();
+  w_ = ag::MakeParameter(Tensor::GlorotUniform(m, num_classes, rng));
+  // Near-zero factor init: the layer starts as the plain linear model
+  // and the quadratic cross-layer term only grows where it pays off,
+  // so +GC-FM can match its ablation baseline at worst (the quadratic
+  // term otherwise overfits sparse-label regimes).
+  v_ = ag::MakeParameter(
+      Tensor::Normal(m, num_classes * fm_rank, 0.0f, 0.01f, rng));
+}
+
+ag::Variable GcFmLayer::Forward(
+    const std::shared_ptr<const CsrMatrix>& a_hat,
+    const std::vector<ag::Variable>& hidden) const {
+  LASAGNE_CHECK_EQ(hidden.size() + 1, field_offsets_.size());
+  for (size_t i = 0; i < hidden.size(); ++i) {
+    LASAGNE_CHECK_EQ(hidden[i]->cols(),
+                     field_offsets_[i + 1] - field_offsets_[i]);
+  }
+  ag::Variable x =
+      hidden.size() == 1 ? hidden[0] : ag::ConcatCols(hidden);
+  ag::Variable scores =
+      ag::FmInteraction(x, w_, v_, field_offsets_, fm_rank_);
+  ag::Variable out = ag::SpMM(a_hat, scores);
+  return final_relu_ ? ag::Relu(out) : out;
+}
+
+}  // namespace lasagne

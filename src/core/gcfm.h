@@ -1,0 +1,49 @@
+#ifndef LASAGNE_CORE_GCFM_H_
+#define LASAGNE_CORE_GCFM_H_
+
+#include <memory>
+#include <vector>
+
+#include "autograd/fm_op.h"
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "sparse/csr_matrix.h"
+#include "tensor/rng.h"
+
+namespace lasagne {
+
+/// GC-FM layer (paper §4.2, Eq. 7 and Fig. 4).
+///
+/// The last layer of Lasagne: concatenates every hidden layer's
+/// representation per node, computes per-class scores that combine a
+/// linear term with pairwise factorized interactions *between different
+/// layers' embeddings*, then applies the localized spectral filter
+/// A_hat and a ReLU:
+///   H(L) = ReLU(A_hat O),   O = linear(x) + cross-layer FM(x).
+///
+/// The layer owns W in R^{M x F} and the FM factors V in R^{M x F*k}
+/// where M = sum of hidden dims and k is the FM latent rank.
+class GcFmLayer {
+ public:
+  /// `layer_dims[i]` is the width of hidden layer i+1 (the FM fields).
+  GcFmLayer(std::vector<size_t> layer_dims, size_t num_classes,
+            size_t fm_rank, Rng& rng, bool final_relu = false);
+
+  /// `hidden`: the L-1 hidden representations; sizes must match
+  /// layer_dims.
+  ag::Variable Forward(const std::shared_ptr<const CsrMatrix>& a_hat,
+                       const std::vector<ag::Variable>& hidden) const;
+
+  std::vector<ag::Variable> Parameters() const { return {w_, v_}; }
+
+ private:
+  std::vector<size_t> field_offsets_;
+  size_t fm_rank_;
+  bool final_relu_;
+  ag::Variable w_;  // M x F
+  ag::Variable v_;  // M x F*k
+};
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_CORE_GCFM_H_

@@ -1,0 +1,243 @@
+#include "core/lasagne_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace lasagne {
+
+std::string BaseConvName(BaseConv base) {
+  switch (base) {
+    case BaseConv::kGcn:
+      return "gcn";
+    case BaseConv::kSgc:
+      return "sgc";
+    case BaseConv::kGat:
+      return "gat";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string ModelName(const LasagneConfig& config) {
+  std::string name =
+      "Lasagne(" + AggregatorKindName(config.aggregator) + ")";
+  if (config.base != BaseConv::kGcn) {
+    name += "+" + BaseConvName(config.base);
+  }
+  if (!config.use_gcfm) name += "-noGCFM";
+  return name;
+}
+
+}  // namespace
+
+LasagneModel::LasagneModel(const Dataset& data, const LasagneConfig& config)
+    : Model(ModelName(config), data), config_(config) {
+  LASAGNE_CHECK_GE(config.depth, 2u);
+  const size_t num_hidden = config.depth - 1;
+  hidden_dims_ = config.hidden_dims;
+  if (hidden_dims_.empty()) {
+    hidden_dims_.assign(num_hidden, config.hidden_dim);
+  }
+  LASAGNE_CHECK_EQ(hidden_dims_.size(), num_hidden);
+
+  // Full-graph view.
+  full_view_.a_hat =
+      std::make_shared<CsrMatrix>(data.graph.NormalizedAdjacency());
+  full_view_.features = ag::MakeConstant(data.features);
+  full_view_.labels = &data.labels;
+  full_view_.train_mask = &data.train_mask;
+  if (config.base == BaseConv::kGat) {
+    full_view_.edges =
+        ag::EdgeStructure::FromGraph(data.graph, /*add_self_loops=*/true);
+  }
+
+  if (data.inductive) {
+    LASAGNE_CHECK_MSG(
+        config.aggregator == AggregatorKind::kMaxPooling ||
+            config.aggregator == AggregatorKind::kMean ||
+            config.aggregator == AggregatorKind::kLstm ||
+            config.custom_aggregator != nullptr,
+        "node-indexed aggregators (weighted/stochastic) are transductive "
+        "only; use max pooling on inductive datasets (paper §5.2.1)");
+    train_data_ = std::make_unique<Dataset>(data.TrainSubgraph());
+    train_view_.a_hat = std::make_shared<CsrMatrix>(
+        train_data_->graph.NormalizedAdjacency());
+    train_view_.features = ag::MakeConstant(train_data_->features);
+    train_view_.labels = &train_data_->labels;
+    train_view_.train_mask = &train_data_->train_mask;
+    if (config.base == BaseConv::kGat) {
+      train_view_.edges = ag::EdgeStructure::FromGraph(
+          train_data_->graph, /*add_self_loops=*/true);
+    }
+  } else {
+    train_view_ = full_view_;
+  }
+
+  Rng rng(config.seed);
+
+  // Base convolutions for the hidden layers.
+  for (size_t l = 0; l < num_hidden; ++l) {
+    const size_t in = l == 0 ? data.feature_dim() : hidden_dims_[l - 1];
+    const size_t out = hidden_dims_[l];
+    if (config.base == BaseConv::kGat) {
+      gat_layers_.emplace_back(in, out, rng);
+    } else {
+      conv_layers_.emplace_back(in, out, rng);
+    }
+  }
+
+  // Shared stochastic probability parameters (Eq. 6). Small noise breaks
+  // the row-max ties of a constant init.
+  if (config.aggregator == AggregatorKind::kStochastic) {
+    stochastic_p_ = ag::MakeParameter(
+        Tensor::Normal(data.num_nodes(), num_hidden, 0.0f, 0.1f, rng));
+  }
+
+  // One aggregator per hidden layer position (layer 0 has a single-entry
+  // history; the aggregator is still created so node-wise gating applies
+  // from the first layer on, matching Eq. 4's 1 < l < L range plus the
+  // trivial l = 1 case).
+  for (size_t l = 0; l < num_hidden; ++l) {
+    std::vector<size_t> dims(hidden_dims_.begin(),
+                             hidden_dims_.begin() + l + 1);
+    if (config.custom_aggregator) {
+      aggregators_.push_back(
+          config.custom_aggregator(l + 1, std::move(dims), rng));
+      LASAGNE_CHECK(aggregators_.back() != nullptr);
+    } else {
+      aggregators_.push_back(MakeAggregator(config.aggregator,
+                                            data.num_nodes(), l + 1,
+                                            std::move(dims), stochastic_p_,
+                                            rng));
+    }
+  }
+
+  if (config.use_gcfm) {
+    gcfm_ = std::make_unique<GcFmLayer>(hidden_dims_, data.num_classes,
+                                        config.fm_rank, rng,
+                                        config.gcfm_final_relu);
+  } else {
+    plain_output_ = std::make_unique<nn::GraphConvolution>(
+        hidden_dims_.back(), data.num_classes, rng);
+  }
+}
+
+ag::Variable LasagneModel::ForwardOn(const GraphView& view,
+                                     const nn::ForwardContext& ctx) {
+  ClearHidden();
+  LASAGNE_CHECK(ctx.rng != nullptr);
+  std::vector<ag::Variable> history;
+  ag::Variable input = view.features;
+  const size_t num_hidden = hidden_dims_.size();
+  for (size_t l = 0; l < num_hidden; ++l) {
+    // Base convolution on the previous (aggregated) representation.
+    ag::Variable raw;
+    switch (config_.base) {
+      case BaseConv::kGcn:
+        raw = conv_layers_[l].Forward(view.a_hat, input, ctx,
+                                      config_.dropout, /*relu=*/true);
+        break;
+      case BaseConv::kSgc:
+        raw = conv_layers_[l].Forward(view.a_hat, input, ctx,
+                                      config_.dropout, /*relu=*/false);
+        break;
+      case BaseConv::kGat:
+        raw = ag::Relu(gat_layers_[l].Forward(view.edges, input, ctx,
+                                              config_.dropout));
+        break;
+    }
+    // Node-aware layer aggregation over the full history (Eq. 4).
+    history.push_back(raw);
+    ag::Variable aggregated =
+        aggregators_[l]->Aggregate(view.a_hat, history, ctx);
+    history.back() = aggregated;
+    RecordHidden(aggregated);
+    input = aggregated;
+  }
+  if (gcfm_ != nullptr) {
+    return gcfm_->Forward(view.a_hat, history);
+  }
+  return plain_output_->Forward(view.a_hat, history.back(), ctx,
+                                config_.dropout, /*relu=*/false);
+}
+
+ag::Variable LasagneModel::Forward(const nn::ForwardContext& ctx) {
+  return ForwardOn(full_view_, ctx);
+}
+
+ag::Variable LasagneModel::TrainingLoss(const nn::ForwardContext& ctx) {
+  ag::Variable logits = ForwardOn(train_view_, ctx);
+  return ag::SoftmaxCrossEntropy(logits, *train_view_.labels,
+                                 *train_view_.train_mask);
+}
+
+std::vector<ag::Variable> LasagneModel::Parameters() const {
+  std::vector<ag::Variable> params;
+  std::unordered_set<const ag::Node*> seen;
+  auto add = [&](const ag::Variable& p) {
+    if (seen.insert(p.get()).second) params.push_back(p);
+  };
+  for (const auto& conv : conv_layers_) {
+    for (const auto& p : conv.Parameters()) add(p);
+  }
+  for (const auto& gat : gat_layers_) {
+    for (const auto& p : gat.Parameters()) add(p);
+  }
+  for (const auto& agg : aggregators_) {
+    for (const auto& p : agg->Parameters()) add(p);
+  }
+  if (gcfm_ != nullptr) {
+    for (const auto& p : gcfm_->Parameters()) add(p);
+  }
+  if (plain_output_ != nullptr) {
+    for (const auto& p : plain_output_->Parameters()) add(p);
+  }
+  return params;
+}
+
+Tensor LasagneModel::StochasticProbabilities() const {
+  if (stochastic_p_ == nullptr) return Tensor();
+  const Tensor& p = stochastic_p_->value();
+  Tensor probs(p.rows(), p.cols());
+  for (size_t r = 0; r < p.rows(); ++r) {
+    float max_v = p(r, 0);
+    for (size_t c = 1; c < p.cols(); ++c) {
+      max_v = std::max(max_v, p(r, c));
+    }
+    for (size_t c = 0; c < p.cols(); ++c) {
+      probs(r, c) = std::exp(p(r, c) - max_v);
+    }
+  }
+  return probs;
+}
+
+Tensor LasagneModel::WeightedContributions() const {
+  if (config_.aggregator != AggregatorKind::kWeighted ||
+      aggregators_.empty()) {
+    return Tensor();
+  }
+  const auto* weighted =
+      dynamic_cast<const WeightedAggregator*>(aggregators_.back().get());
+  if (weighted == nullptr) return Tensor();
+  return weighted->contributions()->value();
+}
+
+LasagneConfig LasagneConfigFrom(const ModelConfig& config,
+                                AggregatorKind aggregator, BaseConv base,
+                                bool use_gcfm) {
+  LasagneConfig out;
+  out.aggregator = aggregator;
+  out.base = base;
+  out.depth = std::max<size_t>(config.depth, 2);
+  out.hidden_dim = config.hidden_dim;
+  out.dropout = config.dropout;
+  out.use_gcfm = use_gcfm;
+  out.seed = config.seed;
+  return out;
+}
+
+}  // namespace lasagne

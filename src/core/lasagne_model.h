@@ -1,0 +1,124 @@
+#ifndef LASAGNE_CORE_LASAGNE_MODEL_H_
+#define LASAGNE_CORE_LASAGNE_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aggregators.h"
+#include "core/gcfm.h"
+#include "models/model.h"
+#include "nn/layers.h"
+
+namespace lasagne {
+
+/// Which base graph convolution Lasagne wraps (paper §5.2.5: the
+/// framework applies to any multi-layer neighborhood-aggregation model).
+enum class BaseConv {
+  kGcn,  // ReLU(A_hat H W)
+  kSgc,  // A_hat H W (no nonlinearity, SGC-style)
+  kGat,  // single-head graph attention
+};
+
+std::string BaseConvName(BaseConv base);
+
+/// Factory for user-defined layer aggregators: receives the 1-based
+/// layer position and the dims of the history entries that aggregator
+/// will see. Lets downstream users plug custom aggregation mechanisms
+/// (the paper: "other custom aggregation operations are also possible")
+/// without touching the framework — see examples/custom_aggregator.cpp.
+using AggregatorFactory = std::function<std::unique_ptr<LayerAggregator>(
+    size_t layer_index, std::vector<size_t> layer_dims, Rng& rng)>;
+
+/// Lasagne hyper-parameters (see also ModelConfig for the shared ones).
+struct LasagneConfig {
+  AggregatorKind aggregator = AggregatorKind::kStochastic;
+  /// When set, overrides `aggregator` with user-supplied instances.
+  AggregatorFactory custom_aggregator;
+  BaseConv base = BaseConv::kGcn;
+  size_t depth = 4;        // total layers incl. the GC-FM output layer
+  size_t hidden_dim = 32;  // default width of every hidden layer
+  /// Optional per-layer hidden widths (depth-1 entries). Empty = all
+  /// hidden_dim. Layer aggregators support flexible dims (the paper
+  /// removes ResGCN's same-dimension restriction); MaxPooling requires
+  /// equal dims.
+  std::vector<size_t> hidden_dims;
+  float dropout = 0.5f;
+  bool use_gcfm = true;  // ablation switch (paper Table 6)
+  size_t fm_rank = 5;    // the paper sets k = 5
+  /// Paper Eq. after (7) applies a final ReLU: H(L) = ReLU(A_hat O).
+  /// A ReLU directly under the softmax cross-entropy kills the gradient
+  /// of every clamped logit and measurably destabilizes training on our
+  /// substrate (see DESIGN.md), so the default feeds A_hat O to the
+  /// classifier directly; set true for the paper-literal form.
+  bool gcfm_final_relu = false;
+  uint64_t seed = 1;
+};
+
+/// Lasagne (the paper's model, Fig. 3): a stack of base graph
+/// convolutions where every layer's output is produced by a node-aware
+/// layer aggregator over ALL previous layers (dense connectivity, Eq. 4)
+/// and the final layer is GC-FM (Eq. 7) capturing cross-layer feature
+/// interactions.
+///
+/// On inductive datasets, training runs on the subgraph induced by train
+/// nodes (the paper's protocol); only the Max-Pooling aggregator is
+/// legal there because Weighted/Stochastic own node-indexed parameters
+/// (paper §5.2.1 "Inductive").
+class LasagneModel : public Model {
+ public:
+  LasagneModel(const Dataset& data, const LasagneConfig& config);
+
+  ag::Variable Forward(const nn::ForwardContext& ctx) override;
+  ag::Variable TrainingLoss(const nn::ForwardContext& ctx) override;
+  std::vector<ag::Variable> Parameters() const override;
+
+  const LasagneConfig& config() const { return config_; }
+
+  /// The stochastic aggregator's probability matrix
+  /// exp(P)/rowmax(exp(P)) (N x depth-1); empty tensor for other
+  /// aggregators. Used by the depth analysis (§5.2.2) to correlate
+  /// aggregation behaviour with PageRank.
+  Tensor StochasticProbabilities() const;
+
+  /// The weighted aggregator's per-node contribution matrix C of the
+  /// last hidden layer; empty for other aggregators.
+  Tensor WeightedContributions() const;
+
+ private:
+  struct GraphView {
+    std::shared_ptr<const CsrMatrix> a_hat;
+    std::shared_ptr<const ag::EdgeStructure> edges;  // GAT base only
+    ag::Variable features;
+    const std::vector<int32_t>* labels;
+    const std::vector<float>* train_mask;
+  };
+
+  ag::Variable ForwardOn(const GraphView& view,
+                         const nn::ForwardContext& ctx);
+
+  LasagneConfig config_;
+  std::vector<size_t> hidden_dims_;  // resolved, depth-1 entries
+
+  GraphView full_view_;
+  std::unique_ptr<Dataset> train_data_;  // inductive only
+  GraphView train_view_;                 // aliases full_view_ if not
+
+  // Base convolution weights per hidden layer (GCN/SGC) or GAT heads.
+  std::vector<nn::GraphConvolution> conv_layers_;
+  std::vector<nn::GatHead> gat_layers_;
+  std::vector<std::unique_ptr<LayerAggregator>> aggregators_;
+  ag::Variable stochastic_p_;  // shared across stochastic aggregators
+  std::unique_ptr<GcFmLayer> gcfm_;
+  std::unique_ptr<nn::GraphConvolution> plain_output_;  // no-GC-FM ablation
+};
+
+/// Convenience: translate the shared ModelConfig into a LasagneConfig.
+LasagneConfig LasagneConfigFrom(const ModelConfig& config,
+                                AggregatorKind aggregator,
+                                BaseConv base = BaseConv::kGcn,
+                                bool use_gcfm = true);
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_CORE_LASAGNE_MODEL_H_

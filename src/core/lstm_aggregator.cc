@@ -1,0 +1,118 @@
+#include "core/lstm_aggregator.h"
+
+#include "common/check.h"
+
+namespace lasagne {
+
+LstmCell::LstmCell(size_t input_dim, size_t hidden_dim, Rng& rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  w_x_ = ag::MakeParameter(
+      Tensor::GlorotUniform(input_dim, 4 * hidden_dim, rng));
+  w_h_ = ag::MakeParameter(
+      Tensor::GlorotUniform(hidden_dim, 4 * hidden_dim, rng));
+  // Forget-gate bias starts at 1 (the standard trick that keeps early
+  // timesteps alive at initialization).
+  Tensor bias(1, 4 * hidden_dim);
+  for (size_t j = hidden_dim; j < 2 * hidden_dim; ++j) bias(0, j) = 1.0f;
+  bias_ = ag::MakeParameter(std::move(bias));
+}
+
+LstmCell::State LstmCell::InitialState(size_t n) const {
+  return {ag::MakeConstant(Tensor::Zeros(n, hidden_dim_)),
+          ag::MakeConstant(Tensor::Zeros(n, hidden_dim_))};
+}
+
+LstmCell::State LstmCell::Step(const ag::Variable& x_t,
+                               const State& prev) const {
+  LASAGNE_CHECK_EQ(x_t->cols(), input_dim_);
+  const size_t n = x_t->rows();
+  ag::Variable ones = ag::MakeConstant(Tensor::Ones(n, 1));
+  ag::Variable gates = ag::Add(
+      ag::Add(ag::MatMul(x_t, w_x_), ag::MatMul(prev.h, w_h_)),
+      ag::MatMul(ones, bias_));
+  ag::Variable i = ag::Sigmoid(ag::SliceCols(gates, 0, hidden_dim_));
+  ag::Variable f =
+      ag::Sigmoid(ag::SliceCols(gates, hidden_dim_, hidden_dim_));
+  ag::Variable g =
+      ag::Tanh(ag::SliceCols(gates, 2 * hidden_dim_, hidden_dim_));
+  ag::Variable o =
+      ag::Sigmoid(ag::SliceCols(gates, 3 * hidden_dim_, hidden_dim_));
+  ag::Variable c = ag::Add(ag::Mul(f, prev.c), ag::Mul(i, g));
+  ag::Variable h = ag::Mul(o, ag::Tanh(c));
+  return {h, c};
+}
+
+std::vector<ag::Variable> LstmCell::Parameters() const {
+  return {w_x_, w_h_, bias_};
+}
+
+LstmAggregator::LstmAggregator(std::vector<size_t> layer_dims,
+                               size_t lstm_hidden, Rng& rng)
+    : layer_dims_(std::move(layer_dims)) {
+  LASAGNE_CHECK(!layer_dims_.empty());
+  const size_t out = layer_dims_.back();
+  for (size_t i = 0; i + 1 < layer_dims_.size(); ++i) {
+    transforms_.push_back(
+        ag::MakeParameter(Tensor::GlorotUniform(layer_dims_[i], out, rng)));
+  }
+  cell_ = std::make_unique<LstmCell>(out, lstm_hidden, rng);
+  attn_ = ag::MakeParameter(Tensor::GlorotUniform(lstm_hidden, 1, rng));
+}
+
+ag::Variable LstmAggregator::Aggregate(
+    const std::shared_ptr<const CsrMatrix>& a_hat,
+    const std::vector<ag::Variable>& history,
+    const nn::ForwardContext& ctx) {
+  (void)ctx;
+  LASAGNE_CHECK_EQ(history.size(), layer_dims_.size());
+  const size_t l = history.size();
+  if (l == 1) return history[0];
+  const size_t n = history[0]->rows();
+
+  // Candidates: propagated cross-layer transforms + the current layer.
+  std::vector<ag::Variable> candidates;
+  candidates.reserve(l);
+  for (size_t i = 0; i + 1 < l; ++i) {
+    candidates.push_back(
+        ag::SpMM(a_hat, ag::MatMul(history[i], transforms_[i])));
+  }
+  candidates.push_back(history.back());
+
+  // LSTM over the layer "sequence"; one attention logit per timestep.
+  LstmCell::State state = cell_->InitialState(n);
+  std::vector<ag::Variable> scores;
+  scores.reserve(l);
+  for (size_t t = 0; t < l; ++t) {
+    state = cell_->Step(candidates[t], state);
+    scores.push_back(ag::MatMul(state.h, attn_));  // N x 1
+  }
+  // Per-node softmax over the l timesteps.
+  ag::Variable score_matrix = ag::ConcatCols(scores);  // N x l
+  ag::Variable row_max = ag::RowMax(score_matrix);
+  ag::Variable ones_row =
+      ag::MakeConstant(Tensor::Ones(n, l));
+  ag::Variable shifted =
+      ag::Sub(score_matrix, ag::RowScale(ones_row, row_max));
+  ag::Variable exps = ag::Exp(shifted);
+  ag::Variable denom =
+      ag::MatMul(exps, ag::MakeConstant(Tensor::Ones(l, 1)));
+  ag::Variable alpha = ag::RowDivide(exps, denom);
+
+  // Attention-weighted mixture of the candidates.
+  std::vector<ag::Variable> terms;
+  terms.reserve(l);
+  for (size_t t = 0; t < l; ++t) {
+    terms.push_back(
+        ag::RowScale(candidates[t], ag::SliceCols(alpha, t, 1)));
+  }
+  return ag::AddMany(terms);
+}
+
+std::vector<ag::Variable> LstmAggregator::Parameters() const {
+  std::vector<ag::Variable> params = transforms_;
+  for (const auto& p : cell_->Parameters()) params.push_back(p);
+  params.push_back(attn_);
+  return params;
+}
+
+}  // namespace lasagne

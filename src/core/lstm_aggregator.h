@@ -1,0 +1,75 @@
+#ifndef LASAGNE_CORE_LSTM_AGGREGATOR_H_
+#define LASAGNE_CORE_LSTM_AGGREGATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "core/aggregators.h"
+#include "nn/layers.h"
+
+namespace lasagne {
+
+/// A single LSTM cell over per-node "sequences" whose timesteps are the
+/// layer history — the building block of the JK-Net LSTM aggregator and
+/// of Lasagne's LSTM layer aggregation (the paper lists LSTM among the
+/// possible custom aggregations).
+///
+/// All four gates are computed from one fused projection
+/// `[i f g o] = x W_x + h W_h + b`; states are (N x hidden) tensors, so
+/// every node's sequence is processed in parallel.
+class LstmCell {
+ public:
+  LstmCell(size_t input_dim, size_t hidden_dim, Rng& rng);
+
+  struct State {
+    ag::Variable h;  // hidden state  (N x hidden)
+    ag::Variable c;  // cell state    (N x hidden)
+  };
+
+  /// Zero state for a batch of n rows.
+  State InitialState(size_t n) const;
+
+  /// One step: consumes x_t (N x input_dim), returns the next state.
+  State Step(const ag::Variable& x_t, const State& prev) const;
+
+  std::vector<ag::Variable> Parameters() const;
+  size_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  size_t input_dim_;
+  size_t hidden_dim_;
+  ag::Variable w_x_;   // input_dim x 4*hidden
+  ag::Variable w_h_;   // hidden x 4*hidden
+  ag::Variable bias_;  // 1 x 4*hidden
+};
+
+/// LSTM layer aggregator: runs an LSTM over the layer history (each
+/// hidden layer is a timestep) and gates the history by a per-node,
+/// per-layer attention derived from the LSTM outputs — the JK-Net LSTM
+/// aggregation scheme adapted to Lasagne's per-layer setting. Node-aware
+/// through the input-dependent recurrence, yet with graph-size
+/// independent parameters (so it also runs inductively).
+class LstmAggregator : public LayerAggregator {
+ public:
+  LstmAggregator(std::vector<size_t> layer_dims, size_t lstm_hidden,
+                 Rng& rng);
+
+  ag::Variable Aggregate(const std::shared_ptr<const CsrMatrix>& a_hat,
+                         const std::vector<ag::Variable>& history,
+                         const nn::ForwardContext& ctx) override;
+  std::vector<ag::Variable> Parameters() const override;
+  std::string name() const override { return "lstm"; }
+  bool node_indexed() const override { return false; }
+
+ private:
+  std::vector<size_t> layer_dims_;
+  std::vector<ag::Variable> transforms_;  // W(il) to the current width
+  std::unique_ptr<LstmCell> cell_;
+  ag::Variable attn_;  // lstm_hidden x 1: LSTM state -> layer score
+};
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_CORE_LSTM_AGGREGATOR_H_

@@ -1,0 +1,58 @@
+#include "data/dataset.h"
+
+#include "common/check.h"
+
+namespace lasagne {
+
+std::vector<uint32_t> Dataset::MaskedNodes(
+    const std::vector<float>& mask) const {
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < mask.size(); ++i) {
+    if (mask[i] > 0.0f) out.push_back(i);
+  }
+  return out;
+}
+
+double Dataset::LabelRate() const {
+  if (num_nodes() == 0) return 0.0;
+  return static_cast<double>(TrainCount()) /
+         static_cast<double>(num_nodes());
+}
+
+Dataset Dataset::TrainSubgraph() const {
+  std::vector<uint32_t> nodes = TrainNodes();
+  Dataset sub;
+  sub.name = name + "/train";
+  sub.graph = graph.InducedSubgraph(nodes);
+  std::vector<size_t> idx(nodes.begin(), nodes.end());
+  sub.features = features.GatherRows(idx);
+  sub.labels.reserve(nodes.size());
+  for (uint32_t u : nodes) sub.labels.push_back(labels[u]);
+  sub.num_classes = num_classes;
+  sub.train_mask.assign(nodes.size(), 1.0f);
+  sub.val_mask.assign(nodes.size(), 0.0f);
+  sub.test_mask.assign(nodes.size(), 0.0f);
+  sub.inductive = inductive;
+  return sub;
+}
+
+void Dataset::Validate() const {
+  const size_t n = num_nodes();
+  LASAGNE_CHECK_EQ(features.rows(), n);
+  LASAGNE_CHECK_EQ(labels.size(), n);
+  LASAGNE_CHECK_EQ(train_mask.size(), n);
+  LASAGNE_CHECK_EQ(val_mask.size(), n);
+  LASAGNE_CHECK_EQ(test_mask.size(), n);
+  LASAGNE_CHECK_GT(num_classes, 0u);
+  for (size_t i = 0; i < n; ++i) {
+    LASAGNE_CHECK_GE(labels[i], 0);
+    LASAGNE_CHECK_LT(static_cast<size_t>(labels[i]), num_classes);
+    // Masks are disjoint.
+    int memberships = (train_mask[i] > 0) + (val_mask[i] > 0) +
+                      (test_mask[i] > 0);
+    LASAGNE_CHECK_LE(memberships, 1);
+  }
+  LASAGNE_CHECK(features.AllFinite());
+}
+
+}  // namespace lasagne

@@ -1,0 +1,56 @@
+#ifndef LASAGNE_DATA_DATASET_H_
+#define LASAGNE_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/tensor.h"
+
+namespace lasagne {
+
+/// A node-classification dataset: graph, features, labels and the
+/// train/val/test masks.
+///
+/// Masks are float 0/1 vectors of length num_nodes (so they double as
+/// loss weights). For inductive datasets the convention follows the
+/// paper's Flickr/Reddit setting: models may only look at the subgraph
+/// induced by train nodes during training (`TrainSubgraph` below).
+struct Dataset {
+  std::string name;
+  Graph graph;
+  Tensor features;              // N x M
+  std::vector<int32_t> labels;  // N, values in [0, num_classes)
+  size_t num_classes = 0;
+  std::vector<float> train_mask;
+  std::vector<float> val_mask;
+  std::vector<float> test_mask;
+  bool inductive = false;
+
+  size_t num_nodes() const { return graph.num_nodes(); }
+  size_t feature_dim() const { return features.cols(); }
+
+  /// Node ids with mask[i] > 0.
+  std::vector<uint32_t> MaskedNodes(const std::vector<float>& mask) const;
+  std::vector<uint32_t> TrainNodes() const { return MaskedNodes(train_mask); }
+  std::vector<uint32_t> ValNodes() const { return MaskedNodes(val_mask); }
+  std::vector<uint32_t> TestNodes() const { return MaskedNodes(test_mask); }
+
+  size_t TrainCount() const { return TrainNodes().size(); }
+
+  /// Training label rate in [0, 1].
+  double LabelRate() const;
+
+  /// The subgraph induced by train nodes together with its features,
+  /// labels and an all-ones train mask (inductive training view).
+  Dataset TrainSubgraph() const;
+
+  /// Internal consistency checks (sizes, label ranges, disjoint masks);
+  /// aborts on violation. Called by the generators before returning.
+  void Validate() const;
+};
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_DATA_DATASET_H_

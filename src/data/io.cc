@@ -1,0 +1,130 @@
+#include "data/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace lasagne {
+
+bool SaveDatasetToFiles(const Dataset& dataset, const std::string& prefix) {
+  {
+    std::ofstream out(prefix + ".graph");
+    if (!out) return false;
+    auto edges = dataset.graph.Edges();
+    out << dataset.num_nodes() << "\t" << edges.size() << "\n";
+    for (const auto& [u, v] : edges) out << u << "\t" << v << "\n";
+    if (!out) return false;
+  }
+  {
+    std::ofstream out(prefix + ".features");
+    if (!out) return false;
+    out.precision(7);
+    for (size_t i = 0; i < dataset.num_nodes(); ++i) {
+      for (size_t j = 0; j < dataset.feature_dim(); ++j) {
+        out << dataset.features(i, j)
+            << (j + 1 == dataset.feature_dim() ? '\n' : '\t');
+      }
+    }
+    if (!out) return false;
+  }
+  {
+    std::ofstream out(prefix + ".labels");
+    if (!out) return false;
+    out << dataset.num_classes << "\n";
+    for (int32_t label : dataset.labels) out << label << "\n";
+    if (!out) return false;
+  }
+  {
+    std::ofstream out(prefix + ".splits");
+    if (!out) return false;
+    for (size_t i = 0; i < dataset.num_nodes(); ++i) {
+      if (dataset.train_mask[i] > 0) {
+        out << "train\n";
+      } else if (dataset.val_mask[i] > 0) {
+        out << "val\n";
+      } else if (dataset.test_mask[i] > 0) {
+        out << "test\n";
+      } else {
+        out << "none\n";
+      }
+    }
+    if (!out) return false;
+  }
+  return true;
+}
+
+Dataset LoadDatasetFromFiles(const std::string& prefix) {
+  Dataset dataset;
+  std::ifstream graph_in(prefix + ".graph");
+  if (!graph_in) return dataset;
+
+  size_t num_nodes = 0, num_edges = 0;
+  graph_in >> num_nodes >> num_edges;
+  LASAGNE_CHECK_GT(num_nodes, 0u);
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  edges.reserve(num_edges);
+  for (size_t e = 0; e < num_edges; ++e) {
+    uint32_t u = 0, v = 0;
+    LASAGNE_CHECK(static_cast<bool>(graph_in >> u >> v));
+    edges.emplace_back(u, v);
+  }
+  dataset.graph = Graph::FromEdges(num_nodes, edges);
+
+  // Features: infer the dimension from the first line.
+  std::ifstream feat_in(prefix + ".features");
+  LASAGNE_CHECK_MSG(static_cast<bool>(feat_in),
+                    "missing " << prefix << ".features");
+  std::string first_line;
+  LASAGNE_CHECK(static_cast<bool>(std::getline(feat_in, first_line)));
+  std::vector<float> first_row;
+  {
+    std::istringstream line(first_line);
+    float v;
+    while (line >> v) first_row.push_back(v);
+  }
+  LASAGNE_CHECK(!first_row.empty());
+  const size_t dim = first_row.size();
+  Tensor features(num_nodes, dim);
+  std::copy(first_row.begin(), first_row.end(), features.RowPtr(0));
+  for (size_t i = 1; i < num_nodes; ++i) {
+    for (size_t j = 0; j < dim; ++j) {
+      LASAGNE_CHECK(static_cast<bool>(feat_in >> features(i, j)));
+    }
+  }
+  dataset.features = std::move(features);
+
+  std::ifstream label_in(prefix + ".labels");
+  LASAGNE_CHECK_MSG(static_cast<bool>(label_in),
+                    "missing " << prefix << ".labels");
+  LASAGNE_CHECK(static_cast<bool>(label_in >> dataset.num_classes));
+  dataset.labels.resize(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    LASAGNE_CHECK(static_cast<bool>(label_in >> dataset.labels[i]));
+  }
+
+  dataset.train_mask.assign(num_nodes, 0.0f);
+  dataset.val_mask.assign(num_nodes, 0.0f);
+  dataset.test_mask.assign(num_nodes, 0.0f);
+  std::ifstream split_in(prefix + ".splits");
+  LASAGNE_CHECK_MSG(static_cast<bool>(split_in),
+                    "missing " << prefix << ".splits");
+  for (size_t i = 0; i < num_nodes; ++i) {
+    std::string tag;
+    LASAGNE_CHECK(static_cast<bool>(split_in >> tag));
+    if (tag == "train") {
+      dataset.train_mask[i] = 1.0f;
+    } else if (tag == "val") {
+      dataset.val_mask[i] = 1.0f;
+    } else if (tag == "test") {
+      dataset.test_mask[i] = 1.0f;
+    } else {
+      LASAGNE_CHECK_MSG(tag == "none", "bad split tag: " << tag);
+    }
+  }
+  dataset.name = prefix;
+  dataset.Validate();
+  return dataset;
+}
+
+}  // namespace lasagne

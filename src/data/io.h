@@ -1,0 +1,27 @@
+#ifndef LASAGNE_DATA_IO_H_
+#define LASAGNE_DATA_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace lasagne {
+
+/// Writes `dataset` to four TSV files (`prefix.graph`, `prefix.features`,
+/// `prefix.labels`, `prefix.splits`) so experiments can be frozen to
+/// disk and reloaded (or real data imported from external pipelines):
+///  * .graph    : first line "<num_nodes> <num_edges>", then "u v" rows
+///  * .features : one row per node, tab-separated floats
+///  * .labels   : first line "<num_classes>", then one label per line
+///  * .splits   : one of {train, val, test, none} per line
+/// Returns false on I/O failure.
+bool SaveDatasetToFiles(const Dataset& dataset, const std::string& prefix);
+
+/// Reads a dataset previously written by SaveDatasetToFiles (or
+/// hand-assembled in the same format). Aborts on malformed files;
+/// returns an empty dataset (num_nodes() == 0) when files are missing.
+Dataset LoadDatasetFromFiles(const std::string& prefix);
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_DATA_IO_H_

@@ -1,0 +1,340 @@
+#include "data/registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "data/splits.h"
+#include "data/synthetic.h"
+
+namespace lasagne {
+
+namespace {
+
+std::vector<DatasetSpec> BuildSpecs() {
+  std::vector<DatasetSpec> specs;
+
+  auto add = [&specs](DatasetSpec s) { specs.push_back(std::move(s)); };
+
+  // Transductive citation networks. Base sizes are scaled-down stand-ins
+  // (the paper's counts are kept in paper_* for side-by-side printing).
+  add({.name = "cora",
+       .description = "citation network",
+       .paper_nodes = 2708,
+       .paper_edges = 5429,
+       .paper_features = 1433,
+       .paper_classes = 7,
+       .paper_split = "140/500/1000",
+       .nodes = 800,
+       .features = 64,
+       .classes = 7,
+       .train_per_class = 6,
+       .val_count = 150,
+       .test_count = 300,
+       .avg_degree = 4.0,
+       .intra_class_ratio = 0.90,
+       .hub_fraction = 0.05,
+       .hub_weight = 20.0,
+       .feature_noise = 1.8,
+       .feature_sparsity = 0.65,
+       .featureless_fraction = 0.40,
+       .noisy_neighborhood_fraction = 0.30});
+  add({.name = "citeseer",
+       .description = "citation network",
+       .paper_nodes = 3327,
+       .paper_edges = 4732,
+       .paper_features = 3703,
+       .paper_classes = 6,
+       .paper_split = "120/500/1000",
+       .nodes = 900,
+       .features = 80,
+       .classes = 6,
+       .train_per_class = 6,
+       .val_count = 150,
+       .test_count = 300,
+       .avg_degree = 2.8,
+       .intra_class_ratio = 0.88,
+       .hub_fraction = 0.04,
+       .hub_weight = 15.0,
+       .feature_noise = 2.2,
+       .feature_sparsity = 0.70,
+       .featureless_fraction = 0.40,
+       .noisy_neighborhood_fraction = 0.30});
+  add({.name = "pubmed",
+       .description = "citation network",
+       .paper_nodes = 19717,
+       .paper_edges = 44338,
+       .paper_features = 500,
+       .paper_classes = 3,
+       .paper_split = "60/500/1000",
+       .nodes = 1400,
+       .features = 48,
+       .classes = 3,
+       .train_per_class = 7,
+       .val_count = 250,
+       .test_count = 500,
+       .avg_degree = 4.5,
+       .intra_class_ratio = 0.86,
+       .hub_fraction = 0.06,
+       .hub_weight = 25.0,
+       .feature_noise = 2.3,
+       .feature_sparsity = 0.60,
+       .featureless_fraction = 0.45,
+       .noisy_neighborhood_fraction = 0.30});
+  add({.name = "nell",
+       .description = "knowledge graph",
+       .paper_nodes = 65755,
+       .paper_edges = 266144,
+       .paper_features = 61278,
+       .paper_classes = 210,
+       .paper_split = "6575/500/1000",
+       .nodes = 1200,
+       .features = 96,
+       .classes = 21,
+       .train_per_class = 6,
+       .val_count = 200,
+       .test_count = 400,
+       .avg_degree = 8.0,
+       .intra_class_ratio = 0.86,
+       .hub_fraction = 0.05,
+       .hub_weight = 30.0,
+       .feature_noise = 2.2,
+       .feature_sparsity = 0.70,
+       .featureless_fraction = 0.40,
+       .noisy_neighborhood_fraction = 0.30});
+  add({.name = "amazon-computer",
+       .description = "co-purchase graph",
+       .paper_nodes = 13381,
+       .paper_edges = 245778,
+       .paper_features = 767,
+       .paper_classes = 10,
+       .paper_split = "200/300/12881",
+       .nodes = 1000,
+       .features = 64,
+       .classes = 10,
+       .train_per_class = 8,
+       .val_count = 120,
+       .test_count = 700,
+       .avg_degree = 12.0,
+       .intra_class_ratio = 0.82,
+       .hub_fraction = 0.06,
+       .hub_weight = 25.0,
+       .feature_noise = 2.6,
+       .feature_sparsity = 0.60,
+       .featureless_fraction = 0.40,
+       .noisy_neighborhood_fraction = 0.20});
+  add({.name = "amazon-photo",
+       .description = "co-purchase graph",
+       .paper_nodes = 7487,
+       .paper_edges = 119043,
+       .paper_features = 745,
+       .paper_classes = 8,
+       .paper_split = "160/240/7087",
+       .nodes = 800,
+       .features = 64,
+       .classes = 8,
+       .train_per_class = 8,
+       .val_count = 100,
+       .test_count = 550,
+       .avg_degree = 12.0,
+       .intra_class_ratio = 0.85,
+       .hub_fraction = 0.06,
+       .hub_weight = 25.0,
+       .feature_noise = 2.4,
+       .feature_sparsity = 0.60,
+       .featureless_fraction = 0.40,
+       .noisy_neighborhood_fraction = 0.20});
+  add({.name = "coauthor-cs",
+       .description = "citation network",
+       .paper_nodes = 18333,
+       .paper_edges = 81894,
+       .paper_features = 6805,
+       .paper_classes = 15,
+       .paper_split = "300/450/17583",
+       .nodes = 1200,
+       .features = 96,
+       .classes = 15,
+       .train_per_class = 8,
+       .val_count = 150,
+       .test_count = 800,
+       .avg_degree = 6.0,
+       .intra_class_ratio = 0.9,
+       .hub_fraction = 0.05,
+       .hub_weight = 20.0,
+       .feature_noise = 2.2,
+       .feature_sparsity = 0.60,
+       .featureless_fraction = 0.35,
+       .noisy_neighborhood_fraction = 0.15});
+  add({.name = "coauthor-physics",
+       .description = "citation network",
+       .paper_nodes = 34493,
+       .paper_edges = 247962,
+       .paper_features = 8415,
+       .paper_classes = 5,
+       .paper_split = "100/150/34243",
+       .nodes = 1400,
+       .features = 96,
+       .classes = 5,
+       .train_per_class = 8,
+       .val_count = 150,
+       .test_count = 900,
+       .avg_degree = 8.0,
+       .intra_class_ratio = 0.9,
+       .hub_fraction = 0.05,
+       .hub_weight = 20.0,
+       .feature_noise = 2.2,
+       .feature_sparsity = 0.60,
+       .featureless_fraction = 0.35,
+       .noisy_neighborhood_fraction = 0.15});
+
+  // Inductive social/image networks.
+  DatasetSpec flickr{.name = "flickr",
+                     .description = "image network",
+                     .inductive = true,
+                     .paper_nodes = 89250,
+                     .paper_edges = 899756,
+                     .paper_features = 500,
+                     .paper_classes = 7,
+                     .paper_split = "44625/22312/22312",
+                     .nodes = 1600,
+                     .features = 64,
+                     .classes = 7,
+                     .avg_degree = 10.0,
+                     .intra_class_ratio = 0.7,
+                     .hub_fraction = 0.06,
+                     .hub_weight = 30.0,
+                     .feature_noise = 3.5,
+                     .feature_sparsity = 0.80,
+                     .featureless_fraction = 0.50,
+                     .noisy_neighborhood_fraction = 0.40};
+  add(flickr);
+  DatasetSpec reddit{.name = "reddit",
+                     .description = "social network",
+                     .inductive = true,
+                     .paper_nodes = 232965,
+                     .paper_edges = 11606919,
+                     .paper_features = 602,
+                     .paper_classes = 41,
+                     .paper_split = "155310/23297/54358",
+                     .nodes = 2400,
+                     .features = 64,
+                     .classes = 16,
+                     .avg_degree = 20.0,
+                     .intra_class_ratio = 0.78,
+                     .hub_fraction = 0.08,
+                     .hub_weight = 40.0,
+                     .feature_noise = 1.2,
+                     .feature_sparsity = 0.50,
+                     .featureless_fraction = 0.20,
+                     .noisy_neighborhood_fraction = 0.10};
+  add(reddit);
+
+  // Bipartite production stand-in.
+  DatasetSpec tencent{.name = "tencent",
+                      .description = "user-video graph",
+                      .bipartite = true,
+                      .paper_nodes = 1000000,
+                      .paper_edges = 1434382,
+                      .paper_features = 64,
+                      .paper_classes = 253,
+                      .paper_split = "5000/10000/30000",
+                      .nodes = 2000,  // items + users below
+                      .features = 64,
+                      .classes = 40,
+                      .train_per_class = 6,
+                      .val_count = 250,
+                      .test_count = 500,
+                      .feature_noise = 1.8,
+                      .feature_sparsity = 0.65};
+  add(tencent);
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& AllDatasetSpecs() {
+  static const std::vector<DatasetSpec>& specs =
+      *new std::vector<DatasetSpec>(BuildSpecs());
+  return specs;
+}
+
+const DatasetSpec& GetDatasetSpec(const std::string& name) {
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    if (spec.name == name) return spec;
+  }
+  LASAGNE_CHECK_MSG(false, "unknown dataset: " << name);
+  // Unreachable.
+  return AllDatasetSpecs().front();
+}
+
+Dataset LoadDataset(const std::string& name, double scale, uint64_t seed) {
+  LASAGNE_CHECK_GT(scale, 0.0);
+  const DatasetSpec& spec = GetDatasetSpec(name);
+  Rng split_rng(seed * 7919 + 13);
+
+  auto scaled = [scale](size_t v) {
+    return std::max<size_t>(1, static_cast<size_t>(
+                                   std::llround(v * scale)));
+  };
+
+  // Clamp val/test to what remains after the per-class train picks so
+  // small-scale instantiations always fit.
+  auto fit_split = [](size_t eligible, size_t train_total, size_t& val,
+                      size_t& test) {
+    const size_t available =
+        eligible > train_total ? eligible - train_total : 0;
+    if (val + test > available && val + test > 0) {
+      const size_t new_val = available * val / (val + test);
+      test = available - new_val;
+      val = new_val;
+    }
+  };
+
+  if (spec.bipartite) {
+    BipartiteConfig config;
+    config.num_items = scaled(spec.nodes * 3 / 5);
+    config.num_users = scaled(spec.nodes * 2 / 5);
+    config.num_classes = spec.classes;
+    config.feature_dim = spec.features;
+    config.feature_noise = spec.feature_noise;
+    config.seed = seed;
+    Dataset dataset = GenerateBipartite(config);
+    dataset.name = spec.name;
+    size_t val = scaled(spec.val_count);
+    size_t test = scaled(spec.test_count);
+    const size_t per_class = std::max<size_t>(1, spec.train_per_class);
+    fit_split(config.num_items, per_class * spec.classes, val, test);
+    ApplyTransductiveSplitOnPrefix(dataset, config.num_items, per_class,
+                                   val, test, split_rng);
+    return dataset;
+  }
+
+  PlantedPartitionConfig config;
+  config.num_nodes = scaled(spec.nodes);
+  config.num_classes = spec.classes;
+  config.feature_dim = spec.features;
+  config.avg_degree = spec.avg_degree;
+  config.intra_class_ratio = spec.intra_class_ratio;
+  config.hub_fraction = spec.hub_fraction;
+  config.hub_weight = spec.hub_weight;
+  config.hub_intra_ratio = spec.hub_intra_ratio;
+  config.feature_noise = spec.feature_noise;
+  config.feature_sparsity = spec.feature_sparsity;
+  config.featureless_fraction = spec.featureless_fraction;
+  config.noisy_neighborhood_fraction = spec.noisy_neighborhood_fraction;
+  config.seed = seed;
+  Dataset dataset = GeneratePlantedPartition(config);
+  dataset.name = spec.name;
+  if (spec.inductive) {
+    ApplyInductiveSplit(dataset, 0.5, 0.25, split_rng);
+  } else {
+    size_t val = scaled(spec.val_count);
+    size_t test = scaled(spec.test_count);
+    const size_t per_class = std::max<size_t>(1, spec.train_per_class);
+    fit_split(config.num_nodes, per_class * spec.classes, val, test);
+    ApplyTransductiveSplit(dataset, per_class, val, test, split_rng);
+  }
+  return dataset;
+}
+
+}  // namespace lasagne

@@ -1,0 +1,111 @@
+#include "data/splits.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lasagne {
+
+namespace {
+
+// Picks `per_class` nodes per class from `eligible` (shuffled) and sets
+// mask[node] = 1 for them; returns the chosen nodes.
+std::vector<uint32_t> PickPerClass(const Dataset& dataset,
+                                   const std::vector<uint32_t>& eligible,
+                                   size_t per_class,
+                                   std::vector<float>& mask) {
+  std::vector<size_t> taken(dataset.num_classes, 0);
+  std::vector<uint32_t> chosen;
+  for (uint32_t u : eligible) {
+    const int32_t label = dataset.labels[u];
+    if (taken[label] < per_class) {
+      mask[u] = 1.0f;
+      chosen.push_back(u);
+      ++taken[label];
+    }
+  }
+  return chosen;
+}
+
+}  // namespace
+
+void ApplyTransductiveSplitOnPrefix(Dataset& dataset, size_t eligible_limit,
+                                    size_t train_per_class, size_t val_count,
+                                    size_t test_count, Rng& rng) {
+  const size_t n = dataset.num_nodes();
+  LASAGNE_CHECK_LE(eligible_limit, n);
+  dataset.train_mask.assign(n, 0.0f);
+  dataset.val_mask.assign(n, 0.0f);
+  dataset.test_mask.assign(n, 0.0f);
+
+  std::vector<uint32_t> eligible(eligible_limit);
+  for (uint32_t i = 0; i < eligible_limit; ++i) eligible[i] = i;
+  rng.Shuffle(eligible);
+
+  PickPerClass(dataset, eligible, train_per_class, dataset.train_mask);
+
+  std::vector<uint32_t> rest;
+  for (uint32_t u : eligible) {
+    if (dataset.train_mask[u] == 0.0f) rest.push_back(u);
+  }
+  LASAGNE_CHECK_MSG(rest.size() >= val_count + test_count,
+                    "split does not fit: " << rest.size() << " remaining, "
+                                           << val_count + test_count
+                                           << " requested");
+  for (size_t i = 0; i < val_count; ++i) dataset.val_mask[rest[i]] = 1.0f;
+  for (size_t i = 0; i < test_count; ++i) {
+    dataset.test_mask[rest[val_count + i]] = 1.0f;
+  }
+  dataset.Validate();
+}
+
+void ApplyTransductiveSplit(Dataset& dataset, size_t train_per_class,
+                            size_t val_count, size_t test_count, Rng& rng) {
+  ApplyTransductiveSplitOnPrefix(dataset, dataset.num_nodes(),
+                                 train_per_class, val_count, test_count,
+                                 rng);
+}
+
+void ApplyInductiveSplit(Dataset& dataset, double train_fraction,
+                         double val_fraction, Rng& rng) {
+  LASAGNE_CHECK_GT(train_fraction, 0.0);
+  LASAGNE_CHECK_LT(train_fraction + val_fraction, 1.0);
+  const size_t n = dataset.num_nodes();
+  dataset.train_mask.assign(n, 0.0f);
+  dataset.val_mask.assign(n, 0.0f);
+  dataset.test_mask.assign(n, 0.0f);
+  std::vector<uint32_t> order(n);
+  for (uint32_t i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(order);
+  const size_t train_end = static_cast<size_t>(train_fraction * n);
+  const size_t val_end =
+      train_end + static_cast<size_t>(val_fraction * n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i < train_end) {
+      dataset.train_mask[order[i]] = 1.0f;
+    } else if (i < val_end) {
+      dataset.val_mask[order[i]] = 1.0f;
+    } else {
+      dataset.test_mask[order[i]] = 1.0f;
+    }
+  }
+  dataset.inductive = true;
+  dataset.Validate();
+}
+
+void ResampleTrainPerClass(Dataset& dataset, size_t train_per_class,
+                           Rng& rng) {
+  const size_t n = dataset.num_nodes();
+  dataset.train_mask.assign(n, 0.0f);
+  std::vector<uint32_t> eligible;
+  for (uint32_t u = 0; u < n; ++u) {
+    if (dataset.val_mask[u] == 0.0f && dataset.test_mask[u] == 0.0f) {
+      eligible.push_back(u);
+    }
+  }
+  rng.Shuffle(eligible);
+  PickPerClass(dataset, eligible, train_per_class, dataset.train_mask);
+  dataset.Validate();
+}
+
+}  // namespace lasagne

@@ -1,0 +1,36 @@
+#ifndef LASAGNE_DATA_SPLITS_H_
+#define LASAGNE_DATA_SPLITS_H_
+
+#include <cstddef>
+
+#include "data/dataset.h"
+#include "tensor/rng.h"
+
+namespace lasagne {
+
+/// Applies the standard "Planetoid-style" transductive split in place:
+/// `train_per_class` labeled nodes per class, then `val_count` and
+/// `test_count` nodes sampled from the remainder. Mirrors the splits of
+/// the paper's Table 2 (e.g. Cora 140/500/1000 = 20 per class).
+void ApplyTransductiveSplit(Dataset& dataset, size_t train_per_class,
+                            size_t val_count, size_t test_count, Rng& rng);
+
+/// As above but only nodes in [0, eligible_limit) may enter any mask
+/// (bipartite Tencent stand-in: only item nodes are labeled).
+void ApplyTransductiveSplitOnPrefix(Dataset& dataset, size_t eligible_limit,
+                                    size_t train_per_class, size_t val_count,
+                                    size_t test_count, Rng& rng);
+
+/// Applies an inductive split by node fractions (Flickr/Reddit style,
+/// e.g. 0.5/0.25/0.25) and marks the dataset inductive.
+void ApplyInductiveSplit(Dataset& dataset, double train_fraction,
+                         double val_fraction, Rng& rng);
+
+/// Rewrites only the train mask to `train_per_class` nodes per class,
+/// preserving the existing val/test masks (Table 8 label-rate sweeps).
+void ResampleTrainPerClass(Dataset& dataset, size_t train_per_class,
+                           Rng& rng);
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_DATA_SPLITS_H_

@@ -1,0 +1,255 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace lasagne {
+
+namespace {
+
+// Weighted sampler over a fixed set of node ids (binary search over the
+// cumulative weight array).
+class WeightedPicker {
+ public:
+  void Add(uint32_t id, double weight) {
+    ids_.push_back(id);
+    total_ += weight;
+    cumulative_.push_back(total_);
+  }
+  bool empty() const { return ids_.empty(); }
+  uint32_t Pick(Rng& rng) const {
+    LASAGNE_CHECK(!ids_.empty());
+    const double target = rng.Uniform() * total_;
+    auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(),
+                               target);
+    size_t idx = static_cast<size_t>(it - cumulative_.begin());
+    if (idx >= ids_.size()) idx = ids_.size() - 1;
+    return ids_[idx];
+  }
+
+ private:
+  std::vector<uint32_t> ids_;
+  std::vector<double> cumulative_;
+  double total_ = 0.0;
+};
+
+// Class-conditioned sparse features: each class owns a random centroid;
+// node features are noisy centroids with a sparsity mask.
+Tensor MakeClassFeatures(const std::vector<int32_t>& labels,
+                         size_t num_classes, size_t feature_dim,
+                         double noise, double sparsity,
+                         const std::vector<bool>& featureless, Rng& rng) {
+  Tensor centroids = Tensor::Normal(num_classes, feature_dim, 0.0f, 1.0f,
+                                    rng);
+  Tensor features(labels.size(), feature_dim);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const float* centroid = centroids.RowPtr(labels[i]);
+    float* row = features.RowPtr(i);
+    const bool blind = !featureless.empty() && featureless[i];
+    for (size_t j = 0; j < feature_dim; ++j) {
+      if (rng.Bernoulli(sparsity)) continue;  // stays zero
+      // Featureless nodes draw pure noise at centroid scale: their own
+      // features say nothing about the class.
+      const float base = blind ? static_cast<float>(rng.Normal(0.0, 1.0))
+                               : centroid[j];
+      row[j] = base + static_cast<float>(rng.Normal(0.0, noise));
+    }
+  }
+  return features;
+}
+
+}  // namespace
+
+Dataset GeneratePlantedPartition(const PlantedPartitionConfig& config) {
+  LASAGNE_CHECK_GT(config.num_nodes, config.num_classes);
+  LASAGNE_CHECK_GT(config.num_classes, 1u);
+  Rng rng(config.seed);
+
+  const size_t n = config.num_nodes;
+  const size_t c = config.num_classes;
+
+  // Balanced shuffled class assignment.
+  std::vector<int32_t> labels(n);
+  for (size_t i = 0; i < n; ++i) labels[i] = static_cast<int32_t>(i % c);
+  rng.Shuffle(labels);
+
+  // Hub designation and attachment weights.
+  std::vector<double> weight(n, 1.0);
+  std::vector<bool> is_hub(n, false);
+  const size_t num_hubs =
+      static_cast<size_t>(config.hub_fraction * static_cast<double>(n));
+  std::vector<size_t> hub_ids = rng.SampleWithoutReplacement(n, num_hubs);
+  for (size_t h : hub_ids) {
+    weight[h] = config.hub_weight;
+    is_hub[h] = true;
+  }
+  const double hub_intra = config.hub_intra_ratio >= 0.0
+                               ? config.hub_intra_ratio
+                               : config.intra_class_ratio;
+
+  // Nodes with class-uninformative neighborhoods (their initiated edges
+  // mix classes) and nodes with class-uninformative features. Together
+  // they spread the per-node optimal aggregation depth.
+  std::vector<bool> noisy_neighborhood(n, false);
+  for (size_t v : rng.SampleWithoutReplacement(
+           n, static_cast<size_t>(config.noisy_neighborhood_fraction *
+                                  static_cast<double>(n)))) {
+    noisy_neighborhood[v] = true;
+  }
+
+  // Per-class weighted pickers, plus a global picker for inter-class
+  // edges.
+  std::vector<WeightedPicker> class_picker(c);
+  WeightedPicker global_picker;
+  for (uint32_t u = 0; u < n; ++u) {
+    class_picker[labels[u]].Add(u, weight[u]);
+    global_picker.Add(u, weight[u]);
+  }
+
+  // Edge stubs: each node initiates ~avg_degree/2 edges (so the expected
+  // degree is avg_degree).
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  const double stubs_mean = config.avg_degree / 2.0;
+  for (uint32_t u = 0; u < n; ++u) {
+    // 1 + geometric-ish count keeps every node connected on average.
+    size_t stubs = static_cast<size_t>(stubs_mean);
+    if (rng.Uniform() < stubs_mean - std::floor(stubs_mean)) ++stubs;
+    if (stubs == 0) stubs = 1;
+    double intra_prob = is_hub[u] ? hub_intra : config.intra_class_ratio;
+    if (noisy_neighborhood[u]) intra_prob = 0.5;
+    for (size_t s = 0; s < stubs; ++s) {
+      uint32_t v;
+      if (rng.Bernoulli(intra_prob)) {
+        v = class_picker[labels[u]].Pick(rng);
+      } else {
+        v = global_picker.Pick(rng);
+      }
+      if (v == u) continue;  // skip self-loops
+      edges.emplace_back(u, v);
+    }
+  }
+
+  Dataset dataset;
+  dataset.name = "planted-partition";
+  dataset.graph = Graph::FromEdges(n, edges);
+  dataset.labels = std::move(labels);
+  dataset.num_classes = c;
+  std::vector<bool> featureless(n, false);
+  for (size_t v : rng.SampleWithoutReplacement(
+           n, static_cast<size_t>(config.featureless_fraction *
+                                  static_cast<double>(n)))) {
+    featureless[v] = true;
+  }
+  dataset.features =
+      MakeClassFeatures(dataset.labels, c, config.feature_dim,
+                        config.feature_noise, config.feature_sparsity,
+                        featureless, rng);
+  dataset.train_mask.assign(n, 0.0f);
+  dataset.val_mask.assign(n, 0.0f);
+  dataset.test_mask.assign(n, 0.0f);
+  return dataset;
+}
+
+Dataset GenerateBipartite(const BipartiteConfig& config) {
+  LASAGNE_CHECK_GT(config.num_items, config.num_classes);
+  Rng rng(config.seed);
+  const size_t items = config.num_items;
+  const size_t users = config.num_users;
+  const size_t n = items + users;
+  const size_t c = config.num_classes;
+
+  // Item labels, balanced and shuffled.
+  std::vector<int32_t> item_labels(items);
+  for (size_t i = 0; i < items; ++i) {
+    item_labels[i] = static_cast<int32_t>(i % c);
+  }
+  rng.Shuffle(item_labels);
+
+  // Zipf popularity over items ("hot videos").
+  std::vector<size_t> rank(items);
+  std::iota(rank.begin(), rank.end(), size_t{0});
+  rng.Shuffle(rank);
+  WeightedPicker item_picker;
+  for (uint32_t i = 0; i < items; ++i) {
+    const double w = 1.0 / std::pow(static_cast<double>(rank[i] + 1),
+                                    config.popularity_exponent);
+    item_picker.Add(i, w);
+  }
+
+  // User->item watch edges, plus co-click item-item edges between
+  // items watched by the same user (paper §5.2.1's "concurrent clicks").
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (uint32_t u = 0; u < users; ++u) {
+    size_t watches = 1 + rng.UniformInt(static_cast<uint64_t>(
+                             2.0 * config.avg_items_per_user));
+    std::vector<uint32_t> watched;
+    for (size_t w = 0; w < watches; ++w) {
+      const uint32_t item = item_picker.Pick(rng);
+      watched.push_back(item);
+      edges.emplace_back(static_cast<uint32_t>(items + u), item);
+    }
+    if (watched.size() >= 2) {
+      const size_t pairs = static_cast<size_t>(
+          std::min<double>(config.co_click_pairs_per_user,
+                           static_cast<double>(watched.size())));
+      for (size_t p = 0; p < pairs; ++p) {
+        const uint32_t a = watched[rng.UniformInt(watched.size())];
+        const uint32_t b = watched[rng.UniformInt(watched.size())];
+        if (a != b) edges.emplace_back(a, b);
+      }
+    }
+  }
+
+  // Labels vector over all nodes: users get class 0 as a filler (they
+  // are excluded from every mask).
+  std::vector<int32_t> labels(n, 0);
+  std::copy(item_labels.begin(), item_labels.end(), labels.begin());
+
+  Dataset dataset;
+  dataset.name = "bipartite";
+  dataset.graph = Graph::FromEdges(n, edges);
+  dataset.num_classes = c;
+
+  // Item features: class centroid + noise. User features: mean of their
+  // watched items' features + noise (behavioural features).
+  Tensor centroids =
+      Tensor::Normal(c, config.feature_dim, 0.0f, 1.0f, rng);
+  Tensor features(n, config.feature_dim);
+  for (size_t i = 0; i < items; ++i) {
+    const float* centroid = centroids.RowPtr(item_labels[i]);
+    float* row = features.RowPtr(i);
+    for (size_t j = 0; j < config.feature_dim; ++j) {
+      row[j] = centroid[j] +
+               static_cast<float>(rng.Normal(0.0, config.feature_noise));
+    }
+  }
+  for (size_t u = items; u < n; ++u) {
+    float* row = features.RowPtr(u);
+    const size_t deg = dataset.graph.Degree(static_cast<uint32_t>(u));
+    if (deg > 0) {
+      for (const uint32_t* it =
+               dataset.graph.NeighborsBegin(static_cast<uint32_t>(u));
+           it != dataset.graph.NeighborsEnd(static_cast<uint32_t>(u));
+           ++it) {
+        const float* item_row = features.RowPtr(*it);
+        for (size_t j = 0; j < config.feature_dim; ++j) {
+          row[j] += item_row[j] / static_cast<float>(deg);
+        }
+      }
+    }
+    for (size_t j = 0; j < config.feature_dim; ++j) {
+      row[j] += static_cast<float>(rng.Normal(0.0, config.feature_noise));
+    }
+  }
+  dataset.features = std::move(features);
+  dataset.labels = std::move(labels);
+  dataset.train_mask.assign(n, 0.0f);
+  dataset.val_mask.assign(n, 0.0f);
+  dataset.test_mask.assign(n, 0.0f);
+  return dataset;
+}
+
+}  // namespace lasagne

@@ -1,0 +1,92 @@
+#ifndef LASAGNE_DATA_SYNTHETIC_H_
+#define LASAGNE_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "tensor/rng.h"
+
+namespace lasagne {
+
+/// Configuration for the planted-partition ("SBM with hubs") generator.
+///
+/// This generator stands in for the paper's benchmark graphs (Cora,
+/// Citeseer, ...). It reproduces the four properties the paper's
+/// phenomena depend on (DESIGN.md §1): community structure (classes are
+/// clusters), degree heterogeneity (a hub fraction with preferential
+/// attachment inside communities), class-correlated sparse features and
+/// low label rates (applied later by the split helpers).
+struct PlantedPartitionConfig {
+  size_t num_nodes = 800;
+  size_t num_classes = 7;
+  size_t feature_dim = 64;
+  /// Average node degree (edge endpoints per node).
+  double avg_degree = 4.0;
+  /// Probability that an edge stays inside its endpoint's class.
+  double intra_class_ratio = 0.85;
+  /// Fraction of nodes designated hubs ("central" nodes).
+  double hub_fraction = 0.05;
+  /// Hubs receive this multiple of the base attachment weight.
+  double hub_weight = 20.0;
+  /// Intra-class probability for edges initiated BY hubs. Real hubs
+  /// (citation surveys, hot videos) connect across communities; setting
+  /// this below intra_class_ratio makes deep aggregation through hubs
+  /// actively harmful — the precise failure mode the paper's node-aware
+  /// aggregation addresses. Negative = use intra_class_ratio.
+  double hub_intra_ratio = -1.0;
+  /// Std-dev of Gaussian feature noise around the class centroid.
+  double feature_noise = 0.8;
+  /// Fraction of feature coordinates zeroed per node (sparse features,
+  /// like bag-of-words citation data).
+  double feature_sparsity = 0.5;
+  /// Fraction of nodes whose own features carry NO class signal (pure
+  /// noise). These nodes can only be classified by aggregating their
+  /// neighborhood — they need depth. Combined with
+  /// noisy_neighborhood_fraction this creates per-node variance in the
+  /// optimal aggregation depth, the heterogeneity Lasagne's node-aware
+  /// aggregators exploit (paper Fig. 1's locality argument).
+  double featureless_fraction = 0.0;
+  /// Fraction of nodes whose initiated edges ignore class structure
+  /// (intra probability 0.5). Their own features are informative but
+  /// their neighborhoods are not — they should stay shallow.
+  double noisy_neighborhood_fraction = 0.0;
+  uint64_t seed = 1;
+};
+
+/// Generates graph + features + labels. Masks are left empty; apply a
+/// split helper (splits.h) afterwards.
+Dataset GeneratePlantedPartition(const PlantedPartitionConfig& config);
+
+/// Configuration for the bipartite user-item generator (the Tencent
+/// user/short-video production-graph stand-in).
+///
+/// Nodes [0, num_items) are items (short-videos, labeled), nodes
+/// [num_items, num_items + num_users) are users (unlabeled; they get a
+/// filler class and are never in any mask). Item popularity follows a
+/// Zipf law, so "hot videos" are watched by a large share of users and
+/// become nearly indistinguishable under plain GCN aggregation — the
+/// exact failure mode the paper's production section discusses.
+struct BipartiteConfig {
+  size_t num_users = 600;
+  size_t num_items = 900;
+  size_t num_classes = 40;
+  size_t feature_dim = 64;
+  double avg_items_per_user = 6.0;
+  /// Zipf exponent for item popularity (higher = more skew).
+  double popularity_exponent = 1.1;
+  /// Co-click item-item edges sampled per user from their watch list
+  /// (the paper: "the edges represent concurrent clicks on the
+  /// short-video by the users"). Keeps items connected in item space,
+  /// with hot videos becoming massive hubs.
+  double co_click_pairs_per_user = 2.0;
+  double feature_noise = 0.8;
+  uint64_t seed = 1;
+};
+
+/// Generates the bipartite dataset; only item nodes carry meaningful
+/// labels and only they appear in masks (applied later).
+Dataset GenerateBipartite(const BipartiteConfig& config);
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_DATA_SYNTHETIC_H_

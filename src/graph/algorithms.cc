@@ -1,0 +1,343 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <numeric>
+#include <queue>
+
+#include "common/check.h"
+
+namespace lasagne {
+
+std::vector<int32_t> BfsDistances(const Graph& graph, uint32_t source) {
+  LASAGNE_CHECK_LT(source, graph.num_nodes());
+  std::vector<int32_t> dist(graph.num_nodes(), -1);
+  std::deque<uint32_t> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    uint32_t u = queue.front();
+    queue.pop_front();
+    for (const uint32_t* it = graph.NeighborsBegin(u);
+         it != graph.NeighborsEnd(u); ++it) {
+      if (dist[*it] < 0) {
+        dist[*it] = dist[u] + 1;
+        queue.push_back(*it);
+      }
+    }
+  }
+  return dist;
+}
+
+namespace {
+
+// Accumulates (sum of distances, number of connected ordered pairs) for
+// BFS runs from the given sources.
+std::pair<double, double> SumBfsDistances(
+    const Graph& graph, const std::vector<uint32_t>& sources) {
+  double total = 0.0;
+  double pairs = 0.0;
+  for (uint32_t s : sources) {
+    std::vector<int32_t> dist = BfsDistances(graph, s);
+    for (size_t v = 0; v < dist.size(); ++v) {
+      if (dist[v] > 0) {
+        total += dist[v];
+        pairs += 1.0;
+      }
+    }
+  }
+  return {total, pairs};
+}
+
+}  // namespace
+
+double AveragePathLength(const Graph& graph) {
+  if (graph.num_nodes() < 2) return 0.0;
+  std::vector<uint32_t> sources(graph.num_nodes());
+  std::iota(sources.begin(), sources.end(), 0u);
+  auto [total, pairs] = SumBfsDistances(graph, sources);
+  if (pairs == 0.0) return 0.0;
+  return total / pairs;
+}
+
+double AveragePathLengthSampled(const Graph& graph, size_t num_sources,
+                                Rng& rng) {
+  if (graph.num_nodes() < 2) return 0.0;
+  num_sources = std::min(num_sources, graph.num_nodes());
+  std::vector<size_t> picked =
+      rng.SampleWithoutReplacement(graph.num_nodes(), num_sources);
+  std::vector<uint32_t> sources(picked.begin(), picked.end());
+  auto [total, pairs] = SumBfsDistances(graph, sources);
+  if (pairs == 0.0) return 0.0;
+  return total / pairs;
+}
+
+Tensor PageRank(const Graph& graph, double damping, size_t max_iters,
+                double tolerance) {
+  const size_t n = graph.num_nodes();
+  LASAGNE_CHECK_GT(n, 0u);
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (size_t iter = 0; iter < max_iters; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (uint32_t u = 0; u < n; ++u) {
+      const size_t deg = graph.Degree(u);
+      if (deg == 0) {
+        dangling += rank[u];
+        continue;
+      }
+      const double share = rank[u] / static_cast<double>(deg);
+      for (const uint32_t* it = graph.NeighborsBegin(u);
+           it != graph.NeighborsEnd(u); ++it) {
+        next[*it] += share;
+      }
+    }
+    const double base =
+        (1.0 - damping) / static_cast<double>(n) +
+        damping * dangling / static_cast<double>(n);
+    double delta = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double updated = base + damping * next[i];
+      delta += std::fabs(updated - rank[i]);
+      rank[i] = updated;
+    }
+    if (delta < tolerance) break;
+  }
+  Tensor out(n, 1);
+  for (size_t i = 0; i < n; ++i) out(i, 0) = static_cast<float>(rank[i]);
+  return out;
+}
+
+std::vector<uint32_t> ConnectedComponents(const Graph& graph,
+                                          size_t* num_components) {
+  const size_t n = graph.num_nodes();
+  std::vector<uint32_t> component(n, UINT32_MAX);
+  uint32_t next_id = 0;
+  std::deque<uint32_t> queue;
+  for (uint32_t s = 0; s < n; ++s) {
+    if (component[s] != UINT32_MAX) continue;
+    component[s] = next_id;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      uint32_t u = queue.front();
+      queue.pop_front();
+      for (const uint32_t* it = graph.NeighborsBegin(u);
+           it != graph.NeighborsEnd(u); ++it) {
+        if (component[*it] == UINT32_MAX) {
+          component[*it] = next_id;
+          queue.push_back(*it);
+        }
+      }
+    }
+    ++next_id;
+  }
+  if (num_components != nullptr) *num_components = next_id;
+  return component;
+}
+
+std::vector<std::vector<uint32_t>> PartitionGraph(const Graph& graph,
+                                                  size_t num_parts,
+                                                  Rng& rng) {
+  const size_t n = graph.num_nodes();
+  LASAGNE_CHECK_GT(num_parts, 0u);
+  num_parts = std::min(num_parts, n);
+  const size_t target = (n + num_parts - 1) / num_parts;
+
+  std::vector<bool> assigned(n, false);
+  std::vector<std::vector<uint32_t>> parts;
+  std::vector<size_t> order = rng.SampleWithoutReplacement(n, n);
+  size_t cursor = 0;
+
+  auto next_seed = [&]() -> int64_t {
+    while (cursor < order.size() && assigned[order[cursor]]) ++cursor;
+    return cursor < order.size() ? static_cast<int64_t>(order[cursor]) : -1;
+  };
+
+  while (parts.size() < num_parts) {
+    int64_t seed = next_seed();
+    if (seed < 0) break;
+    std::vector<uint32_t> part;
+    std::deque<uint32_t> queue;
+    assigned[seed] = true;
+    queue.push_back(static_cast<uint32_t>(seed));
+    while (!queue.empty() && part.size() < target) {
+      uint32_t u = queue.front();
+      queue.pop_front();
+      part.push_back(u);
+      for (const uint32_t* it = graph.NeighborsBegin(u);
+           it != graph.NeighborsEnd(u); ++it) {
+        if (!assigned[*it]) {
+          assigned[*it] = true;
+          queue.push_back(*it);
+        }
+      }
+    }
+    // Frontier nodes that did not fit are released back.
+    while (!queue.empty()) {
+      assigned[queue.front()] = false;
+      queue.pop_front();
+    }
+    parts.push_back(std::move(part));
+  }
+  // Any stragglers (disconnected leftovers) round-robin into parts.
+  size_t wheel = 0;
+  for (uint32_t u = 0; u < n; ++u) {
+    if (!assigned[u]) {
+      parts[wheel % parts.size()].push_back(u);
+      assigned[u] = true;
+      ++wheel;
+    }
+  }
+  return parts;
+}
+
+std::vector<uint32_t> RandomWalk(const Graph& graph, uint32_t start,
+                                 size_t length, Rng& rng) {
+  LASAGNE_CHECK_LT(start, graph.num_nodes());
+  std::vector<uint32_t> walk;
+  walk.reserve(length + 1);
+  walk.push_back(start);
+  uint32_t current = start;
+  for (size_t step = 0; step < length; ++step) {
+    const size_t deg = graph.Degree(current);
+    if (deg == 0) break;
+    const uint32_t* begin = graph.NeighborsBegin(current);
+    current = begin[rng.UniformInt(deg)];
+    walk.push_back(current);
+  }
+  return walk;
+}
+
+CsrMatrix PpmiMatrix(const Graph& graph, size_t walks_per_node,
+                     size_t walk_length, size_t window, Rng& rng) {
+  const size_t n = graph.num_nodes();
+  std::map<std::pair<uint32_t, uint32_t>, double> cooccurrence;
+  std::vector<double> row_totals(n, 0.0);
+  double grand_total = 0.0;
+  for (uint32_t s = 0; s < n; ++s) {
+    for (size_t w = 0; w < walks_per_node; ++w) {
+      std::vector<uint32_t> walk = RandomWalk(graph, s, walk_length, rng);
+      for (size_t i = 0; i < walk.size(); ++i) {
+        for (size_t j = i + 1; j <= i + window && j < walk.size(); ++j) {
+          cooccurrence[{walk[i], walk[j]}] += 1.0;
+          cooccurrence[{walk[j], walk[i]}] += 1.0;
+          row_totals[walk[i]] += 1.0;
+          row_totals[walk[j]] += 1.0;
+          grand_total += 2.0;
+        }
+      }
+    }
+  }
+  std::vector<Triplet> triplets;
+  triplets.reserve(cooccurrence.size());
+  for (const auto& [key, count] : cooccurrence) {
+    const auto [u, v] = key;
+    if (row_totals[u] <= 0.0 || row_totals[v] <= 0.0) continue;
+    const double pmi = std::log(count * grand_total /
+                                (row_totals[u] * row_totals[v]));
+    if (pmi > 0.0) {
+      triplets.push_back({u, v, static_cast<float>(pmi)});
+    }
+  }
+  return CsrMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+CsrMatrix StructuralFingerprints(const Graph& graph, size_t hops,
+                                 double restart_prob, size_t row_cap) {
+  // Deterministic truncated RWR: propagate a unit mass from each node
+  // through the row-stochastic operator for `hops` steps.
+  const size_t n = graph.num_nodes();
+  CsrMatrix walk = graph.RandomWalkAdjacency();
+  CsrMatrix result = CsrMatrix::Identity(n).Scale(
+      static_cast<float>(restart_prob));
+  CsrMatrix frontier = CsrMatrix::Identity(n);
+  double mass = 1.0 - restart_prob;
+  for (size_t h = 0; h < hops; ++h) {
+    frontier = frontier.Multiply(walk, 1e-5f, row_cap);
+    result = result.Add(frontier.Scale(static_cast<float>(
+        mass * (h + 1 == hops ? 1.0 : restart_prob))));
+    mass *= (1.0 - restart_prob);
+  }
+  return result.RowStochastic();
+}
+
+double AverageClusteringCoefficient(const Graph& graph) {
+  const size_t n = graph.num_nodes();
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  for (uint32_t v = 0; v < n; ++v) {
+    const size_t deg = graph.Degree(v);
+    if (deg < 2) continue;
+    size_t closed = 0;
+    for (const uint32_t* a = graph.NeighborsBegin(v);
+         a != graph.NeighborsEnd(v); ++a) {
+      if (*a == v) continue;
+      for (const uint32_t* b = a + 1; b != graph.NeighborsEnd(v); ++b) {
+        if (*b == v) continue;
+        if (graph.HasEdge(*a, *b)) ++closed;
+      }
+    }
+    const double possible =
+        static_cast<double>(deg) * static_cast<double>(deg - 1) / 2.0;
+    total += static_cast<double>(closed) / possible;
+  }
+  return total / static_cast<double>(n);
+}
+
+double EdgeHomophily(const Graph& graph,
+                     const std::vector<int32_t>& labels) {
+  LASAGNE_CHECK_EQ(labels.size(), graph.num_nodes());
+  size_t same = 0;
+  size_t total = 0;
+  for (const auto& [u, v] : graph.Edges()) {
+    if (u == v) continue;
+    ++total;
+    if (labels[u] == labels[v]) ++same;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(same) / static_cast<double>(total);
+}
+
+std::vector<size_t> DegreeHistogram(const Graph& graph) {
+  std::vector<size_t> histogram;
+  for (uint32_t v = 0; v < graph.num_nodes(); ++v) {
+    const size_t deg = graph.Degree(v);
+    size_t bucket = 0;
+    if (deg > 0) {
+      bucket = 1;
+      size_t upper = 2;
+      while (deg >= upper) {
+        ++bucket;
+        upper *= 2;
+      }
+    }
+    if (histogram.size() <= bucket) histogram.resize(bucket + 1, 0);
+    histogram[bucket]++;
+  }
+  return histogram;
+}
+
+double PowerIterationSpectralRadius(const CsrMatrix& matrix, size_t iters,
+                                    Rng& rng) {
+  LASAGNE_CHECK_EQ(matrix.rows(), matrix.cols());
+  Tensor v = Tensor::Normal(matrix.rows(), 1, 0.0f, 1.0f, rng);
+  double eigenvalue = 0.0;
+  for (size_t i = 0; i < iters; ++i) {
+    Tensor next = matrix.Multiply(v);
+    const double norm = next.Norm();
+    if (norm < 1e-30) return 0.0;
+    next *= static_cast<float>(1.0 / norm);
+    eigenvalue = norm;
+    // Rayleigh quotient sign correction.
+    double dot = 0.0;
+    for (size_t r = 0; r < v.rows(); ++r) dot += v(r, 0) * next(r, 0);
+    if (dot < 0) eigenvalue = -eigenvalue;
+    v = next;
+  }
+  return eigenvalue;
+}
+
+}  // namespace lasagne

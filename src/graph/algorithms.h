@@ -1,0 +1,83 @@
+#ifndef LASAGNE_GRAPH_ALGORITHMS_H_
+#define LASAGNE_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sparse/csr_matrix.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace lasagne {
+
+/// BFS distances (in hops) from `source`; unreachable nodes get -1.
+std::vector<int32_t> BfsDistances(const Graph& graph, uint32_t source);
+
+/// Average Path Length over connected pairs (paper Eq. 8):
+/// \f$L = \frac{2}{N(N-1)}\sum_{i<j} d(v_i, v_j)\f$.
+/// Runs exact BFS from every node; use the sampled variant on big graphs.
+double AveragePathLength(const Graph& graph);
+
+/// Monte-Carlo APL estimate using `num_sources` BFS sources.
+double AveragePathLengthSampled(const Graph& graph, size_t num_sources,
+                                Rng& rng);
+
+/// PageRank with damping factor; returns an (N x 1) score vector that
+/// sums to 1. Used by the paper's depth analysis to rank node locality.
+Tensor PageRank(const Graph& graph, double damping = 0.85,
+                size_t max_iters = 100, double tolerance = 1e-8);
+
+/// Connected components; returns per-node component id (0-based) and
+/// sets *num_components when non-null.
+std::vector<uint32_t> ConnectedComponents(const Graph& graph,
+                                          size_t* num_components = nullptr);
+
+/// Greedy BFS partitioning into `num_parts` balanced node blocks.
+/// Every node appears in exactly one part. This is the partitioner used
+/// by our ClusterGCN / GPNN baselines (a METIS stand-in: BFS-grown
+/// blocks preserve locality which is what those methods rely on).
+std::vector<std::vector<uint32_t>> PartitionGraph(const Graph& graph,
+                                                  size_t num_parts,
+                                                  Rng& rng);
+
+/// A single random walk of `length` steps starting at `start` (the start
+/// node is included as element 0; walk stops early at isolated nodes).
+std::vector<uint32_t> RandomWalk(const Graph& graph, uint32_t start,
+                                 size_t length, Rng& rng);
+
+/// Positive pointwise mutual information matrix built from random-walk
+/// co-occurrence counts (used by the DGCN baseline's second channel).
+/// `walks_per_node` walks of length `walk_length` with window `window`.
+CsrMatrix PpmiMatrix(const Graph& graph, size_t walks_per_node,
+                     size_t walk_length, size_t window, Rng& rng);
+
+/// K-hop "structural fingerprint" scores via truncated random walk with
+/// restart: returns for each node the RWR proximity to nodes within
+/// `hops`. Output is row-stochastic, used by the ADSF baseline to bias
+/// attention. Rows capped to `row_cap` strongest entries.
+CsrMatrix StructuralFingerprints(const Graph& graph, size_t hops,
+                                 double restart_prob, size_t row_cap);
+
+/// Largest-magnitude eigenvalue estimate of a symmetric CSR operator via
+/// power iteration (spectral sanity checks).
+double PowerIterationSpectralRadius(const CsrMatrix& matrix,
+                                    size_t iters, Rng& rng);
+
+/// Average local clustering coefficient (Watts-Strogatz): mean over
+/// nodes of (closed triangles at v) / (deg(v) choose 2); nodes with
+/// degree < 2 contribute 0.
+double AverageClusteringCoefficient(const Graph& graph);
+
+/// Edge homophily: fraction of edges whose endpoints share a label —
+/// the knob that controls how much propagation helps on a dataset.
+double EdgeHomophily(const Graph& graph,
+                     const std::vector<int32_t>& labels);
+
+/// Degree distribution histogram with log-spaced buckets
+/// [1,2), [2,4), [4,8), ...; bucket 0 counts isolated nodes.
+std::vector<size_t> DegreeHistogram(const Graph& graph);
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_GRAPH_ALGORITHMS_H_

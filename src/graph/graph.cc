@@ -1,0 +1,166 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lasagne {
+
+Graph Graph::FromEdges(
+    size_t num_nodes,
+    const std::vector<std::pair<uint32_t, uint32_t>>& edges) {
+  std::vector<std::pair<uint32_t, uint32_t>> directed;
+  directed.reserve(edges.size() * 2);
+  for (const auto& [u, v] : edges) {
+    LASAGNE_CHECK_LT(u, num_nodes);
+    LASAGNE_CHECK_LT(v, num_nodes);
+    directed.emplace_back(u, v);
+    if (u != v) directed.emplace_back(v, u);
+  }
+  std::sort(directed.begin(), directed.end());
+  directed.erase(std::unique(directed.begin(), directed.end()),
+                 directed.end());
+
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.offsets_.assign(num_nodes + 1, 0);
+  g.adj_.reserve(directed.size());
+  size_t i = 0;
+  for (uint32_t u = 0; u < num_nodes; ++u) {
+    while (i < directed.size() && directed[i].first == u) {
+      g.adj_.push_back(directed[i].second);
+      ++i;
+    }
+    g.offsets_[u + 1] = g.adj_.size();
+  }
+  // Count undirected edges: self-loops contribute one directed entry.
+  size_t self_loops = 0;
+  for (uint32_t u = 0; u < num_nodes; ++u) {
+    if (g.HasEdge(u, u)) ++self_loops;
+  }
+  g.num_edges_ = (g.adj_.size() - self_loops) / 2 + self_loops;
+  return g;
+}
+
+bool Graph::HasEdge(uint32_t u, uint32_t v) const {
+  LASAGNE_CHECK_LT(u, num_nodes_);
+  LASAGNE_CHECK_LT(v, num_nodes_);
+  return std::binary_search(NeighborsBegin(u), NeighborsEnd(u), v);
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> Graph::Edges() const {
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  out.reserve(num_edges_);
+  for (uint32_t u = 0; u < num_nodes_; ++u) {
+    for (const uint32_t* it = NeighborsBegin(u); it != NeighborsEnd(u);
+         ++it) {
+      if (u <= *it) out.emplace_back(u, *it);
+    }
+  }
+  return out;
+}
+
+CsrMatrix Graph::Adjacency() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(adj_.size());
+  for (uint32_t u = 0; u < num_nodes_; ++u) {
+    for (const uint32_t* it = NeighborsBegin(u); it != NeighborsEnd(u);
+         ++it) {
+      triplets.push_back({u, *it, 1.0f});
+    }
+  }
+  return CsrMatrix::FromTriplets(num_nodes_, num_nodes_,
+                                 std::move(triplets));
+}
+
+CsrMatrix Graph::NormalizedAdjacency() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(adj_.size() + num_nodes_);
+  std::vector<float> degree(num_nodes_, 0.0f);
+  for (uint32_t u = 0; u < num_nodes_; ++u) {
+    bool has_self = false;
+    for (const uint32_t* it = NeighborsBegin(u); it != NeighborsEnd(u);
+         ++it) {
+      triplets.push_back({u, *it, 1.0f});
+      degree[u] += 1.0f;
+      if (*it == u) has_self = true;
+    }
+    if (!has_self) {
+      triplets.push_back({u, u, 1.0f});
+      degree[u] += 1.0f;
+    }
+  }
+  for (Triplet& t : triplets) {
+    t.value = 1.0f / std::sqrt(degree[t.row] * degree[t.col]);
+  }
+  return CsrMatrix::FromTriplets(num_nodes_, num_nodes_,
+                                 std::move(triplets));
+}
+
+CsrMatrix Graph::RandomWalkAdjacency() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(adj_.size() + num_nodes_);
+  for (uint32_t u = 0; u < num_nodes_; ++u) {
+    bool has_self = false;
+    for (const uint32_t* it = NeighborsBegin(u); it != NeighborsEnd(u);
+         ++it) {
+      triplets.push_back({u, *it, 1.0f});
+      if (*it == u) has_self = true;
+    }
+    if (!has_self) triplets.push_back({u, u, 1.0f});
+  }
+  return CsrMatrix::FromTriplets(num_nodes_, num_nodes_, std::move(triplets))
+      .RowStochastic();
+}
+
+Graph Graph::InducedSubgraph(const std::vector<uint32_t>& nodes) const {
+  std::vector<int64_t> new_id(num_nodes_, -1);
+  for (uint32_t i = 0; i < nodes.size(); ++i) {
+    LASAGNE_CHECK_LT(nodes[i], num_nodes_);
+    LASAGNE_CHECK_EQ(new_id[nodes[i]], -1);
+    new_id[nodes[i]] = i;
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (uint32_t i = 0; i < nodes.size(); ++i) {
+    const uint32_t u = nodes[i];
+    for (const uint32_t* it = NeighborsBegin(u); it != NeighborsEnd(u);
+         ++it) {
+      if (new_id[*it] >= 0 && u <= *it) {
+        edges.emplace_back(i, static_cast<uint32_t>(new_id[*it]));
+      }
+    }
+  }
+  return FromEdges(nodes.size(), edges);
+}
+
+Graph Graph::DropEdges(double drop_rate, Rng& rng) const {
+  LASAGNE_CHECK_GE(drop_rate, 0.0);
+  LASAGNE_CHECK_LE(drop_rate, 1.0);
+  std::vector<std::pair<uint32_t, uint32_t>> kept;
+  for (const auto& e : Edges()) {
+    if (!rng.Bernoulli(drop_rate)) kept.push_back(e);
+  }
+  return FromEdges(num_nodes_, kept);
+}
+
+Tensor Graph::DegreeVector() const {
+  Tensor out(num_nodes_, 1);
+  for (uint32_t u = 0; u < num_nodes_; ++u) {
+    out(u, 0) = static_cast<float>(Degree(u));
+  }
+  return out;
+}
+
+double Graph::AverageDegree() const {
+  if (num_nodes_ == 0) return 0.0;
+  return static_cast<double>(adj_.size()) / static_cast<double>(num_nodes_);
+}
+
+size_t Graph::MaxDegree() const {
+  size_t best = 0;
+  for (uint32_t u = 0; u < num_nodes_; ++u) best = std::max(best, Degree(u));
+  return best;
+}
+
+}  // namespace lasagne

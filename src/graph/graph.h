@@ -1,0 +1,87 @@
+#ifndef LASAGNE_GRAPH_GRAPH_H_
+#define LASAGNE_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sparse/csr_matrix.h"
+#include "tensor/tensor.h"
+
+namespace lasagne {
+
+/// An undirected, unweighted graph stored as a CSR adjacency structure.
+///
+/// This is the substrate type every GNN in the library consumes. Nodes
+/// are dense integer ids in [0, num_nodes). Self-loops are allowed but
+/// not required; the normalized propagation operators add them per the
+/// GCN convention (\f$\tilde A = A + I\f$). Parallel edges are collapsed
+/// at construction.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from an undirected edge list; each {u, v} pair is stored in
+  /// both directions. Duplicate and reversed duplicates are collapsed.
+  static Graph FromEdges(size_t num_nodes,
+                         const std::vector<std::pair<uint32_t, uint32_t>>& edges);
+
+  size_t num_nodes() const { return num_nodes_; }
+  /// Number of undirected edges (each counted once; self-loops count once).
+  size_t num_edges() const { return num_edges_; }
+
+  /// Neighbors of `node` (sorted, no duplicates).
+  const uint32_t* NeighborsBegin(uint32_t node) const {
+    return adj_.data() + offsets_[node];
+  }
+  const uint32_t* NeighborsEnd(uint32_t node) const {
+    return adj_.data() + offsets_[node + 1];
+  }
+  size_t Degree(uint32_t node) const {
+    return offsets_[node + 1] - offsets_[node];
+  }
+  std::vector<uint32_t> Neighbors(uint32_t node) const {
+    return {NeighborsBegin(node), NeighborsEnd(node)};
+  }
+  bool HasEdge(uint32_t u, uint32_t v) const;
+
+  /// All undirected edges, each once with u <= v.
+  std::vector<std::pair<uint32_t, uint32_t>> Edges() const;
+
+  /// Plain 0/1 adjacency as CSR (no self-loops added).
+  CsrMatrix Adjacency() const;
+
+  /// Symmetric GCN propagation operator
+  /// \f$\hat A = \tilde D^{-1/2}(A + I)\tilde D^{-1/2}\f$ (Eq. 1/2).
+  CsrMatrix NormalizedAdjacency() const;
+
+  /// Row-stochastic random-walk operator \f$\tilde D^{-1}(A + I)\f$.
+  CsrMatrix RandomWalkAdjacency() const;
+
+  /// Induced subgraph on `nodes`; returns the subgraph and keeps the
+  /// meaning new-id i == nodes[i].
+  Graph InducedSubgraph(const std::vector<uint32_t>& nodes) const;
+
+  /// Returns a graph with each edge independently kept with probability
+  /// (1 - drop_rate). Used by DropEdge.
+  Graph DropEdges(double drop_rate, Rng& rng) const;
+
+  /// Degrees of all nodes as an (N x 1) tensor.
+  Tensor DegreeVector() const;
+
+  /// Average degree.
+  double AverageDegree() const;
+
+  /// Maximum degree.
+  size_t MaxDegree() const;
+
+ private:
+  size_t num_nodes_ = 0;
+  size_t num_edges_ = 0;
+  std::vector<size_t> offsets_;  // size num_nodes_ + 1
+  std::vector<uint32_t> adj_;    // flattened sorted neighbor lists
+};
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_GRAPH_GRAPH_H_

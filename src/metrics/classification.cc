@@ -1,0 +1,85 @@
+#include "metrics/classification.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace lasagne {
+
+ConfusionMatrix::ConfusionMatrix(const Tensor& logits,
+                                 const std::vector<int32_t>& labels,
+                                 const std::vector<float>& mask,
+                                 size_t num_classes)
+    : num_classes_(num_classes),
+      counts_(num_classes * num_classes, 0) {
+  LASAGNE_CHECK_EQ(logits.rows(), labels.size());
+  LASAGNE_CHECK_EQ(logits.rows(), mask.size());
+  LASAGNE_CHECK_EQ(logits.cols(), num_classes);
+  std::vector<size_t> predictions = logits.ArgMaxPerRow();
+  for (size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i] <= 0.0f) continue;
+    const size_t t = static_cast<size_t>(labels[i]);
+    LASAGNE_CHECK_LT(t, num_classes_);
+    counts_[t * num_classes_ + predictions[i]]++;
+    ++total_;
+  }
+}
+
+size_t ConfusionMatrix::Count(size_t true_class,
+                              size_t predicted_class) const {
+  LASAGNE_CHECK_LT(true_class, num_classes_);
+  LASAGNE_CHECK_LT(predicted_class, num_classes_);
+  return counts_[true_class * num_classes_ + predicted_class];
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  size_t correct = 0;
+  for (size_t c = 0; c < num_classes_; ++c) correct += Count(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::Precision(size_t cls) const {
+  size_t predicted = 0;
+  for (size_t t = 0; t < num_classes_; ++t) predicted += Count(t, cls);
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(Count(cls, cls)) /
+         static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::Recall(size_t cls) const {
+  size_t actual = 0;
+  for (size_t p = 0; p < num_classes_; ++p) actual += Count(cls, p);
+  if (actual == 0) return 0.0;
+  return static_cast<double>(Count(cls, cls)) /
+         static_cast<double>(actual);
+}
+
+double ConfusionMatrix::F1(size_t cls) const {
+  const double p = Precision(cls);
+  const double r = Recall(cls);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::MacroF1() const {
+  if (num_classes_ == 0) return 0.0;
+  double total = 0.0;
+  for (size_t c = 0; c < num_classes_; ++c) total += F1(c);
+  return total / static_cast<double>(num_classes_);
+}
+
+std::string ConfusionMatrix::DebugString(size_t max_classes) const {
+  std::ostringstream os;
+  const size_t show = std::min(max_classes, num_classes_);
+  os << "ConfusionMatrix(acc=" << Accuracy()
+     << ", macroF1=" << MacroF1() << ")\n";
+  for (size_t t = 0; t < show; ++t) {
+    os << "  true " << t << ":";
+    for (size_t p = 0; p < show; ++p) os << " " << Count(t, p);
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace lasagne

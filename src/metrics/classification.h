@@ -1,0 +1,47 @@
+#ifndef LASAGNE_METRICS_CLASSIFICATION_H_
+#define LASAGNE_METRICS_CLASSIFICATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace lasagne {
+
+/// Row-normalized confusion counts and derived per-class metrics for a
+/// masked node-classification evaluation.
+class ConfusionMatrix {
+ public:
+  /// Builds from logits (argmax prediction), labels and a 0/1 mask.
+  ConfusionMatrix(const Tensor& logits, const std::vector<int32_t>& labels,
+                  const std::vector<float>& mask, size_t num_classes);
+
+  size_t num_classes() const { return num_classes_; }
+  /// Count of nodes with true class t predicted as p.
+  size_t Count(size_t true_class, size_t predicted_class) const;
+  size_t TotalCount() const { return total_; }
+
+  double Accuracy() const;
+  /// Precision/recall/F1 of one class (0 when undefined).
+  double Precision(size_t cls) const;
+  double Recall(size_t cls) const;
+  double F1(size_t cls) const;
+  /// Unweighted mean of per-class F1 (macro-F1; the metric robust to
+  /// the class imbalance of the Tencent-style many-class setting).
+  double MacroF1() const;
+  /// Micro-F1 == accuracy for single-label classification.
+  double MicroF1() const { return Accuracy(); }
+
+  /// Small printable summary table.
+  std::string DebugString(size_t max_classes = 10) const;
+
+ private:
+  size_t num_classes_;
+  size_t total_ = 0;
+  std::vector<size_t> counts_;  // num_classes x num_classes
+};
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_METRICS_CLASSIFICATION_H_

@@ -1,0 +1,296 @@
+#include "metrics/mutual_info.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace lasagne {
+
+namespace {
+
+double SquaredDistance(const float* a, const float* b, size_t d) {
+  double acc = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    const double diff = static_cast<double>(a[j]) - b[j];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::vector<uint32_t> KMeansCluster(const Tensor& points, size_t k,
+                                    size_t max_iters, Rng& rng) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  LASAGNE_CHECK_GT(n, 0u);
+  LASAGNE_CHECK_GT(k, 0u);
+  k = std::min(k, n);
+
+  // k-means++ seeding.
+  Tensor centroids(k, d);
+  std::vector<double> min_dist(n, 0.0);
+  size_t first = static_cast<size_t>(rng.UniformInt(n));
+  std::copy(points.RowPtr(first), points.RowPtr(first) + d,
+            centroids.RowPtr(0));
+  for (size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = SquaredDistance(points.RowPtr(i), centroids.RowPtr(0),
+                                    d);
+      for (size_t cc = 1; cc < c; ++cc) {
+        best = std::min(best, SquaredDistance(points.RowPtr(i),
+                                              centroids.RowPtr(cc), d));
+      }
+      min_dist[i] = best;
+      total += best;
+    }
+    size_t chosen = 0;
+    if (total > 0.0) {
+      double target = rng.Uniform() * total;
+      double cumulative = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        cumulative += min_dist[i];
+        if (target < cumulative) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = static_cast<size_t>(rng.UniformInt(n));
+    }
+    std::copy(points.RowPtr(chosen), points.RowPtr(chosen) + d,
+              centroids.RowPtr(c));
+  }
+
+  std::vector<uint32_t> assignment(n, 0);
+  for (size_t iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = 0;
+      double best_dist =
+          SquaredDistance(points.RowPtr(i), centroids.RowPtr(0), d);
+      for (size_t c = 1; c < k; ++c) {
+        const double dist =
+            SquaredDistance(points.RowPtr(i), centroids.RowPtr(c), d);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = c;
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = static_cast<uint32_t>(best);
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    centroids.SetZero();
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = assignment[i];
+      ++counts[c];
+      float* row = centroids.RowPtr(c);
+      const float* p = points.RowPtr(i);
+      for (size_t j = 0; j < d; ++j) row[j] += p[j];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      float* row = centroids.RowPtr(c);
+      const float inv = 1.0f / static_cast<float>(counts[c]);
+      for (size_t j = 0; j < d; ++j) row[j] *= inv;
+    }
+  }
+  return assignment;
+}
+
+double DiscreteEntropy(const std::vector<uint32_t>& assignment,
+                       size_t num_values) {
+  LASAGNE_CHECK(!assignment.empty());
+  std::vector<double> counts(num_values, 0.0);
+  for (uint32_t a : assignment) {
+    LASAGNE_CHECK_LT(a, num_values);
+    counts[a] += 1.0;
+  }
+  const double n = static_cast<double>(assignment.size());
+  double entropy = 0.0;
+  for (double c : counts) {
+    if (c > 0.0) {
+      const double p = c / n;
+      entropy -= p * std::log(p);
+    }
+  }
+  return entropy;
+}
+
+double DiscreteMutualInformation(const std::vector<uint32_t>& a,
+                                 const std::vector<uint32_t>& b,
+                                 size_t num_a, size_t num_b) {
+  LASAGNE_CHECK_EQ(a.size(), b.size());
+  LASAGNE_CHECK(!a.empty());
+  std::vector<double> joint(num_a * num_b, 0.0);
+  std::vector<double> pa(num_a, 0.0);
+  std::vector<double> pb(num_b, 0.0);
+  const double n = static_cast<double>(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    joint[a[i] * num_b + b[i]] += 1.0;
+    pa[a[i]] += 1.0;
+    pb[b[i]] += 1.0;
+  }
+  double mi = 0.0;
+  for (size_t i = 0; i < num_a; ++i) {
+    for (size_t j = 0; j < num_b; ++j) {
+      const double pij = joint[i * num_b + j] / n;
+      if (pij > 0.0) {
+        mi += pij * std::log(pij * n * n / (pa[i] * pb[j]));
+      }
+    }
+  }
+  return std::max(mi, 0.0);
+}
+
+double RepresentationMutualInformation(const Tensor& x, const Tensor& h,
+                                       size_t clusters, Rng& rng) {
+  LASAGNE_CHECK_EQ(x.rows(), h.rows());
+  // PCA pre-projection concentrates the class signal into a few
+  // directions before vector quantization; without it, k-means on
+  // high-dimensional noisy features is unstable and the plug-in MI
+  // hugs the noise floor.
+  auto quantize = [clusters](const Tensor& points, Rng& qrng) {
+    const size_t project_to = std::min<size_t>(6, points.cols());
+    Tensor reduced = points.cols() > project_to
+                         ? PcaProject(points, project_to, 30, qrng)
+                         : points;
+    return KMeansCluster(reduced, clusters, 25, qrng);
+  };
+  Rng rng_x = rng.Split();
+  Rng rng_h = rng.Split();
+  std::vector<uint32_t> cx = quantize(x, rng_x);
+  std::vector<uint32_t> ch = quantize(h, rng_h);
+  return DiscreteMutualInformation(cx, ch, clusters, clusters);
+}
+
+Tensor PcaProject(const Tensor& x, size_t dims, size_t iters, Rng& rng) {
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  LASAGNE_CHECK_GT(n, 1u);
+  dims = std::min(dims, d);
+  // Center.
+  Tensor centered = x;
+  Tensor mean = x.ColSum() * (1.0f / static_cast<float>(n));
+  for (size_t i = 0; i < n; ++i) {
+    float* row = centered.RowPtr(i);
+    for (size_t j = 0; j < d; ++j) row[j] -= mean(0, j);
+  }
+  Tensor components(dims, d);
+  Tensor projected(n, dims);
+  Tensor residual = centered;
+  for (size_t c = 0; c < dims; ++c) {
+    Tensor v = Tensor::Normal(d, 1, 0.0f, 1.0f, rng);
+    for (size_t it = 0; it < iters; ++it) {
+      // v <- (R^T R) v, normalized.
+      Tensor rv = residual.MatMul(v);          // n x 1
+      Tensor next = residual.TransposedMatMul(rv);  // d x 1
+      const float norm = next.Norm();
+      if (norm < 1e-20f) break;
+      next *= 1.0f / norm;
+      v = next;
+    }
+    for (size_t j = 0; j < d; ++j) components(c, j) = v(j, 0);
+    // Project and deflate.
+    Tensor scores = residual.MatMul(v);  // n x 1
+    for (size_t i = 0; i < n; ++i) {
+      projected(i, c) = scores(i, 0);
+      float* row = residual.RowPtr(i);
+      for (size_t j = 0; j < d; ++j) row[j] -= scores(i, 0) * v(j, 0);
+    }
+  }
+  return projected;
+}
+
+double BinnedMutualInformation(const std::vector<float>& a,
+                               const std::vector<float>& b, size_t bins) {
+  LASAGNE_CHECK_EQ(a.size(), b.size());
+  LASAGNE_CHECK(!a.empty());
+  LASAGNE_CHECK_GT(bins, 1u);
+  auto discretize = [bins](const std::vector<float>& v) {
+    const float lo = *std::min_element(v.begin(), v.end());
+    const float hi = *std::max_element(v.begin(), v.end());
+    const float width = (hi - lo) > 1e-12f ? (hi - lo) : 1.0f;
+    std::vector<uint32_t> out(v.size());
+    for (size_t i = 0; i < v.size(); ++i) {
+      size_t bin = static_cast<size_t>((v[i] - lo) / width *
+                                       static_cast<float>(bins));
+      out[i] = static_cast<uint32_t>(std::min(bin, bins - 1));
+    }
+    return out;
+  };
+  return DiscreteMutualInformation(discretize(a), discretize(b), bins,
+                                   bins);
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  LASAGNE_CHECK_EQ(a.size(), b.size());
+  LASAGNE_CHECK_GT(a.size(), 1u);
+  const double n = static_cast<double>(a.size());
+  double ma = std::accumulate(a.begin(), a.end(), 0.0) / n;
+  double mb = std::accumulate(b.begin(), b.end(), 0.0) / n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  const double denom = std::sqrt(va * vb);
+  return denom > 1e-20 ? cov / denom : 0.0;
+}
+
+namespace {
+
+std::vector<double> Ranks(const std::vector<double>& v) {
+  std::vector<size_t> order(v.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&v](size_t x, size_t y) { return v[x] < v[y]; });
+  std::vector<double> ranks(v.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() && v[order[j + 1]] == v[order[i]]) ++j;
+    const double rank = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    for (size_t t = i; t <= j; ++t) ranks[order[t]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  return PearsonCorrelation(Ranks(a), Ranks(b));
+}
+
+double MeanAverageDistance(
+    const Tensor& x,
+    const std::vector<std::pair<uint32_t, uint32_t>>& pairs) {
+  LASAGNE_CHECK(!pairs.empty());
+  double total = 0.0;
+  for (const auto& [a, b] : pairs) {
+    const float* ra = x.RowPtr(a);
+    const float* rb = x.RowPtr(b);
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (size_t j = 0; j < x.cols(); ++j) {
+      dot += static_cast<double>(ra[j]) * rb[j];
+      na += static_cast<double>(ra[j]) * ra[j];
+      nb += static_cast<double>(rb[j]) * rb[j];
+    }
+    const double denom = std::sqrt(na) * std::sqrt(nb) + 1e-12;
+    total += 1.0 - dot / denom;
+  }
+  return total / static_cast<double>(pairs.size());
+}
+
+}  // namespace lasagne

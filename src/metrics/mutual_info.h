@@ -1,0 +1,66 @@
+#ifndef LASAGNE_METRICS_MUTUAL_INFO_H_
+#define LASAGNE_METRICS_MUTUAL_INFO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace lasagne {
+
+/// k-means clustering of tensor rows (k-means++ style seeding from the
+/// provided RNG). Returns per-row cluster assignments in [0, k).
+std::vector<uint32_t> KMeansCluster(const Tensor& points, size_t k,
+                                    size_t max_iters, Rng& rng);
+
+/// Shannon entropy (nats) of a discrete assignment vector.
+double DiscreteEntropy(const std::vector<uint32_t>& assignment,
+                       size_t num_values);
+
+/// Plug-in mutual information (nats) between two discrete assignment
+/// vectors of equal length.
+double DiscreteMutualInformation(const std::vector<uint32_t>& a,
+                                 const std::vector<uint32_t>& b,
+                                 size_t num_a, size_t num_b);
+
+/// Mutual information between two continuous representations of the
+/// same nodes, estimated by vector quantization: both matrices are
+/// k-means clustered into `clusters` codewords and the discrete plug-in
+/// MI of the assignments is returned (nats).
+///
+/// This is the estimator behind the paper's Fig. 2 / Fig. 6 analysis:
+/// MI(X; H(l)) between the input features and each hidden layer. Only
+/// comparative values matter (which architecture preserves more
+/// information), which quantization MI preserves.
+double RepresentationMutualInformation(const Tensor& x, const Tensor& h,
+                                       size_t clusters, Rng& rng);
+
+/// First `dims` principal components via power iteration with deflation
+/// (no external LAPACK). Returns the projected data (rows x dims).
+Tensor PcaProject(const Tensor& x, size_t dims, size_t iters, Rng& rng);
+
+/// Histogram MI between two scalar series using `bins` equal-width bins
+/// (an alternative estimator; exposed for cross-checking the quantized
+/// one in tests and the MI example).
+double BinnedMutualInformation(const std::vector<float>& a,
+                               const std::vector<float>& b, size_t bins);
+
+/// Pearson correlation of two equal-length series.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Spearman rank correlation of two equal-length series.
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+/// Mean Average Distance (MADReg, Chen et al. AAAI'20): mean cosine
+/// distance of `pairs` rows of `x` (analysis helper; the differentiable
+/// version lives in autograd).
+double MeanAverageDistance(
+    const Tensor& x,
+    const std::vector<std::pair<uint32_t, uint32_t>>& pairs);
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_METRICS_MUTUAL_INFO_H_

@@ -1,0 +1,85 @@
+#include "models/attention.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "graph/algorithms.h"
+
+namespace lasagne {
+
+GatModel::GatModel(const Dataset& data, const ModelConfig& config,
+                   const char* name,
+                   std::shared_ptr<const std::vector<float>> edge_bias)
+    : Model(name, data), config_(config), edge_bias_(std::move(edge_bias)) {
+  LASAGNE_CHECK_GE(config.depth, 1u);
+  edges_ = ag::EdgeStructure::FromGraph(data.graph, /*add_self_loops=*/true);
+  features_ = ag::MakeConstant(data.features);
+  Rng rng(config.seed);
+  for (size_t l = 0; l < config.depth; ++l) {
+    const bool last = (l + 1 == config.depth);
+    const size_t in_dim =
+        l == 0 ? data.feature_dim() : config.hidden_dim * config.heads;
+    if (last) {
+      layers_.emplace_back(in_dim, data.num_classes, /*num_heads=*/1,
+                           /*concat=*/false, rng);
+    } else {
+      layers_.emplace_back(in_dim, config.hidden_dim, config.heads,
+                           /*concat=*/true, rng);
+    }
+  }
+}
+
+GatModel::GatModel(const Dataset& data, const ModelConfig& config)
+    : GatModel(data, config, "GAT", nullptr) {}
+
+ag::Variable GatModel::Forward(const nn::ForwardContext& ctx) {
+  ClearHidden();
+  ag::Variable h = features_;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const bool last = (l + 1 == layers_.size());
+    h = layers_[l].Forward(edges_, h, ctx, config_.dropout, edge_bias_);
+    if (!last) h = ag::Relu(h);
+    RecordHidden(h);
+  }
+  return h;
+}
+
+std::vector<ag::Variable> GatModel::Parameters() const {
+  std::vector<ag::Variable> params;
+  for (const auto& layer : layers_) {
+    for (const auto& p : layer.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+namespace {
+
+// Per-edge log-structural prior from RWR fingerprints.
+std::shared_ptr<const std::vector<float>> MakeStructuralBias(
+    const Dataset& data) {
+  CsrMatrix fingerprints =
+      StructuralFingerprints(data.graph, /*hops=*/2, /*restart_prob=*/0.5,
+                             /*row_cap=*/64);
+  auto edges =
+      ag::EdgeStructure::FromGraph(data.graph, /*add_self_loops=*/true);
+  auto bias = std::make_shared<std::vector<float>>(edges->num_edges(), 0.0f);
+  for (size_t i = 0; i < edges->num_nodes; ++i) {
+    const float fanout =
+        static_cast<float>(edges->row_ptr[i + 1] - edges->row_ptr[i]);
+    for (size_t k = edges->row_ptr[i]; k < edges->row_ptr[i + 1]; ++k) {
+      // log(score / uniform): zero for a structurally uninformative
+      // neighbor, bounded by +-log(fanout); keeps the prior on the same
+      // scale as the learned attention logits.
+      const float score = fingerprints.At(i, edges->src[k]);
+      (*bias)[k] = std::log(score * fanout + 1e-3f);
+    }
+  }
+  return bias;
+}
+
+}  // namespace
+
+AdsfModel::AdsfModel(const Dataset& data, const ModelConfig& config)
+    : GatModel(data, config, "ADSF", MakeStructuralBias(data)) {}
+
+}  // namespace lasagne

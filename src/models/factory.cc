@@ -1,0 +1,147 @@
+#include <memory>
+#include <string>
+
+#include "common/check.h"
+#include "core/lasagne_model.h"
+#include "models/attention.h"
+#include "models/gcn_family.h"
+#include "models/model.h"
+#include "models/propagation.h"
+#include "models/sampling_models.h"
+
+namespace lasagne {
+
+std::unique_ptr<Model> MakeModel(const std::string& name,
+                                 const Dataset& data,
+                                 const ModelConfig& config) {
+  if (name == "gcn") return std::make_unique<GcnModel>(data, config);
+  if (name == "resgcn") return std::make_unique<ResGcnModel>(data, config);
+  if (name == "densegcn") {
+    return std::make_unique<DenseGcnModel>(data, config);
+  }
+  if (name == "jknet") return std::make_unique<JkNetModel>(data, config);
+  if (name == "jknet-maxpool") {
+    return std::make_unique<JkNetModel>(data, config,
+                                        JkNetModel::Mode::kMaxPool);
+  }
+  if (name == "jknet-lstm") {
+    return std::make_unique<JkNetModel>(data, config,
+                                        JkNetModel::Mode::kLstmAttention);
+  }
+  if (name == "sgc") return std::make_unique<SgcModel>(data, config);
+  if (name == "gat") return std::make_unique<GatModel>(data, config);
+  if (name == "appnp") return std::make_unique<AppnpModel>(data, config);
+  if (name == "mixhop") return std::make_unique<MixHopModel>(data, config);
+  if (name == "gin") return std::make_unique<GinModel>(data, config);
+  if (name == "dropedge") {
+    return std::make_unique<DropEdgeGcnModel>(data, config);
+  }
+  if (name == "pairnorm") {
+    return std::make_unique<PairNormGcnModel>(data, config);
+  }
+  if (name == "madreg") {
+    return std::make_unique<MadRegGcnModel>(data, config);
+  }
+  if (name == "stgcn") return std::make_unique<SnowballModel>(data, config);
+  if (name == "ngcn") return std::make_unique<NgcnModel>(data, config);
+  if (name == "dgcn") return std::make_unique<DgcnModel>(data, config);
+  if (name == "gpnn") return std::make_unique<GpnnModel>(data, config);
+  if (name == "lgcn") return std::make_unique<LgcnModel>(data, config);
+  if (name == "adsf") return std::make_unique<AdsfModel>(data, config);
+  if (name == "graphsage") {
+    return std::make_unique<GraphSageModel>(data, config);
+  }
+  if (name == "fastgcn") {
+    return std::make_unique<FastGcnModel>(data, config);
+  }
+  if (name == "clustergcn") {
+    return std::make_unique<ClusterGcnModel>(data, config);
+  }
+  if (name == "graphsaint") {
+    return std::make_unique<GraphSaintModel>(data, config);
+  }
+
+  auto lasagne_variant = [&](AggregatorKind kind, BaseConv base,
+                             bool use_gcfm) {
+    return std::make_unique<LasagneModel>(
+        data, LasagneConfigFrom(config, kind, base, use_gcfm));
+  };
+  if (name == "lasagne-weighted") {
+    return lasagne_variant(AggregatorKind::kWeighted, BaseConv::kGcn, true);
+  }
+  if (name == "lasagne-stochastic") {
+    return lasagne_variant(AggregatorKind::kStochastic, BaseConv::kGcn,
+                           true);
+  }
+  if (name == "lasagne-maxpool") {
+    return lasagne_variant(AggregatorKind::kMaxPooling, BaseConv::kGcn,
+                           true);
+  }
+  if (name == "lasagne-mean") {
+    return lasagne_variant(AggregatorKind::kMean, BaseConv::kGcn, true);
+  }
+  if (name == "lasagne-lstm") {
+    return lasagne_variant(AggregatorKind::kLstm, BaseConv::kGcn, true);
+  }
+  if (name == "lasagne-weighted-nofm") {
+    return lasagne_variant(AggregatorKind::kWeighted, BaseConv::kGcn,
+                           false);
+  }
+  if (name == "lasagne-stochastic-nofm") {
+    return lasagne_variant(AggregatorKind::kStochastic, BaseConv::kGcn,
+                           false);
+  }
+  if (name == "lasagne-maxpool-nofm") {
+    return lasagne_variant(AggregatorKind::kMaxPooling, BaseConv::kGcn,
+                           false);
+  }
+  if (name == "lasagne-stochastic-sgc") {
+    return lasagne_variant(AggregatorKind::kStochastic, BaseConv::kSgc,
+                           true);
+  }
+  if (name == "lasagne-stochastic-gat") {
+    return lasagne_variant(AggregatorKind::kStochastic, BaseConv::kGat,
+                           true);
+  }
+  LASAGNE_CHECK_MSG(false, "unknown model name: " << name);
+  return nullptr;
+}
+
+std::vector<std::string> KnownModelNames() {
+  return {"gcn",
+          "resgcn",
+          "densegcn",
+          "jknet",
+          "jknet-maxpool",
+          "jknet-lstm",
+          "sgc",
+          "gat",
+          "appnp",
+          "mixhop",
+          "gin",
+          "dropedge",
+          "pairnorm",
+          "madreg",
+          "stgcn",
+          "ngcn",
+          "dgcn",
+          "gpnn",
+          "lgcn",
+          "adsf",
+          "graphsage",
+          "fastgcn",
+          "clustergcn",
+          "graphsaint",
+          "lasagne-weighted",
+          "lasagne-stochastic",
+          "lasagne-maxpool",
+          "lasagne-mean",
+          "lasagne-lstm",
+          "lasagne-weighted-nofm",
+          "lasagne-stochastic-nofm",
+          "lasagne-maxpool-nofm",
+          "lasagne-stochastic-sgc",
+          "lasagne-stochastic-gat"};
+}
+
+}  // namespace lasagne

@@ -1,0 +1,538 @@
+#include "models/gcn_family.h"
+
+#include <cmath>
+
+#include "core/lstm_aggregator.h"
+
+#include "common/check.h"
+
+namespace lasagne {
+
+namespace {
+
+// Hidden width for layer l of an L-layer stack mapping M -> ... -> F.
+size_t LayerIn(size_t l, size_t depth, size_t in_dim, size_t hidden) {
+  (void)depth;
+  return l == 0 ? in_dim : hidden;
+}
+size_t LayerOut(size_t l, size_t depth, size_t hidden, size_t out_dim) {
+  return l + 1 == depth ? out_dim : hidden;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// GCN / ResGCN / PairNorm-GCN
+// ---------------------------------------------------------------------------
+
+GcnModel::GcnModel(const Dataset& data, const ModelConfig& config,
+                   Variant variant, const char* name)
+    : Model(name, data), config_(config), variant_(variant) {
+  LASAGNE_CHECK_GE(config.depth, 1u);
+  a_hat_ = std::make_shared<CsrMatrix>(data.graph.NormalizedAdjacency());
+  features_ = ag::MakeConstant(data.features);
+  Rng rng(config.seed);
+  for (size_t l = 0; l < config.depth; ++l) {
+    layers_.emplace_back(
+        LayerIn(l, config.depth, data.feature_dim(), config.hidden_dim),
+        LayerOut(l, config.depth, config.hidden_dim, data.num_classes),
+        rng);
+  }
+}
+
+GcnModel::GcnModel(const Dataset& data, const ModelConfig& config)
+    : GcnModel(data, config, Variant::kPlain, "GCN") {}
+
+ag::Variable GcnModel::Forward(const nn::ForwardContext& ctx) {
+  ClearHidden();
+  ag::Variable h = features_;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const bool last = (l + 1 == layers_.size());
+    ag::Variable next =
+        layers_[l].Forward(a_hat_, h, ctx, config_.dropout, !last);
+    if (!last) {
+      if (variant_ == Variant::kResidual && l > 0) {
+        // Identity skip between equal-width hidden layers.
+        next = ag::Add(next, h);
+      } else if (variant_ == Variant::kPairNorm) {
+        next = ag::PairNorm(next, config_.pairnorm_scale);
+      }
+    }
+    h = next;
+    RecordHidden(h);
+  }
+  return h;
+}
+
+std::vector<ag::Variable> GcnModel::Parameters() const {
+  std::vector<ag::Variable> params;
+  for (const auto& layer : layers_) {
+    for (const auto& p : layer.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+ResGcnModel::ResGcnModel(const Dataset& data, const ModelConfig& config)
+    : GcnModel(data, config, Variant::kResidual, "ResGCN") {}
+
+PairNormGcnModel::PairNormGcnModel(const Dataset& data,
+                                   const ModelConfig& config)
+    : GcnModel(data, config, Variant::kPairNorm, "PairNorm") {}
+
+// ---------------------------------------------------------------------------
+// DenseGCN
+// ---------------------------------------------------------------------------
+
+DenseGcnModel::DenseGcnModel(const Dataset& data, const ModelConfig& config)
+    : Model("DenseGCN", data), config_(config) {
+  LASAGNE_CHECK_GE(config.depth, 1u);
+  a_hat_ = std::make_shared<CsrMatrix>(data.graph.NormalizedAdjacency());
+  features_ = ag::MakeConstant(data.features);
+  Rng rng(config.seed);
+  size_t accumulated = data.feature_dim();
+  for (size_t l = 0; l < config.depth; ++l) {
+    layers_.emplace_back(accumulated, config.hidden_dim, rng);
+    accumulated += config.hidden_dim;
+  }
+  classifier_ = std::make_unique<nn::Linear>(
+      config.depth * config.hidden_dim, data.num_classes, rng);
+}
+
+ag::Variable DenseGcnModel::Forward(const nn::ForwardContext& ctx) {
+  ClearHidden();
+  std::vector<ag::Variable> stack = {features_};
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    ag::Variable input =
+        stack.size() == 1 ? stack[0] : ag::ConcatCols(stack);
+    ag::Variable h =
+        layers_[l].Forward(a_hat_, input, ctx, config_.dropout, true);
+    RecordHidden(h);
+    stack.push_back(h);
+  }
+  // The classifier fuses the intermediate layer outputs; the raw input
+  // stays in the dense connectivity above but out of the readout (it is
+  // unpropagated and would dominate the small-label linear head).
+  std::vector<ag::Variable> outputs(stack.begin() + 1, stack.end());
+  ag::Variable all =
+      outputs.size() == 1 ? outputs[0] : ag::ConcatCols(outputs);
+  LASAGNE_CHECK(ctx.rng != nullptr);
+  all = ag::Dropout(all, config_.dropout, *ctx.rng, ctx.training);
+  return classifier_->Forward(all);
+}
+
+std::vector<ag::Variable> DenseGcnModel::Parameters() const {
+  std::vector<ag::Variable> params;
+  for (const auto& layer : layers_) {
+    for (const auto& p : layer.Parameters()) params.push_back(p);
+  }
+  for (const auto& p : classifier_->Parameters()) params.push_back(p);
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// JK-Net
+// ---------------------------------------------------------------------------
+
+JkNetModel::JkNetModel(const Dataset& data, const ModelConfig& config,
+                       Mode mode)
+    : Model(mode == Mode::kConcat
+                ? "JK-Net"
+                : (mode == Mode::kMaxPool ? "JK-Net(max)" : "JK-Net(lstm)"),
+            data),
+      config_(config),
+      mode_(mode) {
+  LASAGNE_CHECK_GE(config.depth, 1u);
+  a_hat_ = std::make_shared<CsrMatrix>(data.graph.NormalizedAdjacency());
+  features_ = ag::MakeConstant(data.features);
+  Rng rng(config.seed);
+  for (size_t l = 0; l < config.depth; ++l) {
+    layers_.emplace_back(l == 0 ? data.feature_dim() : config.hidden_dim,
+                         config.hidden_dim, rng);
+  }
+  const size_t combined_dim = mode == Mode::kConcat
+                                  ? config.depth * config.hidden_dim
+                                  : config.hidden_dim;
+  classifier_ = std::make_unique<nn::Linear>(combined_dim,
+                                             data.num_classes, rng);
+  if (mode == Mode::kLstmAttention) {
+    lstm_cell_ = std::make_unique<LstmCell>(config.hidden_dim,
+                                            /*hidden_dim=*/16, rng);
+    lstm_attn_ = ag::MakeParameter(Tensor::GlorotUniform(16, 1, rng));
+  }
+}
+
+JkNetModel::~JkNetModel() = default;
+
+ag::Variable JkNetModel::Forward(const nn::ForwardContext& ctx) {
+  ClearHidden();
+  ag::Variable h = features_;
+  std::vector<ag::Variable> outputs;
+  for (auto& layer : layers_) {
+    h = layer.Forward(a_hat_, h, ctx, config_.dropout, true);
+    RecordHidden(h);
+    outputs.push_back(h);
+  }
+  ag::Variable combined;
+  switch (mode_) {
+    case Mode::kConcat:
+      combined = ag::ConcatCols(outputs);
+      break;
+    case Mode::kMaxPool:
+      combined = ag::MaxOverSet(outputs);
+      break;
+    case Mode::kLstmAttention: {
+      // Per-node softmax attention over layers, scored by an LSTM over
+      // the layer sequence (JK-Net's third combination mode).
+      const size_t n = outputs[0]->rows();
+      const size_t l = outputs.size();
+      LstmCell::State state = lstm_cell_->InitialState(n);
+      std::vector<ag::Variable> scores;
+      for (const auto& out : outputs) {
+        state = lstm_cell_->Step(out, state);
+        scores.push_back(ag::MatMul(state.h, lstm_attn_));
+      }
+      ag::Variable score_matrix = ag::ConcatCols(scores);
+      ag::Variable shifted = ag::Sub(
+          score_matrix,
+          ag::RowScale(ag::MakeConstant(Tensor::Ones(n, l)),
+                       ag::RowMax(score_matrix)));
+      ag::Variable exps = ag::Exp(shifted);
+      ag::Variable alpha = ag::RowDivide(
+          exps, ag::MatMul(exps, ag::MakeConstant(Tensor::Ones(l, 1))));
+      std::vector<ag::Variable> terms;
+      for (size_t t = 0; t < l; ++t) {
+        terms.push_back(
+            ag::RowScale(outputs[t], ag::SliceCols(alpha, t, 1)));
+      }
+      combined = ag::AddMany(terms);
+      break;
+    }
+  }
+  LASAGNE_CHECK(ctx.rng != nullptr);
+  combined =
+      ag::Dropout(combined, config_.dropout, *ctx.rng, ctx.training);
+  return classifier_->Forward(combined);
+}
+
+std::vector<ag::Variable> JkNetModel::Parameters() const {
+  std::vector<ag::Variable> params;
+  for (const auto& layer : layers_) {
+    for (const auto& p : layer.Parameters()) params.push_back(p);
+  }
+  for (const auto& p : classifier_->Parameters()) params.push_back(p);
+  if (lstm_cell_ != nullptr) {
+    for (const auto& p : lstm_cell_->Parameters()) params.push_back(p);
+    params.push_back(lstm_attn_);
+  }
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// SGC
+// ---------------------------------------------------------------------------
+
+SgcModel::SgcModel(const Dataset& data, const ModelConfig& config)
+    : Model("SGC", data), config_(config) {
+  CsrMatrix a_hat = data.graph.NormalizedAdjacency();
+  Tensor propagated = data.features;
+  for (size_t k = 0; k < config.depth; ++k) {
+    propagated = a_hat.Multiply(propagated);
+  }
+  propagated_ = ag::MakeConstant(std::move(propagated));
+  Rng rng(config.seed);
+  classifier_ = std::make_unique<nn::Linear>(data.feature_dim(),
+                                             data.num_classes, rng);
+}
+
+ag::Variable SgcModel::Forward(const nn::ForwardContext& ctx) {
+  ClearHidden();
+  LASAGNE_CHECK(ctx.rng != nullptr);
+  ag::Variable x =
+      ag::Dropout(propagated_, config_.dropout, *ctx.rng, ctx.training);
+  ag::Variable logits = classifier_->Forward(x);
+  RecordHidden(logits);
+  return logits;
+}
+
+std::vector<ag::Variable> SgcModel::Parameters() const {
+  return classifier_->Parameters();
+}
+
+// ---------------------------------------------------------------------------
+// APPNP
+// ---------------------------------------------------------------------------
+
+AppnpModel::AppnpModel(const Dataset& data, const ModelConfig& config)
+    : Model("APPNP", data), config_(config) {
+  a_hat_ = std::make_shared<CsrMatrix>(data.graph.NormalizedAdjacency());
+  features_ = ag::MakeConstant(data.features);
+  Rng rng(config.seed);
+  mlp1_ = std::make_unique<nn::Linear>(data.feature_dim(),
+                                       config.hidden_dim, rng);
+  mlp2_ = std::make_unique<nn::Linear>(config.hidden_dim,
+                                       data.num_classes, rng);
+}
+
+ag::Variable AppnpModel::Forward(const nn::ForwardContext& ctx) {
+  ClearHidden();
+  LASAGNE_CHECK(ctx.rng != nullptr);
+  ag::Variable h =
+      ag::Dropout(features_, config_.dropout, *ctx.rng, ctx.training);
+  h = ag::Relu(mlp1_->Forward(h));
+  h = ag::Dropout(h, config_.dropout, *ctx.rng, ctx.training);
+  ag::Variable z0 = mlp2_->Forward(h);
+  ag::Variable z = z0;
+  const float alpha = config_.appnp_alpha;
+  for (size_t k = 0; k < config_.appnp_iterations; ++k) {
+    z = ag::Add(ag::ScalarMul(ag::SpMM(a_hat_, z), 1.0f - alpha),
+                ag::ScalarMul(z0, alpha));
+    RecordHidden(z);
+  }
+  return z;
+}
+
+std::vector<ag::Variable> AppnpModel::Parameters() const {
+  std::vector<ag::Variable> params = mlp1_->Parameters();
+  for (const auto& p : mlp2_->Parameters()) params.push_back(p);
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// MixHop
+// ---------------------------------------------------------------------------
+
+MixHopModel::MixHopModel(const Dataset& data, const ModelConfig& config)
+    : Model("MixHop", data), config_(config) {
+  LASAGNE_CHECK_GE(config.depth, 1u);
+  auto a_hat = std::make_shared<CsrMatrix>(data.graph.NormalizedAdjacency());
+  powers_.push_back(
+      std::make_shared<CsrMatrix>(CsrMatrix::Identity(data.num_nodes())));
+  powers_.push_back(a_hat);
+  CsrMatrix running = *a_hat;
+  for (size_t p = 2; p <= config.power_k; ++p) {
+    running = running.Multiply(*a_hat, 1e-4f, /*row_cap=*/256);
+    powers_.push_back(std::make_shared<CsrMatrix>(running));
+  }
+  features_ = ag::MakeConstant(data.features);
+  Rng rng(config.seed);
+  const size_t num_powers = powers_.size();
+  size_t in_dim = data.feature_dim();
+  for (size_t l = 0; l < config.depth; ++l) {
+    std::vector<nn::GraphConvolution> per_power;
+    for (size_t p = 0; p < num_powers; ++p) {
+      per_power.emplace_back(in_dim, config.hidden_dim, rng);
+    }
+    layer_weights_.push_back(std::move(per_power));
+    in_dim = num_powers * config.hidden_dim;
+  }
+  classifier_ = std::make_unique<nn::Linear>(in_dim, data.num_classes, rng);
+}
+
+ag::Variable MixHopModel::Forward(const nn::ForwardContext& ctx) {
+  ClearHidden();
+  ag::Variable h = features_;
+  for (auto& per_power : layer_weights_) {
+    std::vector<ag::Variable> pieces;
+    for (size_t p = 0; p < per_power.size(); ++p) {
+      pieces.push_back(
+          per_power[p].Forward(powers_[p], h, ctx, config_.dropout, true));
+    }
+    h = ag::ConcatCols(pieces);
+    RecordHidden(h);
+  }
+  LASAGNE_CHECK(ctx.rng != nullptr);
+  h = ag::Dropout(h, config_.dropout, *ctx.rng, ctx.training);
+  return classifier_->Forward(h);
+}
+
+std::vector<ag::Variable> MixHopModel::Parameters() const {
+  std::vector<ag::Variable> params;
+  for (const auto& per_power : layer_weights_) {
+    for (const auto& layer : per_power) {
+      for (const auto& p : layer.Parameters()) params.push_back(p);
+    }
+  }
+  for (const auto& p : classifier_->Parameters()) params.push_back(p);
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// GIN
+// ---------------------------------------------------------------------------
+
+GinModel::GinModel(const Dataset& data, const ModelConfig& config)
+    : Model("GIN", data), config_(config) {
+  LASAGNE_CHECK_GE(config.depth, 1u);
+  const float eps = 0.1f;
+  CsrMatrix sum_op = data.graph.Adjacency().Add(
+      CsrMatrix::Identity(data.num_nodes()).Scale(1.0f + eps));
+  sum_op_ = std::make_shared<CsrMatrix>(std::move(sum_op));
+  features_ = ag::MakeConstant(data.features);
+  Rng rng(config.seed);
+  for (size_t l = 0; l < config.depth; ++l) {
+    mlp_a_.emplace_back(l == 0 ? data.feature_dim() : config.hidden_dim,
+                        config.hidden_dim, rng);
+    mlp_b_.emplace_back(
+        config.hidden_dim,
+        l + 1 == config.depth ? data.num_classes : config.hidden_dim, rng);
+  }
+}
+
+ag::Variable GinModel::Forward(const nn::ForwardContext& ctx) {
+  ClearHidden();
+  LASAGNE_CHECK(ctx.rng != nullptr);
+  ag::Variable h = features_;
+  for (size_t l = 0; l < mlp_a_.size(); ++l) {
+    const bool last = (l + 1 == mlp_a_.size());
+    h = ag::Dropout(h, config_.dropout, *ctx.rng, ctx.training);
+    ag::Variable agg = ag::SpMM(sum_op_, h);
+    h = mlp_b_[l].Forward(ag::Relu(mlp_a_[l].Forward(agg)));
+    if (!last) {
+      // GIN pairs the MLP with batch normalization; without it the sum
+      // aggregation blows up on hub-heavy graphs.
+      h = ag::Relu(ag::BatchNormColumns(h));
+    }
+    RecordHidden(h);
+  }
+  return h;
+}
+
+std::vector<ag::Variable> GinModel::Parameters() const {
+  std::vector<ag::Variable> params;
+  for (const auto& m : mlp_a_) {
+    for (const auto& p : m.Parameters()) params.push_back(p);
+  }
+  for (const auto& m : mlp_b_) {
+    for (const auto& p : m.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// Snowball (STGCN-style truncated Krylov)
+// ---------------------------------------------------------------------------
+
+SnowballModel::SnowballModel(const Dataset& data, const ModelConfig& config)
+    : Model("STGCN", data), config_(config) {
+  LASAGNE_CHECK_GE(config.depth, 1u);
+  a_hat_ = std::make_shared<CsrMatrix>(data.graph.NormalizedAdjacency());
+  features_ = ag::MakeConstant(data.features);
+  Rng rng(config.seed);
+  size_t accumulated = data.feature_dim();
+  for (size_t l = 0; l < config.depth; ++l) {
+    layers_.emplace_back(accumulated, config.hidden_dim, rng);
+    accumulated += config.hidden_dim;
+  }
+  classifier_ = std::make_unique<nn::Linear>(accumulated, data.num_classes,
+                                             rng);
+}
+
+ag::Variable SnowballModel::Forward(const nn::ForwardContext& ctx) {
+  ClearHidden();
+  std::vector<ag::Variable> stack = {features_};
+  for (auto& layer : layers_) {
+    ag::Variable input =
+        stack.size() == 1 ? stack[0] : ag::ConcatCols(stack);
+    ag::Variable h = layer.Forward(a_hat_, input, ctx, config_.dropout,
+                                   true);
+    RecordHidden(h);
+    stack.push_back(h);
+  }
+  // Krylov readout: the classifier sees the whole (propagated) stack.
+  ag::Variable all = ag::ConcatCols(stack);
+  LASAGNE_CHECK(ctx.rng != nullptr);
+  all = ag::Dropout(all, config_.dropout, *ctx.rng, ctx.training);
+  return classifier_->Forward(all);
+}
+
+std::vector<ag::Variable> SnowballModel::Parameters() const {
+  std::vector<ag::Variable> params;
+  for (const auto& layer : layers_) {
+    for (const auto& p : layer.Parameters()) params.push_back(p);
+  }
+  for (const auto& p : classifier_->Parameters()) params.push_back(p);
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// DropEdge
+// ---------------------------------------------------------------------------
+
+DropEdgeGcnModel::DropEdgeGcnModel(const Dataset& data,
+                                   const ModelConfig& config)
+    : Model("DropEdge", data), config_(config) {
+  LASAGNE_CHECK_GE(config.depth, 1u);
+  full_a_hat_ =
+      std::make_shared<CsrMatrix>(data.graph.NormalizedAdjacency());
+  features_ = ag::MakeConstant(data.features);
+  Rng rng(config.seed);
+  for (size_t l = 0; l < config.depth; ++l) {
+    layers_.emplace_back(
+        LayerIn(l, config.depth, data.feature_dim(), config.hidden_dim),
+        LayerOut(l, config.depth, config.hidden_dim, data.num_classes),
+        rng);
+  }
+}
+
+ag::Variable DropEdgeGcnModel::Forward(const nn::ForwardContext& ctx) {
+  ClearHidden();
+  LASAGNE_CHECK(ctx.rng != nullptr);
+  std::shared_ptr<const CsrMatrix> op = full_a_hat_;
+  if (ctx.training && config_.drop_edge_rate > 0.0f) {
+    Graph sampled = data_.graph.DropEdges(config_.drop_edge_rate, *ctx.rng);
+    op = std::make_shared<CsrMatrix>(sampled.NormalizedAdjacency());
+  }
+  ag::Variable h = features_;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const bool last = (l + 1 == layers_.size());
+    h = layers_[l].Forward(op, h, ctx, config_.dropout, !last);
+    RecordHidden(h);
+  }
+  return h;
+}
+
+std::vector<ag::Variable> DropEdgeGcnModel::Parameters() const {
+  std::vector<ag::Variable> params;
+  for (const auto& layer : layers_) {
+    for (const auto& p : layer.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// MADReg
+// ---------------------------------------------------------------------------
+
+MadRegGcnModel::MadRegGcnModel(const Dataset& data,
+                               const ModelConfig& config)
+    : GcnModel(data, config, Variant::kPlain, "MADReg") {
+  // Neighbor pairs: sampled edges. Remote pairs: random node pairs (in a
+  // sparse graph a uniform pair is remote with overwhelming probability).
+  Rng rng(config.seed ^ 0xabcdef);
+  auto edges = data.graph.Edges();
+  const size_t want = config.madreg_pairs;
+  for (size_t i = 0; i < want && !edges.empty(); ++i) {
+    neighbor_pairs_.push_back(edges[rng.UniformInt(edges.size())]);
+  }
+  const size_t n = data.num_nodes();
+  while (remote_pairs_.size() < want) {
+    uint32_t a = static_cast<uint32_t>(rng.UniformInt(n));
+    uint32_t b = static_cast<uint32_t>(rng.UniformInt(n));
+    if (a != b && !data.graph.HasEdge(a, b)) remote_pairs_.emplace_back(a, b);
+  }
+}
+
+ag::Variable MadRegGcnModel::TrainingLoss(const nn::ForwardContext& ctx) {
+  ag::Variable logits = Forward(ctx);
+  ag::Variable ce =
+      ag::SoftmaxCrossEntropy(logits, data_.labels, data_.train_mask);
+  if (neighbor_pairs_.empty() || remote_pairs_.empty()) return ce;
+  // MADGap = MAD(remote) - MAD(neighbor); maximize it => subtract.
+  ag::Variable mad_neighbor = ag::MeanCosineDistance(logits,
+                                                     neighbor_pairs_);
+  ag::Variable mad_remote = ag::MeanCosineDistance(logits, remote_pairs_);
+  ag::Variable gap = ag::Sub(mad_remote, mad_neighbor);
+  return ag::Sub(ce, ag::ScalarMul(gap, config_.madreg_weight));
+}
+
+}  // namespace lasagne

@@ -1,0 +1,201 @@
+#ifndef LASAGNE_MODELS_GCN_FAMILY_H_
+#define LASAGNE_MODELS_GCN_FAMILY_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/model.h"
+#include "nn/layers.h"
+
+namespace lasagne {
+
+class LstmCell;  // core/lstm_aggregator.h
+
+/// Vanilla GCN (Kipf & Welling, ICLR'17), paper Eq. 2:
+/// `H(l) = ReLU(A_hat H(l-1) W(l))`, softmax classifier on H(L).
+class GcnModel : public Model {
+ public:
+  GcnModel(const Dataset& data, const ModelConfig& config);
+  ag::Variable Forward(const nn::ForwardContext& ctx) override;
+  std::vector<ag::Variable> Parameters() const override;
+
+ protected:
+  /// Shared forward skeleton with hooks for the Res/PairNorm variants.
+  enum class Variant { kPlain, kResidual, kPairNorm };
+  GcnModel(const Dataset& data, const ModelConfig& config, Variant variant,
+           const char* name);
+
+  ModelConfig config_;
+  Variant variant_ = Variant::kPlain;
+  std::shared_ptr<const CsrMatrix> a_hat_;
+  ag::Variable features_;
+  std::vector<nn::GraphConvolution> layers_;
+};
+
+/// ResGCN: GCN with identity skip connections between equal-width hidden
+/// layers (He et al. residual blocks ported to GCN).
+class ResGcnModel : public GcnModel {
+ public:
+  ResGcnModel(const Dataset& data, const ModelConfig& config);
+};
+
+/// PairNorm-GCN: GCN with a PairNorm layer after every hidden layer
+/// (Zhao & Akoglu, ICLR'20).
+class PairNormGcnModel : public GcnModel {
+ public:
+  PairNormGcnModel(const Dataset& data, const ModelConfig& config);
+};
+
+/// DenseGCN (Li et al., ICCV'19): layer l consumes the concatenation of
+/// the input and every previous layer's output (DenseNet connectivity).
+class DenseGcnModel : public Model {
+ public:
+  DenseGcnModel(const Dataset& data, const ModelConfig& config);
+  ag::Variable Forward(const nn::ForwardContext& ctx) override;
+  std::vector<ag::Variable> Parameters() const override;
+
+ private:
+  ModelConfig config_;
+  std::shared_ptr<const CsrMatrix> a_hat_;
+  ag::Variable features_;
+  std::vector<nn::GraphConvolution> layers_;
+  std::unique_ptr<nn::Linear> classifier_;
+};
+
+/// JK-Net (Xu et al., ICML'18): run L GC layers and combine every
+/// layer's output before the classifier. The paper offers three
+/// combination modes; all are implemented here (the Lasagne paper uses
+/// concatenation "since it performs best on the citation dataset").
+class JkNetModel : public Model {
+ public:
+  enum class Mode { kConcat, kMaxPool, kLstmAttention };
+
+  JkNetModel(const Dataset& data, const ModelConfig& config,
+             Mode mode = Mode::kConcat);
+  ~JkNetModel() override;  // out-of-line: LstmCell is incomplete here
+  ag::Variable Forward(const nn::ForwardContext& ctx) override;
+  std::vector<ag::Variable> Parameters() const override;
+
+ private:
+  ModelConfig config_;
+  Mode mode_;
+  std::shared_ptr<const CsrMatrix> a_hat_;
+  ag::Variable features_;
+  std::vector<nn::GraphConvolution> layers_;
+  std::unique_ptr<nn::Linear> classifier_;
+  // LSTM-attention mode state (see core/lstm_aggregator.h).
+  std::unique_ptr<LstmCell> lstm_cell_;
+  ag::Variable lstm_attn_;
+};
+
+/// SGC (Wu et al., ICML'19): logits = (A_hat^K X) W. The propagated
+/// features are precomputed once; only the linear map is trained.
+class SgcModel : public Model {
+ public:
+  SgcModel(const Dataset& data, const ModelConfig& config);
+  ag::Variable Forward(const nn::ForwardContext& ctx) override;
+  std::vector<ag::Variable> Parameters() const override;
+
+ private:
+  ModelConfig config_;
+  ag::Variable propagated_;  // constant A^K X
+  std::unique_ptr<nn::Linear> classifier_;
+};
+
+/// APPNP (Klicpera et al., ICLR'19): an MLP produces Z0; personalized
+/// PageRank propagation Z <- (1-alpha) A_hat Z + alpha Z0 runs for K
+/// steps.
+class AppnpModel : public Model {
+ public:
+  AppnpModel(const Dataset& data, const ModelConfig& config);
+  ag::Variable Forward(const nn::ForwardContext& ctx) override;
+  std::vector<ag::Variable> Parameters() const override;
+
+ private:
+  ModelConfig config_;
+  std::shared_ptr<const CsrMatrix> a_hat_;
+  ag::Variable features_;
+  std::unique_ptr<nn::Linear> mlp1_;
+  std::unique_ptr<nn::Linear> mlp2_;
+};
+
+/// MixHop (Abu-El-Haija et al., ICML'19): each layer concatenates
+/// `A^p H W_p` for powers p in {0..power_k}.
+class MixHopModel : public Model {
+ public:
+  MixHopModel(const Dataset& data, const ModelConfig& config);
+  ag::Variable Forward(const nn::ForwardContext& ctx) override;
+  std::vector<ag::Variable> Parameters() const override;
+
+ private:
+  ModelConfig config_;
+  std::vector<std::shared_ptr<const CsrMatrix>> powers_;  // A^0..A^k
+  ag::Variable features_;
+  // layer_weights_[l][p]
+  std::vector<std::vector<nn::GraphConvolution>> layer_weights_;
+  std::unique_ptr<nn::Linear> classifier_;
+};
+
+/// GIN (Xu et al., ICLR'19): sum aggregation
+/// `h = MLP((1 + eps) h + sum_neighbors h)`.
+class GinModel : public Model {
+ public:
+  GinModel(const Dataset& data, const ModelConfig& config);
+  ag::Variable Forward(const nn::ForwardContext& ctx) override;
+  std::vector<ag::Variable> Parameters() const override;
+
+ private:
+  ModelConfig config_;
+  std::shared_ptr<const CsrMatrix> sum_op_;  // A + (1 + eps) I
+  ag::Variable features_;
+  std::vector<nn::Linear> mlp_a_;
+  std::vector<nn::Linear> mlp_b_;
+};
+
+/// Snowball / truncated-Krylov GCN in the spirit of STGCN (Luan et al.,
+/// NeurIPS'19): layer l consumes the concatenation of all previous
+/// outputs and propagates once; the classifier sees the full stack.
+class SnowballModel : public Model {
+ public:
+  SnowballModel(const Dataset& data, const ModelConfig& config);
+  ag::Variable Forward(const nn::ForwardContext& ctx) override;
+  std::vector<ag::Variable> Parameters() const override;
+
+ private:
+  ModelConfig config_;
+  std::shared_ptr<const CsrMatrix> a_hat_;
+  ag::Variable features_;
+  std::vector<nn::GraphConvolution> layers_;
+  std::unique_ptr<nn::Linear> classifier_;
+};
+
+/// DropEdge (Rong et al., ICLR'20): a GCN whose propagation operator is
+/// resampled per training step by dropping a fraction of edges.
+class DropEdgeGcnModel : public Model {
+ public:
+  DropEdgeGcnModel(const Dataset& data, const ModelConfig& config);
+  ag::Variable Forward(const nn::ForwardContext& ctx) override;
+  std::vector<ag::Variable> Parameters() const override;
+
+ private:
+  ModelConfig config_;
+  std::shared_ptr<const CsrMatrix> full_a_hat_;
+  ag::Variable features_;
+  std::vector<nn::GraphConvolution> layers_;
+};
+
+/// MADReg (Chen et al., AAAI'20): GCN plus a MADGap-based regularizer
+/// that pushes neighbor pairs together and remote pairs apart.
+class MadRegGcnModel : public GcnModel {
+ public:
+  MadRegGcnModel(const Dataset& data, const ModelConfig& config);
+  ag::Variable TrainingLoss(const nn::ForwardContext& ctx) override;
+
+ private:
+  std::vector<std::pair<uint32_t, uint32_t>> neighbor_pairs_;
+  std::vector<std::pair<uint32_t, uint32_t>> remote_pairs_;
+};
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_MODELS_GCN_FAMILY_H_

@@ -1,0 +1,10 @@
+#include "models/model.h"
+
+namespace lasagne {
+
+ag::Variable Model::TrainingLoss(const nn::ForwardContext& ctx) {
+  ag::Variable logits = Forward(ctx);
+  return ag::SoftmaxCrossEntropy(logits, data_.labels, data_.train_mask);
+}
+
+}  // namespace lasagne

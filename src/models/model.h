@@ -1,0 +1,102 @@
+#ifndef LASAGNE_MODELS_MODEL_H_
+#define LASAGNE_MODELS_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "data/dataset.h"
+#include "nn/layers.h"
+
+namespace lasagne {
+
+/// Hyper-parameters shared across the model zoo. Individual models read
+/// the subset they understand.
+struct ModelConfig {
+  size_t depth = 2;        // number of graph-convolution layers
+  size_t hidden_dim = 32;  // hidden width
+  float dropout = 0.5f;
+  size_t heads = 4;              // GAT attention heads
+  float appnp_alpha = 0.1f;      // APPNP teleport probability
+  size_t appnp_iterations = 10;  // APPNP power-iteration steps
+  size_t power_k = 2;            // SGC / MixHop adjacency powers
+  float drop_edge_rate = 0.3f;   // DropEdge keep-rate complement
+  float pairnorm_scale = 1.0f;
+  float madreg_weight = 0.05f;   // MADReg regularizer strength
+  size_t madreg_pairs = 256;     // sampled pair count per MAD term
+  size_t num_partitions = 8;     // ClusterGCN / GPNN
+  size_t fastgcn_sample = 160;   // FastGCN per-layer sample size
+  size_t saint_root_count = 48;  // GraphSAINT walk roots per subgraph
+  size_t saint_walk_length = 3;
+  size_t sage_fanout = 8;        // GraphSAGE neighbor samples
+  size_t lgcn_topk = 4;          // LGCN ranked-aggregation k
+  uint64_t seed = 1;
+};
+
+/// Common interface of every node classifier in the zoo.
+///
+/// A model is bound to a `Dataset` at construction (the caller must keep
+/// the dataset alive for the model's lifetime). `Forward` produces
+/// full-graph logits (N x C); `TrainingLoss` defaults to masked softmax
+/// cross-entropy over the training mask but is overridden by sampling
+/// methods (ClusterGCN, GraphSAINT, FastGCN, GraphSAGE) that train on
+/// sampled or partitioned subgraphs, and by regularized methods (MADReg)
+/// that add auxiliary terms.
+class Model {
+ public:
+  Model(std::string name, const Dataset& data)
+      : name_(std::move(name)), data_(data) {}
+  virtual ~Model() = default;
+
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+
+  /// Full-graph logits (N x num_classes). Also refreshes
+  /// `hidden_states()` with the post-activation output of every hidden
+  /// graph-convolution layer (used by the mutual-information analysis).
+  virtual ag::Variable Forward(const nn::ForwardContext& ctx) = 0;
+
+  /// Differentiable training objective for one step.
+  virtual ag::Variable TrainingLoss(const nn::ForwardContext& ctx);
+
+  /// All trainable parameters.
+  virtual std::vector<ag::Variable> Parameters() const = 0;
+
+  const std::string& name() const { return name_; }
+  const Dataset& data() const { return data_; }
+
+  /// Hidden representations captured by the last Forward call.
+  const std::vector<Tensor>& hidden_states() const { return hidden_states_; }
+
+ protected:
+  /// Stores a hidden representation snapshot for analysis.
+  void RecordHidden(const ag::Variable& h) {
+    hidden_states_.push_back(h->value());
+  }
+  void ClearHidden() { hidden_states_.clear(); }
+
+  std::string name_;
+  const Dataset& data_;
+  std::vector<Tensor> hidden_states_;
+};
+
+/// Builds a model by registry name. Known names:
+///   "gcn", "resgcn", "densegcn", "jknet", "sgc", "gat", "appnp",
+///   "mixhop", "gin", "dropedge", "pairnorm", "madreg", "stgcn",
+///   "ngcn", "dgcn", "gpnn", "lgcn", "adsf", "graphsage", "fastgcn",
+///   "clustergcn", "graphsaint",
+///   "lasagne-weighted", "lasagne-stochastic", "lasagne-maxpool"
+/// (plus Lasagne base-model variants "lasagne-stochastic-sgc",
+/// "lasagne-stochastic-gat"). Aborts on unknown names.
+std::unique_ptr<Model> MakeModel(const std::string& name,
+                                 const Dataset& data,
+                                 const ModelConfig& config);
+
+/// Names accepted by MakeModel, in a stable order.
+std::vector<std::string> KnownModelNames();
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_MODELS_MODEL_H_

@@ -1,0 +1,267 @@
+#include "models/propagation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "graph/algorithms.h"
+
+namespace lasagne {
+
+// ---------------------------------------------------------------------------
+// NGCN
+// ---------------------------------------------------------------------------
+
+NgcnModel::NgcnModel(const Dataset& data, const ModelConfig& config)
+    : Model("NGCN", data), config_(config) {
+  auto walk = std::make_shared<CsrMatrix>(data.graph.RandomWalkAdjacency());
+  powers_.push_back(
+      std::make_shared<CsrMatrix>(CsrMatrix::Identity(data.num_nodes())));
+  powers_.push_back(walk);
+  CsrMatrix running = *walk;
+  for (size_t p = 2; p <= std::max<size_t>(config.power_k, 2); ++p) {
+    running = running.Multiply(*walk, 1e-4f, /*row_cap=*/256);
+    powers_.push_back(std::make_shared<CsrMatrix>(running));
+  }
+  features_ = ag::MakeConstant(data.features);
+  Rng rng(config.seed);
+  for (size_t p = 0; p < powers_.size(); ++p) {
+    instances_.emplace_back(data.feature_dim(), config.hidden_dim, rng);
+  }
+  combiner_ = std::make_unique<nn::Linear>(
+      powers_.size() * config.hidden_dim, data.num_classes, rng);
+}
+
+ag::Variable NgcnModel::Forward(const nn::ForwardContext& ctx) {
+  ClearHidden();
+  std::vector<ag::Variable> outs;
+  for (size_t p = 0; p < powers_.size(); ++p) {
+    outs.push_back(instances_[p].Forward(powers_[p], features_, ctx,
+                                         config_.dropout, true));
+  }
+  ag::Variable cat = ag::ConcatCols(outs);
+  RecordHidden(cat);
+  LASAGNE_CHECK(ctx.rng != nullptr);
+  cat = ag::Dropout(cat, config_.dropout, *ctx.rng, ctx.training);
+  return combiner_->Forward(cat);
+}
+
+std::vector<ag::Variable> NgcnModel::Parameters() const {
+  std::vector<ag::Variable> params;
+  for (const auto& inst : instances_) {
+    for (const auto& p : inst.Parameters()) params.push_back(p);
+  }
+  for (const auto& p : combiner_->Parameters()) params.push_back(p);
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// DGCN
+// ---------------------------------------------------------------------------
+
+DgcnModel::DgcnModel(const Dataset& data, const ModelConfig& config)
+    : Model("DGCN", data), config_(config) {
+  a_hat_ = std::make_shared<CsrMatrix>(data.graph.NormalizedAdjacency());
+  Rng walk_rng(config.seed ^ 0x5eed);
+  CsrMatrix ppmi = PpmiMatrix(data.graph, /*walks_per_node=*/4,
+                              /*walk_length=*/8, /*window=*/2, walk_rng);
+  // Symmetric normalization of the PPMI channel (add self loops so rows
+  // are never empty).
+  ppmi = ppmi.Add(CsrMatrix::Identity(data.num_nodes()));
+  Tensor row_sums = ppmi.Multiply(Tensor::Ones(data.num_nodes(), 1));
+  Tensor inv_sqrt(data.num_nodes(), 1);
+  for (size_t i = 0; i < data.num_nodes(); ++i) {
+    inv_sqrt(i, 0) = 1.0f / std::sqrt(std::max(row_sums(i, 0), 1e-6f));
+  }
+  ppmi_hat_ = std::make_shared<CsrMatrix>(
+      ppmi.ScaleRowsCols(inv_sqrt, inv_sqrt));
+
+  features_ = ag::MakeConstant(data.features);
+  Rng rng(config.seed);
+  for (size_t l = 0; l < config.depth; ++l) {
+    const size_t in = l == 0 ? data.feature_dim() : config.hidden_dim;
+    const size_t out =
+        l + 1 == config.depth ? data.num_classes : config.hidden_dim;
+    local_layers_.emplace_back(in, out, rng);
+    global_layers_.emplace_back(in, out, rng);
+  }
+}
+
+ag::Variable DgcnModel::ChannelForward(
+    const nn::ForwardContext& ctx,
+    const std::shared_ptr<const CsrMatrix>& op,
+    const std::vector<nn::GraphConvolution>& conv) {
+  ag::Variable h = features_;
+  for (size_t l = 0; l < conv.size(); ++l) {
+    const bool last = (l + 1 == conv.size());
+    h = conv[l].Forward(op, h, ctx, config_.dropout, !last);
+    RecordHidden(h);
+  }
+  return h;
+}
+
+ag::Variable DgcnModel::Forward(const nn::ForwardContext& ctx) {
+  ClearHidden();
+  ag::Variable za = ChannelForward(ctx, a_hat_, local_layers_);
+  ag::Variable zp = ChannelForward(ctx, ppmi_hat_, global_layers_);
+  return ag::ScalarMul(ag::Add(za, zp), 0.5f);
+}
+
+ag::Variable DgcnModel::TrainingLoss(const nn::ForwardContext& ctx) {
+  ClearHidden();
+  ag::Variable za = ChannelForward(ctx, a_hat_, local_layers_);
+  ag::Variable zp = ChannelForward(ctx, ppmi_hat_, global_layers_);
+  ag::Variable avg = ag::ScalarMul(ag::Add(za, zp), 0.5f);
+  ag::Variable ce =
+      ag::SoftmaxCrossEntropy(avg, data_.labels, data_.train_mask);
+  // Consistency regularizer between the local and global channels.
+  ag::Variable diff = ag::Sub(za, zp);
+  ag::Variable align = ag::ScalarMul(
+      ag::SquaredSum(diff),
+      0.1f / static_cast<float>(diff->value().size()));
+  return ag::Add(ce, align);
+}
+
+std::vector<ag::Variable> DgcnModel::Parameters() const {
+  std::vector<ag::Variable> params;
+  for (const auto& layer : local_layers_) {
+    for (const auto& p : layer.Parameters()) params.push_back(p);
+  }
+  for (const auto& layer : global_layers_) {
+    for (const auto& p : layer.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// GPNN
+// ---------------------------------------------------------------------------
+
+GpnnModel::GpnnModel(const Dataset& data, const ModelConfig& config)
+    : Model("GPNN", data), config_(config) {
+  Rng part_rng(config.seed ^ 0x6a11);
+  auto parts = PartitionGraph(data.graph, config.num_partitions, part_rng);
+  std::vector<uint32_t> part_of(data.num_nodes(), 0);
+  for (uint32_t p = 0; p < parts.size(); ++p) {
+    for (uint32_t u : parts[p]) part_of[u] = p;
+  }
+  // Intra-partition edges only, then GCN-normalize that subgraph.
+  std::vector<std::pair<uint32_t, uint32_t>> intra_edges;
+  for (const auto& [u, v] : data.graph.Edges()) {
+    if (part_of[u] == part_of[v]) intra_edges.emplace_back(u, v);
+  }
+  Graph intra = Graph::FromEdges(data.num_nodes(), intra_edges);
+  intra_op_ = std::make_shared<CsrMatrix>(intra.NormalizedAdjacency());
+  global_op_ = std::make_shared<CsrMatrix>(data.graph.NormalizedAdjacency());
+
+  features_ = ag::MakeConstant(data.features);
+  Rng rng(config.seed);
+  for (size_t l = 0; l < config.depth; ++l) {
+    const size_t in = l == 0 ? data.feature_dim() : config.hidden_dim;
+    const size_t out =
+        l + 1 == config.depth ? data.num_classes : config.hidden_dim;
+    layers_.emplace_back(in, out, rng);
+  }
+}
+
+ag::Variable GpnnModel::Forward(const nn::ForwardContext& ctx) {
+  ClearHidden();
+  ag::Variable h = features_;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const bool last = (l + 1 == layers_.size());
+    // Schedule: intra-partition propagation on even layers, global
+    // synchronization on odd layers (and always on the output layer).
+    const auto& op = (l % 2 == 0 && !last) ? intra_op_ : global_op_;
+    h = layers_[l].Forward(op, h, ctx, config_.dropout, !last);
+    RecordHidden(h);
+  }
+  return h;
+}
+
+std::vector<ag::Variable> GpnnModel::Parameters() const {
+  std::vector<ag::Variable> params;
+  for (const auto& layer : layers_) {
+    for (const auto& p : layer.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// LGCN
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Per coordinate, mean of the k largest neighbor values (ranked
+// aggregation from LGCN).
+Tensor TopKNeighborAggregate(const Dataset& data, size_t k) {
+  const size_t n = data.num_nodes();
+  const size_t d = data.feature_dim();
+  Tensor out(n, d);
+  std::vector<float> values;
+  for (uint32_t u = 0; u < n; ++u) {
+    const size_t deg = data.graph.Degree(u);
+    if (deg == 0) continue;
+    float* out_row = out.RowPtr(u);
+    for (size_t j = 0; j < d; ++j) {
+      values.clear();
+      for (const uint32_t* it = data.graph.NeighborsBegin(u);
+           it != data.graph.NeighborsEnd(u); ++it) {
+        values.push_back(data.features(*it, j));
+      }
+      const size_t take = std::min(k, values.size());
+      std::partial_sort(values.begin(), values.begin() + take, values.end(),
+                        std::greater<float>());
+      double acc = 0.0;
+      for (size_t t = 0; t < take; ++t) acc += values[t];
+      out_row[j] = static_cast<float>(acc / static_cast<double>(take));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LgcnModel::LgcnModel(const Dataset& data, const ModelConfig& config)
+    : Model("LGCN", data), config_(config) {
+  Tensor ranked = TopKNeighborAggregate(data, config.lgcn_topk);
+  // The paper's LGCN applies its ranked convolutions on top of an
+  // initial graph-embedding layer; a propagated-feature channel is the
+  // parameter-free stand-in for that layer.
+  Tensor propagated =
+      data.graph.NormalizedAdjacency().Multiply(data.features);
+  const size_t d = data.feature_dim();
+  Tensor augmented(data.num_nodes(), 3 * d);
+  for (size_t i = 0; i < data.num_nodes(); ++i) {
+    std::copy(data.features.RowPtr(i), data.features.RowPtr(i) + d,
+              augmented.RowPtr(i));
+    std::copy(ranked.RowPtr(i), ranked.RowPtr(i) + d,
+              augmented.RowPtr(i) + d);
+    std::copy(propagated.RowPtr(i), propagated.RowPtr(i) + d,
+              augmented.RowPtr(i) + 2 * d);
+  }
+  augmented_ = ag::MakeConstant(std::move(augmented));
+  Rng rng(config.seed);
+  mlp1_ = std::make_unique<nn::Linear>(3 * d, config.hidden_dim, rng);
+  mlp2_ = std::make_unique<nn::Linear>(config.hidden_dim,
+                                       data.num_classes, rng);
+}
+
+ag::Variable LgcnModel::Forward(const nn::ForwardContext& ctx) {
+  ClearHidden();
+  LASAGNE_CHECK(ctx.rng != nullptr);
+  ag::Variable h =
+      ag::Dropout(augmented_, config_.dropout, *ctx.rng, ctx.training);
+  h = ag::Relu(mlp1_->Forward(h));
+  RecordHidden(h);
+  h = ag::Dropout(h, config_.dropout, *ctx.rng, ctx.training);
+  return mlp2_->Forward(h);
+}
+
+std::vector<ag::Variable> LgcnModel::Parameters() const {
+  std::vector<ag::Variable> params = mlp1_->Parameters();
+  for (const auto& p : mlp2_->Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace lasagne

@@ -1,0 +1,92 @@
+#ifndef LASAGNE_MODELS_PROPAGATION_H_
+#define LASAGNE_MODELS_PROPAGATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/model.h"
+#include "nn/layers.h"
+
+namespace lasagne {
+
+/// NGCN (Abu-El-Haija et al., 2018): trains GCN instances over random
+/// walk powers A_rw^p (p = 0..power_k) and learns a combination of the
+/// instance outputs via a linear classifier on their concatenation.
+class NgcnModel : public Model {
+ public:
+  NgcnModel(const Dataset& data, const ModelConfig& config);
+  ag::Variable Forward(const nn::ForwardContext& ctx) override;
+  std::vector<ag::Variable> Parameters() const override;
+
+ private:
+  ModelConfig config_;
+  std::vector<std::shared_ptr<const CsrMatrix>> powers_;
+  ag::Variable features_;
+  std::vector<nn::GraphConvolution> instances_;
+  std::unique_ptr<nn::Linear> combiner_;
+};
+
+/// DGCN (Zhuang & Ma, WWW'18): dual channels — one GCN over the
+/// normalized adjacency (local consistency) and one over a normalized
+/// random-walk PPMI matrix (global consistency) — whose predictions are
+/// averaged; training adds an alignment regularizer between the two.
+class DgcnModel : public Model {
+ public:
+  DgcnModel(const Dataset& data, const ModelConfig& config);
+  ag::Variable Forward(const nn::ForwardContext& ctx) override;
+  ag::Variable TrainingLoss(const nn::ForwardContext& ctx) override;
+  std::vector<ag::Variable> Parameters() const override;
+
+ private:
+  ag::Variable ChannelForward(const nn::ForwardContext& ctx,
+                              const std::shared_ptr<const CsrMatrix>& op,
+                              const std::vector<nn::GraphConvolution>& conv);
+
+  ModelConfig config_;
+  std::shared_ptr<const CsrMatrix> a_hat_;
+  std::shared_ptr<const CsrMatrix> ppmi_hat_;
+  ag::Variable features_;
+  std::vector<nn::GraphConvolution> local_layers_;
+  std::vector<nn::GraphConvolution> global_layers_;
+};
+
+/// GPNN (Liao et al., 2018), simplified: graph partition neural network
+/// whose propagation schedule alternates intra-partition steps (a
+/// block-diagonal cut of A_hat) with global synchronization steps (full
+/// A_hat), approximating the paper's synchronous/sequential schedules.
+class GpnnModel : public Model {
+ public:
+  GpnnModel(const Dataset& data, const ModelConfig& config);
+  ag::Variable Forward(const nn::ForwardContext& ctx) override;
+  std::vector<ag::Variable> Parameters() const override;
+
+ private:
+  ModelConfig config_;
+  std::shared_ptr<const CsrMatrix> intra_op_;   // partition-internal edges
+  std::shared_ptr<const CsrMatrix> global_op_;  // full A_hat
+  ag::Variable features_;
+  std::vector<nn::GraphConvolution> layers_;
+};
+
+/// LGCN (Gao et al., KDD'18), simplified: the learnable graph
+/// convolution's top-k ranked neighbor aggregation is computed per
+/// feature coordinate as a fixed preprocessing step; a trainable MLP
+/// consumes [X || topk(X) || A_hat X] (the third channel standing in
+/// for the paper's initial graph-embedding layer). Preserves the
+/// ranked-aggregation mechanism without the 1-D convolution plumbing.
+class LgcnModel : public Model {
+ public:
+  LgcnModel(const Dataset& data, const ModelConfig& config);
+  ag::Variable Forward(const nn::ForwardContext& ctx) override;
+  std::vector<ag::Variable> Parameters() const override;
+
+ private:
+  ModelConfig config_;
+  ag::Variable augmented_;  // constant [X || ranked-topk aggregate]
+  std::unique_ptr<nn::Linear> mlp1_;
+  std::unique_ptr<nn::Linear> mlp2_;
+};
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_MODELS_PROPAGATION_H_

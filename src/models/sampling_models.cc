@@ -1,0 +1,291 @@
+#include "models/sampling_models.h"
+
+#include "common/check.h"
+#include "graph/algorithms.h"
+#include "sampling/samplers.h"
+
+namespace lasagne {
+
+SampledTrainingModel::SampledTrainingModel(const char* name,
+                                           const Dataset& data)
+    : Model(name, data) {
+  if (data.inductive) {
+    train_view_ = std::make_unique<Dataset>(data.TrainSubgraph());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GraphSAGE
+// ---------------------------------------------------------------------------
+
+GraphSageModel::GraphSageModel(const Dataset& data,
+                               const ModelConfig& config)
+    : SampledTrainingModel("GraphSAGE", data), config_(config) {
+  LASAGNE_CHECK_GE(config.depth, 1u);
+  full_op_ = std::make_shared<CsrMatrix>(FullNeighborOperator(data.graph));
+  features_ = ag::MakeConstant(data.features);
+  train_features_ = ag::MakeConstant(train_view().features);
+  Rng rng(config.seed);
+  for (size_t l = 0; l < config.depth; ++l) {
+    const size_t in = l == 0 ? data.feature_dim() : config.hidden_dim;
+    const size_t out =
+        l + 1 == config.depth ? data.num_classes : config.hidden_dim;
+    self_weights_.emplace_back(in, out, rng);
+    neighbor_weights_.emplace_back(in, out, rng);
+  }
+}
+
+ag::Variable GraphSageModel::ForwardOn(
+    const Dataset& view, const std::shared_ptr<const CsrMatrix>& op,
+    const ag::Variable& features, const nn::ForwardContext& ctx) {
+  (void)view;
+  ClearHidden();
+  LASAGNE_CHECK(ctx.rng != nullptr);
+  ag::Variable h = features;
+  for (size_t l = 0; l < self_weights_.size(); ++l) {
+    const bool last = (l + 1 == self_weights_.size());
+    h = ag::Dropout(h, config_.dropout, *ctx.rng, ctx.training);
+    ag::Variable agg = ag::SpMM(op, h);
+    h = ag::Add(self_weights_[l].Forward(h),
+                neighbor_weights_[l].Forward(agg));
+    if (!last) h = ag::Relu(h);
+    RecordHidden(h);
+  }
+  return h;
+}
+
+ag::Variable GraphSageModel::Forward(const nn::ForwardContext& ctx) {
+  return ForwardOn(data_, full_op_, features_, ctx);
+}
+
+ag::Variable GraphSageModel::TrainingLoss(const nn::ForwardContext& ctx) {
+  LASAGNE_CHECK(ctx.rng != nullptr);
+  const Dataset& view = train_view();
+  auto sampled = std::make_shared<CsrMatrix>(
+      SampleNeighborOperator(view.graph, config_.sage_fanout, *ctx.rng));
+  ag::Variable logits = ForwardOn(view, sampled, train_features_, ctx);
+  return ag::SoftmaxCrossEntropy(logits, view.labels, view.train_mask);
+}
+
+std::vector<ag::Variable> GraphSageModel::Parameters() const {
+  std::vector<ag::Variable> params;
+  for (const auto& w : self_weights_) {
+    for (const auto& p : w.Parameters()) params.push_back(p);
+  }
+  for (const auto& w : neighbor_weights_) {
+    for (const auto& p : w.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// FastGCN
+// ---------------------------------------------------------------------------
+
+FastGcnModel::FastGcnModel(const Dataset& data, const ModelConfig& config)
+    : SampledTrainingModel("FastGCN", data), config_(config) {
+  LASAGNE_CHECK_GE(config.depth, 1u);
+  full_a_hat_ =
+      std::make_shared<CsrMatrix>(data.graph.NormalizedAdjacency());
+  train_a_hat_ = data.inductive
+                     ? std::make_shared<CsrMatrix>(
+                           train_view().graph.NormalizedAdjacency())
+                     : full_a_hat_;
+  features_ = ag::MakeConstant(data.features);
+  train_features_ = ag::MakeConstant(train_view().features);
+  Rng rng(config.seed);
+  for (size_t l = 0; l < config.depth; ++l) {
+    const size_t in = l == 0 ? data.feature_dim() : config.hidden_dim;
+    const size_t out =
+        l + 1 == config.depth ? data.num_classes : config.hidden_dim;
+    layers_.emplace_back(in, out, rng);
+  }
+}
+
+ag::Variable FastGcnModel::ForwardWithOps(
+    const std::vector<std::shared_ptr<const CsrMatrix>>& ops,
+    const ag::Variable& features, const nn::ForwardContext& ctx) {
+  ClearHidden();
+  ag::Variable h = features;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const bool last = (l + 1 == layers_.size());
+    h = layers_[l].Forward(ops[l], h, ctx, config_.dropout, !last);
+    RecordHidden(h);
+  }
+  return h;
+}
+
+ag::Variable FastGcnModel::Forward(const nn::ForwardContext& ctx) {
+  std::vector<std::shared_ptr<const CsrMatrix>> ops(layers_.size(),
+                                                    full_a_hat_);
+  return ForwardWithOps(ops, features_, ctx);
+}
+
+ag::Variable FastGcnModel::TrainingLoss(const nn::ForwardContext& ctx) {
+  LASAGNE_CHECK(ctx.rng != nullptr);
+  const Dataset& view = train_view();
+  std::vector<std::shared_ptr<const CsrMatrix>> ops;
+  ops.reserve(layers_.size());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    ops.push_back(std::make_shared<CsrMatrix>(FastGcnLayerOperator(
+        *train_a_hat_, config_.fastgcn_sample, *ctx.rng)));
+  }
+  ag::Variable logits = ForwardWithOps(ops, train_features_, ctx);
+  return ag::SoftmaxCrossEntropy(logits, view.labels, view.train_mask);
+}
+
+std::vector<ag::Variable> FastGcnModel::Parameters() const {
+  std::vector<ag::Variable> params;
+  for (const auto& layer : layers_) {
+    for (const auto& p : layer.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// ClusterGCN
+// ---------------------------------------------------------------------------
+
+ClusterGcnModel::ClusterGcnModel(const Dataset& data,
+                                 const ModelConfig& config)
+    : SampledTrainingModel("ClusterGCN", data), config_(config) {
+  LASAGNE_CHECK_GE(config.depth, 1u);
+  full_a_hat_ =
+      std::make_shared<CsrMatrix>(data.graph.NormalizedAdjacency());
+  features_ = ag::MakeConstant(data.features);
+  Rng rng(config.seed);
+  for (size_t l = 0; l < config.depth; ++l) {
+    const size_t in = l == 0 ? data.feature_dim() : config.hidden_dim;
+    const size_t out =
+        l + 1 == config.depth ? data.num_classes : config.hidden_dim;
+    layers_.emplace_back(in, out, rng);
+  }
+
+  const Dataset& view = train_view();
+  Rng part_rng(config.seed ^ 0xc1u);
+  auto parts = PartitionGraph(view.graph, config.num_partitions, part_rng);
+  for (auto& nodes : parts) {
+    if (nodes.empty()) continue;
+    Partition part;
+    Graph sub = view.graph.InducedSubgraph(nodes);
+    part.a_hat = std::make_shared<CsrMatrix>(sub.NormalizedAdjacency());
+    std::vector<size_t> idx(nodes.begin(), nodes.end());
+    part.features = ag::MakeConstant(view.features.GatherRows(idx));
+    for (uint32_t u : nodes) {
+      part.labels.push_back(view.labels[u]);
+      part.train_mask.push_back(view.train_mask[u]);
+    }
+    part.nodes = std::move(nodes);
+    bool has_train = false;
+    for (float m : part.train_mask) has_train = has_train || m > 0.0f;
+    if (has_train) partitions_.push_back(std::move(part));
+  }
+  LASAGNE_CHECK(!partitions_.empty());
+}
+
+ag::Variable ClusterGcnModel::Forward(const nn::ForwardContext& ctx) {
+  ClearHidden();
+  ag::Variable h = features_;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const bool last = (l + 1 == layers_.size());
+    h = layers_[l].Forward(full_a_hat_, h, ctx, config_.dropout, !last);
+    RecordHidden(h);
+  }
+  return h;
+}
+
+ag::Variable ClusterGcnModel::TrainingLoss(const nn::ForwardContext& ctx) {
+  LASAGNE_CHECK(ctx.rng != nullptr);
+  const Partition& part =
+      partitions_[ctx.rng->UniformInt(partitions_.size())];
+  ag::Variable h = part.features;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const bool last = (l + 1 == layers_.size());
+    h = layers_[l].Forward(part.a_hat, h, ctx, config_.dropout, !last);
+  }
+  return ag::SoftmaxCrossEntropy(h, part.labels, part.train_mask);
+}
+
+std::vector<ag::Variable> ClusterGcnModel::Parameters() const {
+  std::vector<ag::Variable> params;
+  for (const auto& layer : layers_) {
+    for (const auto& p : layer.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// GraphSAINT
+// ---------------------------------------------------------------------------
+
+GraphSaintModel::GraphSaintModel(const Dataset& data,
+                                 const ModelConfig& config)
+    : SampledTrainingModel("GraphSAINT", data), config_(config) {
+  LASAGNE_CHECK_GE(config.depth, 1u);
+  full_a_hat_ =
+      std::make_shared<CsrMatrix>(data.graph.NormalizedAdjacency());
+  features_ = ag::MakeConstant(data.features);
+  Rng rng(config.seed);
+  for (size_t l = 0; l < config.depth; ++l) {
+    const size_t in = l == 0 ? data.feature_dim() : config.hidden_dim;
+    const size_t out =
+        l + 1 == config.depth ? data.num_classes : config.hidden_dim;
+    layers_.emplace_back(in, out, rng);
+  }
+  Rng est_rng(config.seed ^ 0x5a17);
+  inclusion_probs_ = EstimateInclusionProbabilities(
+      train_view().graph, config.saint_root_count, config.saint_walk_length,
+      /*trials=*/20, est_rng);
+}
+
+ag::Variable GraphSaintModel::Forward(const nn::ForwardContext& ctx) {
+  ClearHidden();
+  ag::Variable h = features_;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const bool last = (l + 1 == layers_.size());
+    h = layers_[l].Forward(full_a_hat_, h, ctx, config_.dropout, !last);
+    RecordHidden(h);
+  }
+  return h;
+}
+
+ag::Variable GraphSaintModel::TrainingLoss(const nn::ForwardContext& ctx) {
+  LASAGNE_CHECK(ctx.rng != nullptr);
+  const Dataset& view = train_view();
+  std::vector<uint32_t> nodes = RandomWalkSubgraphNodes(
+      view.graph, config_.saint_root_count, config_.saint_walk_length,
+      *ctx.rng);
+  if (nodes.size() < 4) return Model::TrainingLoss(ctx);
+  Graph sub = view.graph.InducedSubgraph(nodes);
+  auto sub_a_hat = std::make_shared<CsrMatrix>(sub.NormalizedAdjacency());
+  std::vector<size_t> idx(nodes.begin(), nodes.end());
+  ag::Variable h = ag::MakeConstant(view.features.GatherRows(idx));
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const bool last = (l + 1 == layers_.size());
+    h = layers_[l].Forward(sub_a_hat, h, ctx, config_.dropout, !last);
+  }
+  // Loss normalization: weight each training node by 1 / inclusion prob.
+  std::vector<int32_t> labels;
+  std::vector<float> weights;
+  bool has_train = false;
+  for (uint32_t u : nodes) {
+    labels.push_back(view.labels[u]);
+    float w = view.train_mask[u] > 0.0f
+                  ? static_cast<float>(1.0 / inclusion_probs_[u])
+                  : 0.0f;
+    has_train = has_train || w > 0.0f;
+    weights.push_back(w);
+  }
+  if (!has_train) return Model::TrainingLoss(ctx);
+  return ag::WeightedSoftmaxCrossEntropy(h, labels, weights);
+}
+
+std::vector<ag::Variable> GraphSaintModel::Parameters() const {
+  std::vector<ag::Variable> params;
+  for (const auto& layer : layers_) {
+    for (const auto& p : layer.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace lasagne

@@ -1,0 +1,123 @@
+#ifndef LASAGNE_MODELS_SAMPLING_MODELS_H_
+#define LASAGNE_MODELS_SAMPLING_MODELS_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/model.h"
+#include "nn/layers.h"
+
+namespace lasagne {
+
+/// Shared plumbing for methods that train on a (sampled view of the)
+/// training graph and evaluate full-graph: on inductive datasets the
+/// training view is the subgraph induced by train nodes, exactly as in
+/// the paper's Flickr/Reddit protocol.
+class SampledTrainingModel : public Model {
+ public:
+  SampledTrainingModel(const char* name, const Dataset& data);
+
+ protected:
+  /// The dataset training happens on (== data_ when transductive).
+  const Dataset& train_view() const {
+    return train_view_ ? *train_view_ : data_;
+  }
+
+ private:
+  std::unique_ptr<Dataset> train_view_;  // set only for inductive data
+};
+
+/// GraphSAGE (Hamilton et al., NIPS'17) with the mean aggregator:
+/// h' = ReLU(W_self h + W_neigh mean_{sampled neighbors} h). Training
+/// resamples `sage_fanout` neighbors per node each step.
+class GraphSageModel : public SampledTrainingModel {
+ public:
+  GraphSageModel(const Dataset& data, const ModelConfig& config);
+  ag::Variable Forward(const nn::ForwardContext& ctx) override;
+  ag::Variable TrainingLoss(const nn::ForwardContext& ctx) override;
+  std::vector<ag::Variable> Parameters() const override;
+
+ private:
+  ag::Variable ForwardOn(const Dataset& view,
+                         const std::shared_ptr<const CsrMatrix>& op,
+                         const ag::Variable& features,
+                         const nn::ForwardContext& ctx);
+
+  ModelConfig config_;
+  std::shared_ptr<const CsrMatrix> full_op_;  // eval operator (full graph)
+  ag::Variable features_;
+  ag::Variable train_features_;
+  std::vector<nn::Linear> self_weights_;
+  std::vector<nn::Linear> neighbor_weights_;
+};
+
+/// FastGCN (Chen et al., ICLR'18): GCN trained with per-layer importance
+/// sampled propagation operators; full-graph inference.
+class FastGcnModel : public SampledTrainingModel {
+ public:
+  FastGcnModel(const Dataset& data, const ModelConfig& config);
+  ag::Variable Forward(const nn::ForwardContext& ctx) override;
+  ag::Variable TrainingLoss(const nn::ForwardContext& ctx) override;
+  std::vector<ag::Variable> Parameters() const override;
+
+ private:
+  ag::Variable ForwardWithOps(
+      const std::vector<std::shared_ptr<const CsrMatrix>>& ops,
+      const ag::Variable& features, const nn::ForwardContext& ctx);
+
+  ModelConfig config_;
+  std::shared_ptr<const CsrMatrix> full_a_hat_;   // eval (full graph)
+  std::shared_ptr<const CsrMatrix> train_a_hat_;  // sampled from this
+  ag::Variable features_;
+  ag::Variable train_features_;
+  std::vector<nn::GraphConvolution> layers_;
+};
+
+/// ClusterGCN (Chiang et al., KDD'19): the graph is partitioned once;
+/// each training step runs a GCN restricted to one randomly chosen
+/// partition (locally re-normalized), eliminating neighborhood
+/// expansion. Full-graph inference.
+class ClusterGcnModel : public SampledTrainingModel {
+ public:
+  ClusterGcnModel(const Dataset& data, const ModelConfig& config);
+  ag::Variable Forward(const nn::ForwardContext& ctx) override;
+  ag::Variable TrainingLoss(const nn::ForwardContext& ctx) override;
+  std::vector<ag::Variable> Parameters() const override;
+
+ private:
+  ModelConfig config_;
+  std::shared_ptr<const CsrMatrix> full_a_hat_;
+  ag::Variable features_;
+  std::vector<nn::GraphConvolution> layers_;
+  // Per-partition precomputed pieces (on the training view).
+  struct Partition {
+    std::vector<uint32_t> nodes;
+    std::shared_ptr<const CsrMatrix> a_hat;
+    ag::Variable features;
+    std::vector<int32_t> labels;
+    std::vector<float> train_mask;
+  };
+  std::vector<Partition> partitions_;
+};
+
+/// GraphSAINT (Zeng et al., ICLR'20) with the random-walk sampler: each
+/// step trains on a sampled subgraph with inclusion-probability loss
+/// normalization; full-graph inference.
+class GraphSaintModel : public SampledTrainingModel {
+ public:
+  GraphSaintModel(const Dataset& data, const ModelConfig& config);
+  ag::Variable Forward(const nn::ForwardContext& ctx) override;
+  ag::Variable TrainingLoss(const nn::ForwardContext& ctx) override;
+  std::vector<ag::Variable> Parameters() const override;
+
+ private:
+  ModelConfig config_;
+  std::shared_ptr<const CsrMatrix> full_a_hat_;
+  ag::Variable features_;
+  std::vector<nn::GraphConvolution> layers_;
+  std::vector<double> inclusion_probs_;  // on the training view
+};
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_MODELS_SAMPLING_MODELS_H_

@@ -1,0 +1,173 @@
+#include "models/unsupervised.h"
+
+#include <numeric>
+
+#include "autograd/ops.h"
+#include "common/check.h"
+#include "nn/layers.h"
+#include "train/optimizer.h"
+
+namespace lasagne {
+
+namespace {
+
+// Row-shuffled copy of the features (DGI's corruption function).
+Tensor ShuffleRows(const Tensor& x, Rng& rng) {
+  std::vector<size_t> perm(x.rows());
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  rng.Shuffle(perm);
+  return x.GatherRows(perm);
+}
+
+// Logistic-regression probe on frozen embeddings; returns (val, test).
+std::pair<double, double> LinearProbe(const Tensor& embeddings,
+                                      const Dataset& data,
+                                      const TrainOptions& options) {
+  Rng rng(options.seed ^ 0x9c0be);
+  ag::Variable features = ag::MakeConstant(embeddings);
+  ag::Variable weight = ag::MakeParameter(
+      Tensor::GlorotUniform(embeddings.cols(), data.num_classes, rng));
+  AdamOptimizer opt({weight}, 0.05f, 1e-4f);
+  double best_val = 0.0;
+  double test_at_best = 0.0;
+  size_t since_best = 0;
+  for (size_t epoch = 0; epoch < options.max_epochs; ++epoch) {
+    opt.ZeroGrad();
+    ag::Variable logits = ag::MatMul(features, weight);
+    ag::Variable loss =
+        ag::SoftmaxCrossEntropy(logits, data.labels, data.train_mask);
+    ag::Backward(loss);
+    opt.Step();
+    const double val = MaskedAccuracy(logits->value(), data.labels,
+                                      data.val_mask);
+    if (val > best_val) {
+      best_val = val;
+      test_at_best = MaskedAccuracy(logits->value(), data.labels,
+                                    data.test_mask);
+      since_best = 0;
+    } else if (++since_best >= options.patience) {
+      break;
+    }
+  }
+  return {best_val, test_at_best};
+}
+
+}  // namespace
+
+UnsupervisedResult RunDgi(const Dataset& data, const ModelConfig& config,
+                          const TrainOptions& options) {
+  Rng rng(config.seed);
+  auto a_hat = std::make_shared<CsrMatrix>(data.graph.NormalizedAdjacency());
+  nn::GraphConvolution encoder(data.feature_dim(), config.hidden_dim, rng);
+  ag::Variable disc = ag::MakeParameter(
+      Tensor::GlorotUniform(config.hidden_dim, config.hidden_dim, rng));
+  std::vector<ag::Variable> params = encoder.Parameters();
+  params.push_back(disc);
+  AdamOptimizer opt(params, options.learning_rate, options.weight_decay);
+  ag::Variable features = ag::MakeConstant(data.features);
+
+  Rng train_rng(options.seed);
+  UnsupervisedResult result;
+  const size_t pretrain_epochs = options.max_epochs;
+  for (size_t epoch = 0; epoch < pretrain_epochs; ++epoch) {
+    opt.ZeroGrad();
+    nn::ForwardContext ctx{true, &train_rng};
+    ag::Variable h_pos =
+        encoder.Forward(a_hat, features, ctx, config.dropout, true);
+    ag::Variable corrupted =
+        ag::MakeConstant(ShuffleRows(data.features, train_rng));
+    ag::Variable h_neg =
+        encoder.Forward(a_hat, corrupted, ctx, config.dropout, true);
+    // Readout: sigmoid of the mean patch representation.
+    ag::Variable summary = ag::Sigmoid(ag::MeanRows(h_pos));  // 1 x D
+    // Bilinear scores h W s^T for positive and corrupted embeddings.
+    ag::Variable ws = ag::MatMul(disc, ag::Transpose(summary));  // D x 1
+    ag::Variable pos_logits = ag::MatMul(h_pos, ws);
+    ag::Variable neg_logits = ag::MatMul(h_neg, ws);
+    ag::Variable loss = ag::ScalarMul(
+        ag::Add(ag::BinaryCrossEntropyWithLogits(
+                    pos_logits, Tensor::Ones(data.num_nodes(), 1)),
+                ag::BinaryCrossEntropyWithLogits(
+                    neg_logits, Tensor::Zeros(data.num_nodes(), 1))),
+        0.5f);
+    ag::Backward(loss);
+    opt.Step();
+    result.pretrain_loss = loss->value()(0, 0);
+  }
+
+  // Frozen embeddings -> logistic regression probe.
+  Rng eval_rng(1);
+  nn::ForwardContext eval_ctx{false, &eval_rng};
+  Tensor embeddings =
+      encoder.Forward(a_hat, features, eval_ctx, 0.0f, true)->value();
+  auto [val, test] = LinearProbe(embeddings, data, options);
+  result.val_accuracy = val;
+  result.test_accuracy = test;
+  return result;
+}
+
+UnsupervisedResult RunGmi(const Dataset& data, const ModelConfig& config,
+                          const TrainOptions& options) {
+  Rng rng(config.seed);
+  auto a_hat = std::make_shared<CsrMatrix>(data.graph.NormalizedAdjacency());
+  nn::GraphConvolution encoder(data.feature_dim(), config.hidden_dim, rng);
+  // Bilinear feature discriminator: embedding x raw feature.
+  ag::Variable disc = ag::MakeParameter(
+      Tensor::GlorotUniform(config.hidden_dim, data.feature_dim(), rng));
+  std::vector<ag::Variable> params = encoder.Parameters();
+  params.push_back(disc);
+  AdamOptimizer opt(params, options.learning_rate, options.weight_decay);
+  ag::Variable features = ag::MakeConstant(data.features);
+
+  // Edge positive pairs and random negative pairs for the edge-MI term.
+  auto edges = data.graph.Edges();
+  Rng pair_rng(config.seed ^ 0xed6e);
+  std::vector<std::pair<uint32_t, uint32_t>> neg_pairs;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    neg_pairs.emplace_back(
+        static_cast<uint32_t>(pair_rng.UniformInt(data.num_nodes())),
+        static_cast<uint32_t>(pair_rng.UniformInt(data.num_nodes())));
+  }
+
+  Rng train_rng(options.seed);
+  UnsupervisedResult result;
+  for (size_t epoch = 0; epoch < options.max_epochs; ++epoch) {
+    opt.ZeroGrad();
+    nn::ForwardContext ctx{true, &train_rng};
+    ag::Variable h =
+        encoder.Forward(a_hat, features, ctx, config.dropout, true);
+    // Feature MI: diag(h W x^T) positive vs shuffled-feature negatives.
+    ag::Variable hw = ag::MatMul(h, disc);  // N x M
+    ag::Variable pos_scores =
+        ag::RowMax(ag::Mul(hw, features));  // proxy: strongest match
+    ag::Variable shuffled =
+        ag::MakeConstant(ShuffleRows(data.features, train_rng));
+    ag::Variable neg_scores = ag::RowMax(ag::Mul(hw, shuffled));
+    ag::Variable fmi_loss = ag::ScalarMul(
+        ag::Add(ag::BinaryCrossEntropyWithLogits(
+                    pos_scores, Tensor::Ones(data.num_nodes(), 1)),
+                ag::BinaryCrossEntropyWithLogits(
+                    neg_scores, Tensor::Zeros(data.num_nodes(), 1))),
+        0.5f);
+    // Edge MI: embeddings agree on edges, disagree on random pairs.
+    ag::Variable edge_pos = ag::MeanCosineDistance(h, edges);
+    ag::Variable edge_neg = ag::MeanCosineDistance(h, neg_pairs);
+    ag::Variable edge_loss =
+        ag::ScalarMul(ag::Sub(edge_pos, edge_neg), 0.5f);
+    ag::Variable loss = ag::Add(fmi_loss, edge_loss);
+    ag::Backward(loss);
+    opt.Step();
+    result.pretrain_loss = loss->value()(0, 0);
+  }
+
+  Rng eval_rng(1);
+  nn::ForwardContext eval_ctx{false, &eval_rng};
+  Tensor embeddings =
+      encoder.Forward(a_hat, features, eval_ctx, 0.0f, true)->value();
+  auto [val, test] = LinearProbe(embeddings, data, options);
+  result.val_accuracy = val;
+  result.test_accuracy = test;
+  return result;
+}
+
+}  // namespace lasagne

@@ -1,0 +1,35 @@
+#ifndef LASAGNE_MODELS_UNSUPERVISED_H_
+#define LASAGNE_MODELS_UNSUPERVISED_H_
+
+#include "data/dataset.h"
+#include "models/model.h"
+#include "train/trainer.h"
+
+namespace lasagne {
+
+/// Result of an unsupervised-pretrain + linear-probe pipeline.
+struct UnsupervisedResult {
+  double test_accuracy = 0.0;
+  double val_accuracy = 0.0;
+  double pretrain_loss = 0.0;
+};
+
+/// DGI (Velickovic et al., ICLR'19): a GCN encoder is pretrained to
+/// maximize mutual information between patch representations and a
+/// global summary (readout) via a bilinear discriminator against
+/// corrupted (feature-shuffled) graphs; node classification is then a
+/// logistic-regression probe on the frozen embeddings.
+UnsupervisedResult RunDgi(const Dataset& data, const ModelConfig& config,
+                          const TrainOptions& options);
+
+/// GMI (Peng et al., WWW'20), simplified: the encoder maximizes (a)
+/// feature MI — a bilinear discriminator between each node's embedding
+/// and its own raw features versus shuffled features — and (b) edge MI —
+/// embedding agreement on edges versus random pairs. Same probe
+/// protocol as DGI.
+UnsupervisedResult RunGmi(const Dataset& data, const ModelConfig& config,
+                          const TrainOptions& options);
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_MODELS_UNSUPERVISED_H_

@@ -1,0 +1,113 @@
+#ifndef LASAGNE_NN_LAYERS_H_
+#define LASAGNE_NN_LAYERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/edge_ops.h"
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "sparse/csr_matrix.h"
+#include "tensor/rng.h"
+
+namespace lasagne::nn {
+
+/// Per-forward context: training mode and the RNG driving dropout /
+/// stochastic aggregation / edge sampling.
+struct ForwardContext {
+  bool training = false;
+  Rng* rng = nullptr;
+};
+
+/// Dense affine layer `x W (+ b)`.
+class Linear {
+ public:
+  Linear(size_t in_dim, size_t out_dim, Rng& rng, bool bias = false);
+
+  ag::Variable Forward(const ag::Variable& x) const;
+
+  std::vector<ag::Variable> Parameters() const;
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return out_dim_; }
+
+ private:
+  size_t in_dim_;
+  size_t out_dim_;
+  ag::Variable weight_;
+  ag::Variable bias_;  // nullptr when disabled
+};
+
+/// GCN layer (paper Eq. 1): `act(A_hat x W)` with optional input dropout.
+///
+/// The propagation operator is passed at call time so that one layer
+/// object can serve sampled/partitioned operators (DropEdge, ClusterGCN).
+class GraphConvolution {
+ public:
+  GraphConvolution(size_t in_dim, size_t out_dim, Rng& rng);
+
+  /// `activation`: 0 = identity, 1 = ReLU.
+  ag::Variable Forward(const std::shared_ptr<const CsrMatrix>& a_hat,
+                       const ag::Variable& x, const ForwardContext& ctx,
+                       float dropout = 0.0f, bool relu = true) const;
+
+  std::vector<ag::Variable> Parameters() const { return {weight_}; }
+  const ag::Variable& weight() const { return weight_; }
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return out_dim_; }
+
+ private:
+  size_t in_dim_;
+  size_t out_dim_;
+  ag::Variable weight_;
+};
+
+/// Single-head graph attention layer (Velickovic et al., ICLR'18):
+/// e_ij = LeakyReLU(aL . W h_i + aR . W h_j), alpha = edge-softmax(e),
+/// out_i = sum_j alpha_ij W h_j. Multi-head use concatenates several
+/// instances (see GatMultiHead).
+class GatHead {
+ public:
+  GatHead(size_t in_dim, size_t out_dim, Rng& rng);
+
+  /// `edge_bias`: optional per-edge additive prior before the softmax
+  /// (used by the ADSF baseline's structural fingerprints).
+  ag::Variable Forward(
+      const std::shared_ptr<const ag::EdgeStructure>& edges,
+      const ag::Variable& x, const ForwardContext& ctx,
+      float dropout = 0.0f,
+      std::shared_ptr<const std::vector<float>> edge_bias = nullptr) const;
+
+  std::vector<ag::Variable> Parameters() const;
+
+ private:
+  ag::Variable weight_;
+  ag::Variable attn_dst_;  // aL, (out_dim x 1)
+  ag::Variable attn_src_;  // aR, (out_dim x 1)
+};
+
+/// Multi-head GAT layer; head outputs are concatenated (hidden layers)
+/// or averaged (output layer).
+class GatMultiHead {
+ public:
+  GatMultiHead(size_t in_dim, size_t out_dim_per_head, size_t num_heads,
+               bool concat, Rng& rng);
+
+  ag::Variable Forward(
+      const std::shared_ptr<const ag::EdgeStructure>& edges,
+      const ag::Variable& x, const ForwardContext& ctx,
+      float dropout = 0.0f,
+      std::shared_ptr<const std::vector<float>> edge_bias = nullptr) const;
+
+  std::vector<ag::Variable> Parameters() const;
+  size_t out_dim() const;
+
+ private:
+  std::vector<GatHead> heads_;
+  size_t out_dim_per_head_;
+  bool concat_;
+};
+
+}  // namespace lasagne::nn
+
+#endif  // LASAGNE_NN_LAYERS_H_

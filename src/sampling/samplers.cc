@@ -1,0 +1,125 @@
+#include "sampling/samplers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "graph/algorithms.h"
+
+namespace lasagne {
+
+CsrMatrix SampleNeighborOperator(const Graph& graph, size_t fanout,
+                                 Rng& rng) {
+  LASAGNE_CHECK_GT(fanout, 0u);
+  std::vector<Triplet> triplets;
+  for (uint32_t u = 0; u < graph.num_nodes(); ++u) {
+    const size_t deg = graph.Degree(u);
+    if (deg == 0) continue;
+    if (deg <= fanout) {
+      const float w = 1.0f / static_cast<float>(deg);
+      for (const uint32_t* it = graph.NeighborsBegin(u);
+           it != graph.NeighborsEnd(u); ++it) {
+        triplets.push_back({u, *it, w});
+      }
+    } else {
+      std::vector<size_t> picks = rng.SampleWithoutReplacement(deg, fanout);
+      const float w = 1.0f / static_cast<float>(fanout);
+      const uint32_t* begin = graph.NeighborsBegin(u);
+      for (size_t p : picks) triplets.push_back({u, begin[p], w});
+    }
+  }
+  return CsrMatrix::FromTriplets(graph.num_nodes(), graph.num_nodes(),
+                                 std::move(triplets));
+}
+
+CsrMatrix FullNeighborOperator(const Graph& graph) {
+  std::vector<Triplet> triplets;
+  for (uint32_t u = 0; u < graph.num_nodes(); ++u) {
+    const size_t deg = graph.Degree(u);
+    if (deg == 0) continue;
+    const float w = 1.0f / static_cast<float>(deg);
+    for (const uint32_t* it = graph.NeighborsBegin(u);
+         it != graph.NeighborsEnd(u); ++it) {
+      triplets.push_back({u, *it, w});
+    }
+  }
+  return CsrMatrix::FromTriplets(graph.num_nodes(), graph.num_nodes(),
+                                 std::move(triplets));
+}
+
+std::vector<double> ColumnImportance(const CsrMatrix& a_hat) {
+  std::vector<double> importance(a_hat.cols(), 0.0);
+  for (size_t r = 0; r < a_hat.rows(); ++r) {
+    for (size_t k = a_hat.row_ptr()[r]; k < a_hat.row_ptr()[r + 1]; ++k) {
+      const double v = a_hat.values()[k];
+      importance[a_hat.col_idx()[k]] += v * v;
+    }
+  }
+  return importance;
+}
+
+CsrMatrix FastGcnLayerOperator(const CsrMatrix& a_hat, size_t sample_size,
+                               Rng& rng) {
+  LASAGNE_CHECK_GT(sample_size, 0u);
+  std::vector<double> importance = ColumnImportance(a_hat);
+  double total = 0.0;
+  for (double v : importance) total += v;
+  LASAGNE_CHECK_GT(total, 0.0);
+
+  // Sample columns with replacement; accumulate 1/(s * q_v) factors.
+  std::vector<double> factor(a_hat.cols(), 0.0);
+  for (size_t s = 0; s < sample_size; ++s) {
+    const size_t v = rng.Categorical(importance);
+    const double q = importance[v] / total;
+    factor[v] += 1.0 / (static_cast<double>(sample_size) * q);
+  }
+  std::vector<Triplet> triplets;
+  for (size_t r = 0; r < a_hat.rows(); ++r) {
+    for (size_t k = a_hat.row_ptr()[r]; k < a_hat.row_ptr()[r + 1]; ++k) {
+      const uint32_t c = a_hat.col_idx()[k];
+      if (factor[c] != 0.0) {
+        triplets.push_back({static_cast<uint32_t>(r), c,
+                            static_cast<float>(a_hat.values()[k] *
+                                               factor[c])});
+      }
+    }
+  }
+  return CsrMatrix::FromTriplets(a_hat.rows(), a_hat.cols(),
+                                 std::move(triplets));
+}
+
+std::vector<uint32_t> RandomWalkSubgraphNodes(const Graph& graph,
+                                              size_t num_roots,
+                                              size_t walk_length, Rng& rng) {
+  LASAGNE_CHECK_GT(graph.num_nodes(), 0u);
+  std::vector<uint32_t> nodes;
+  for (size_t r = 0; r < num_roots; ++r) {
+    const uint32_t root =
+        static_cast<uint32_t>(rng.UniformInt(graph.num_nodes()));
+    std::vector<uint32_t> walk = RandomWalk(graph, root, walk_length, rng);
+    nodes.insert(nodes.end(), walk.begin(), walk.end());
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+std::vector<double> EstimateInclusionProbabilities(
+    const Graph& graph, size_t num_roots, size_t walk_length, size_t trials,
+    Rng& rng, double min_prob) {
+  std::vector<double> counts(graph.num_nodes(), 0.0);
+  for (size_t t = 0; t < trials; ++t) {
+    for (uint32_t u :
+         RandomWalkSubgraphNodes(graph, num_roots, walk_length, rng)) {
+      counts[u] += 1.0;
+    }
+  }
+  std::vector<double> probs(graph.num_nodes(), 0.0);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    probs[i] = std::max(counts[i] / static_cast<double>(trials), min_prob);
+    probs[i] = std::min(probs[i], 1.0);
+  }
+  return probs;
+}
+
+}  // namespace lasagne

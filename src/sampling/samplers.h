@@ -1,0 +1,51 @@
+#ifndef LASAGNE_SAMPLING_SAMPLERS_H_
+#define LASAGNE_SAMPLING_SAMPLERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sparse/csr_matrix.h"
+#include "tensor/rng.h"
+
+namespace lasagne {
+
+/// GraphSAGE-style neighbor sampling: a row-stochastic mean-aggregation
+/// operator where every node keeps at most `fanout` uniformly sampled
+/// neighbors (no self loop; the self path is a separate weight matrix in
+/// SAGE).
+CsrMatrix SampleNeighborOperator(const Graph& graph, size_t fanout,
+                                 Rng& rng);
+
+/// Full-neighborhood mean-aggregation operator (evaluation-time SAGE).
+CsrMatrix FullNeighborOperator(const Graph& graph);
+
+/// FastGCN importance-based layer sampling (Chen et al., ICLR'18):
+/// samples `sample_size` columns of `a_hat` with probability
+/// q(v) proportional to ||a_hat[:, v]||^2 and returns the unbiased
+/// estimator  sum_{v in S} a_hat[:, v] / (s * q_v)  as an N x N operator
+/// whose non-sampled columns are empty.
+CsrMatrix FastGcnLayerOperator(const CsrMatrix& a_hat, size_t sample_size,
+                               Rng& rng);
+
+/// Column-norm-squared importance distribution used by FastGCN (exposed
+/// for tests).
+std::vector<double> ColumnImportance(const CsrMatrix& a_hat);
+
+/// GraphSAINT random-walk sampler: unions the nodes visited by
+/// `num_roots` walks of `walk_length` steps from uniformly sampled
+/// roots. Returns sorted unique node ids.
+std::vector<uint32_t> RandomWalkSubgraphNodes(const Graph& graph,
+                                              size_t num_roots,
+                                              size_t walk_length, Rng& rng);
+
+/// Estimates per-node inclusion probabilities of the random-walk sampler
+/// by Monte-Carlo over `trials` draws (GraphSAINT's loss-normalization
+/// statistics). Probabilities are clamped to [min_prob, 1].
+std::vector<double> EstimateInclusionProbabilities(
+    const Graph& graph, size_t num_roots, size_t walk_length, size_t trials,
+    Rng& rng, double min_prob = 1e-3);
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_SAMPLING_SAMPLERS_H_

@@ -1,0 +1,271 @@
+#include "sparse/csr_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace lasagne {
+
+CsrMatrix CsrMatrix::FromTriplets(size_t rows, size_t cols,
+                                  std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    LASAGNE_CHECK_LT(t.row, rows);
+    LASAGNE_CHECK_LT(t.col, cols);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  size_t i = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    while (i < triplets.size() && triplets[i].row == r) {
+      // Coalesce duplicates within the row.
+      uint32_t c = triplets[i].col;
+      float v = triplets[i].value;
+      ++i;
+      while (i < triplets.size() && triplets[i].row == r &&
+             triplets[i].col == c) {
+        v += triplets[i].value;
+        ++i;
+      }
+      m.col_idx_.push_back(c);
+      m.values_.push_back(v);
+    }
+    m.row_ptr_[r + 1] = m.col_idx_.size();
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::FromDense(const Tensor& dense, float tolerance) {
+  std::vector<Triplet> triplets;
+  for (size_t r = 0; r < dense.rows(); ++r) {
+    for (size_t c = 0; c < dense.cols(); ++c) {
+      float v = dense(r, c);
+      if (std::fabs(v) > tolerance) {
+        triplets.push_back({static_cast<uint32_t>(r),
+                            static_cast<uint32_t>(c), v});
+      }
+    }
+  }
+  return FromTriplets(dense.rows(), dense.cols(), std::move(triplets));
+}
+
+CsrMatrix CsrMatrix::Identity(size_t n) {
+  std::vector<Triplet> triplets;
+  triplets.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    triplets.push_back({static_cast<uint32_t>(i), static_cast<uint32_t>(i),
+                        1.0f});
+  }
+  return FromTriplets(n, n, std::move(triplets));
+}
+
+Tensor CsrMatrix::Multiply(const Tensor& dense) const {
+  LASAGNE_CHECK_EQ(cols_, dense.rows());
+  Tensor out(rows_, dense.cols());
+  const size_t d = dense.cols();
+  for (size_t r = 0; r < rows_; ++r) {
+    float* out_row = out.RowPtr(r);
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const float v = values_[k];
+      const float* in_row = dense.RowPtr(col_idx_[k]);
+      for (size_t j = 0; j < d; ++j) out_row[j] += v * in_row[j];
+    }
+  }
+  return out;
+}
+
+Tensor CsrMatrix::TransposedMultiply(const Tensor& dense) const {
+  LASAGNE_CHECK_EQ(rows_, dense.rows());
+  Tensor out(cols_, dense.cols());
+  const size_t d = dense.cols();
+  for (size_t r = 0; r < rows_; ++r) {
+    const float* in_row = dense.RowPtr(r);
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const float v = values_[k];
+      float* out_row = out.RowPtr(col_idx_[k]);
+      for (size_t j = 0; j < d; ++j) out_row[j] += v * in_row[j];
+    }
+  }
+  return out;
+}
+
+Tensor CsrMatrix::MultiplyVector(const Tensor& vec) const {
+  LASAGNE_CHECK_EQ(vec.cols(), 1u);
+  return Multiply(vec);
+}
+
+CsrMatrix CsrMatrix::Transpose() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(nnz());
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      triplets.push_back({col_idx_[k], static_cast<uint32_t>(r), values_[k]});
+    }
+  }
+  return FromTriplets(cols_, rows_, std::move(triplets));
+}
+
+CsrMatrix CsrMatrix::Multiply(const CsrMatrix& other, float prune_tolerance,
+                              size_t row_cap) const {
+  LASAGNE_CHECK_EQ(cols_, other.rows_);
+  std::vector<Triplet> triplets;
+  // Gustavson's algorithm with a dense accumulator per row.
+  std::vector<float> accumulator(other.cols_, 0.0f);
+  std::vector<uint32_t> touched;
+  for (size_t r = 0; r < rows_; ++r) {
+    touched.clear();
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const uint32_t mid = col_idx_[k];
+      const float v = values_[k];
+      for (size_t k2 = other.row_ptr_[mid]; k2 < other.row_ptr_[mid + 1];
+           ++k2) {
+        const uint32_t c = other.col_idx_[k2];
+        if (accumulator[c] == 0.0f) touched.push_back(c);
+        accumulator[c] += v * other.values_[k2];
+      }
+    }
+    if (row_cap > 0 && touched.size() > row_cap) {
+      // Keep the row_cap largest-magnitude entries of the row.
+      std::nth_element(touched.begin(), touched.begin() + row_cap,
+                       touched.end(), [&](uint32_t a, uint32_t b) {
+                         return std::fabs(accumulator[a]) >
+                                std::fabs(accumulator[b]);
+                       });
+      for (size_t i = row_cap; i < touched.size(); ++i) {
+        accumulator[touched[i]] = 0.0f;
+      }
+      touched.resize(row_cap);
+    }
+    for (uint32_t c : touched) {
+      const float v = accumulator[c];
+      accumulator[c] = 0.0f;
+      if (std::fabs(v) > prune_tolerance) {
+        triplets.push_back({static_cast<uint32_t>(r), c, v});
+      }
+    }
+  }
+  return FromTriplets(rows_, other.cols_, std::move(triplets));
+}
+
+CsrMatrix CsrMatrix::Add(const CsrMatrix& other) const {
+  LASAGNE_CHECK_EQ(rows_, other.rows_);
+  LASAGNE_CHECK_EQ(cols_, other.cols_);
+  std::vector<Triplet> triplets;
+  triplets.reserve(nnz() + other.nnz());
+  auto append = [&triplets](const CsrMatrix& m) {
+    for (size_t r = 0; r < m.rows_; ++r) {
+      for (size_t k = m.row_ptr_[r]; k < m.row_ptr_[r + 1]; ++k) {
+        triplets.push_back(
+            {static_cast<uint32_t>(r), m.col_idx_[k], m.values_[k]});
+      }
+    }
+  };
+  append(*this);
+  append(other);
+  return FromTriplets(rows_, cols_, std::move(triplets));
+}
+
+CsrMatrix CsrMatrix::Scale(float scalar) const {
+  CsrMatrix out = *this;
+  for (float& v : out.values_) v *= scalar;
+  return out;
+}
+
+CsrMatrix CsrMatrix::ScaleRowsCols(const Tensor& row_factors,
+                                   const Tensor& col_factors) const {
+  LASAGNE_CHECK_EQ(row_factors.rows(), rows_);
+  LASAGNE_CHECK_EQ(col_factors.rows(), cols_);
+  CsrMatrix out = *this;
+  for (size_t r = 0; r < rows_; ++r) {
+    const float rf = row_factors(r, 0);
+    for (size_t k = out.row_ptr_[r]; k < out.row_ptr_[r + 1]; ++k) {
+      out.values_[k] *= rf * col_factors(out.col_idx_[k], 0);
+    }
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::RowStochastic() const {
+  CsrMatrix out = *this;
+  for (size_t r = 0; r < rows_; ++r) {
+    double total = 0.0;
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      total += values_[k];
+    }
+    if (total != 0.0) {
+      const float inv = static_cast<float>(1.0 / total);
+      for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        out.values_[k] *= inv;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor CsrMatrix::ToDense() const {
+  Tensor out(rows_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      out(r, col_idx_[k]) += values_[k];
+    }
+  }
+  return out;
+}
+
+float CsrMatrix::At(size_t r, size_t c) const {
+  LASAGNE_CHECK_LT(r, rows_);
+  LASAGNE_CHECK_LT(c, cols_);
+  const uint32_t target = static_cast<uint32_t>(c);
+  auto begin = col_idx_.begin() + row_ptr_[r];
+  auto end = col_idx_.begin() + row_ptr_[r + 1];
+  auto it = std::lower_bound(begin, end, target);
+  if (it != end && *it == target) {
+    return values_[static_cast<size_t>(it - col_idx_.begin())];
+  }
+  return 0.0f;
+}
+
+CsrMatrix CsrMatrix::SubMatrix(const std::vector<uint32_t>& row_ids,
+                               const std::vector<uint32_t>& col_ids) const {
+  std::unordered_map<uint32_t, uint32_t> col_map;
+  col_map.reserve(col_ids.size());
+  for (uint32_t i = 0; i < col_ids.size(); ++i) {
+    LASAGNE_CHECK_LT(col_ids[i], cols_);
+    LASAGNE_CHECK(col_map.emplace(col_ids[i], i).second);
+  }
+  std::vector<Triplet> triplets;
+  for (uint32_t new_r = 0; new_r < row_ids.size(); ++new_r) {
+    const uint32_t old_r = row_ids[new_r];
+    LASAGNE_CHECK_LT(old_r, rows_);
+    for (size_t k = row_ptr_[old_r]; k < row_ptr_[old_r + 1]; ++k) {
+      auto it = col_map.find(col_idx_[k]);
+      if (it != col_map.end()) {
+        triplets.push_back({new_r, it->second, values_[k]});
+      }
+    }
+  }
+  return FromTriplets(row_ids.size(), col_ids.size(), std::move(triplets));
+}
+
+bool CsrMatrix::IsSymmetric(float tolerance) const {
+  if (rows_ != cols_) return false;
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      if (std::fabs(values_[k] - At(col_idx_[k], r)) > tolerance) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace lasagne

@@ -1,0 +1,113 @@
+#ifndef LASAGNE_SPARSE_CSR_MATRIX_H_
+#define LASAGNE_SPARSE_CSR_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace lasagne {
+
+/// A weighted edge used when assembling sparse matrices.
+struct Triplet {
+  uint32_t row;
+  uint32_t col;
+  float value;
+};
+
+/// Compressed Sparse Row matrix (float32 values, 32-bit indices).
+///
+/// `CsrMatrix` carries every propagation operator in the library: the
+/// normalized adjacency \f$\hat A = \tilde D^{-1/2}\tilde A\tilde
+/// D^{-1/2}\f$, its powers, PPMI matrices and sampled sub-adjacencies.
+/// Rows are sorted by column index; duplicate (row, col) entries are
+/// coalesced (summed) at construction.
+class CsrMatrix {
+ public:
+  /// Empty 0x0 matrix.
+  CsrMatrix() : rows_(0), cols_(0), row_ptr_{0} {}
+
+  /// Builds from triplets. Duplicates are summed; explicit zeros kept.
+  static CsrMatrix FromTriplets(size_t rows, size_t cols,
+                                std::vector<Triplet> triplets);
+
+  /// Builds from a dense matrix, dropping entries with |v| <= tolerance.
+  static CsrMatrix FromDense(const Tensor& dense, float tolerance = 0.0f);
+
+  /// Identity matrix.
+  static CsrMatrix Identity(size_t n);
+
+  // -- Shape / storage ---------------------------------------------------
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t nnz() const { return values_.size(); }
+
+  const std::vector<size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<uint32_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+  std::vector<float>& mutable_values() { return values_; }
+
+  /// Number of stored entries in row r.
+  size_t RowNnz(size_t r) const { return row_ptr_[r + 1] - row_ptr_[r]; }
+
+  // -- Core kernels ------------------------------------------------------
+
+  /// Sparse-dense product `this (r x c) * dense (c x d)`.
+  Tensor Multiply(const Tensor& dense) const;
+
+  /// `this^T * dense` without materializing the transpose.
+  Tensor TransposedMultiply(const Tensor& dense) const;
+
+  /// Sparse matrix-vector product (dense given as n x 1).
+  Tensor MultiplyVector(const Tensor& vec) const;
+
+  /// Materialized transpose.
+  CsrMatrix Transpose() const;
+
+  /// Sparse-sparse product (used for adjacency powers). The result keeps
+  /// entries with |v| > prune_tolerance; pass row_cap > 0 to keep only
+  /// the largest row_cap entries of each row (density control).
+  CsrMatrix Multiply(const CsrMatrix& other, float prune_tolerance = 0.0f,
+                     size_t row_cap = 0) const;
+
+  /// Elementwise sum of two matrices with identical shapes.
+  CsrMatrix Add(const CsrMatrix& other) const;
+
+  /// Returns a copy with every stored value multiplied by `scalar`.
+  CsrMatrix Scale(float scalar) const;
+
+  /// Scales row i by row_factors(i, 0) and column j by col_factors(j, 0).
+  CsrMatrix ScaleRowsCols(const Tensor& row_factors,
+                          const Tensor& col_factors) const;
+
+  /// Row-normalizes so each nonempty row sums to one.
+  CsrMatrix RowStochastic() const;
+
+  /// Dense materialization (small matrices / tests only).
+  Tensor ToDense() const;
+
+  /// Value at (r, c), zero when not stored. O(log nnz(row)).
+  float At(size_t r, size_t c) const;
+
+  /// Extracts the induced submatrix on `rows x cols` index sets.
+  /// Index vectors map new index -> old index; must be strictly
+  /// increasing is NOT required, but must not repeat.
+  CsrMatrix SubMatrix(const std::vector<uint32_t>& row_ids,
+                      const std::vector<uint32_t>& col_ids) const;
+
+  /// True when the matrix equals its transpose (up to tolerance).
+  bool IsSymmetric(float tolerance = 1e-6f) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<size_t> row_ptr_;    // size rows_ + 1
+  std::vector<uint32_t> col_idx_;  // size nnz
+  std::vector<float> values_;      // size nnz
+};
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_SPARSE_CSR_MATRIX_H_

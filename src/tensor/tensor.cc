@@ -1,0 +1,312 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace lasagne {
+
+Tensor::Tensor(size_t rows, size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  LASAGNE_CHECK_EQ(rows_ * cols_, data_.size());
+}
+
+Tensor Tensor::Zeros(size_t rows, size_t cols) { return Tensor(rows, cols); }
+
+Tensor Tensor::Ones(size_t rows, size_t cols) {
+  return Full(rows, cols, 1.0f);
+}
+
+Tensor Tensor::Full(size_t rows, size_t cols, float value) {
+  Tensor t(rows, cols);
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Identity(size_t n) {
+  Tensor t(n, n);
+  for (size_t i = 0; i < n; ++i) t(i, i) = 1.0f;
+  return t;
+}
+
+Tensor Tensor::Uniform(size_t rows, size_t cols, float lo, float hi,
+                       Rng& rng) {
+  Tensor t(rows, cols);
+  for (size_t i = 0; i < t.size(); ++i) {
+    t.data_[i] = static_cast<float>(rng.Uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::Normal(size_t rows, size_t cols, float mean, float stddev,
+                      Rng& rng) {
+  Tensor t(rows, cols);
+  for (size_t i = 0; i < t.size(); ++i) {
+    t.data_[i] = static_cast<float>(rng.Normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::GlorotUniform(size_t in_dim, size_t out_dim, Rng& rng) {
+  float bound = std::sqrt(6.0f / static_cast<float>(in_dim + out_dim));
+  return Uniform(in_dim, out_dim, -bound, bound, rng);
+}
+
+Tensor Tensor::RowVector(const std::vector<float>& values) {
+  return Tensor(1, values.size(), values);
+}
+
+Tensor Tensor::ColumnVector(const std::vector<float>& values) {
+  return Tensor(values.size(), 1, values);
+}
+
+float Tensor::At(size_t r, size_t c) const {
+  LASAGNE_CHECK_LT(r, rows_);
+  LASAGNE_CHECK_LT(c, cols_);
+  return (*this)(r, c);
+}
+
+Tensor Tensor::operator+(const Tensor& other) const {
+  LASAGNE_CHECK(SameShape(other));
+  Tensor out = *this;
+  out += other;
+  return out;
+}
+
+Tensor Tensor::operator-(const Tensor& other) const {
+  LASAGNE_CHECK(SameShape(other));
+  Tensor out = *this;
+  out -= other;
+  return out;
+}
+
+Tensor Tensor::operator*(const Tensor& other) const {
+  LASAGNE_CHECK(SameShape(other));
+  Tensor out = *this;
+  for (size_t i = 0; i < out.size(); ++i) out.data_[i] *= other.data_[i];
+  return out;
+}
+
+Tensor Tensor::operator*(float scalar) const {
+  Tensor out = *this;
+  out *= scalar;
+  return out;
+}
+
+Tensor Tensor::operator/(float scalar) const {
+  LASAGNE_CHECK_NE(scalar, 0.0f);
+  return *this * (1.0f / scalar);
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  LASAGNE_CHECK(SameShape(other));
+  for (size_t i = 0; i < size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  LASAGNE_CHECK(SameShape(other));
+  for (size_t i = 0; i < size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) {
+  for (float& v : data_) v *= scalar;
+  return *this;
+}
+
+void Tensor::Axpy(float alpha, const Tensor& other) {
+  LASAGNE_CHECK(SameShape(other));
+  for (size_t i = 0; i < size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+Tensor Tensor::Map(const std::function<float(float)>& fn) const {
+  Tensor out = *this;
+  for (float& v : out.data_) v = fn(v);
+  return out;
+}
+
+Tensor Tensor::MatMul(const Tensor& other) const {
+  LASAGNE_CHECK_EQ(cols_, other.rows_);
+  Tensor out(rows_, other.cols_);
+  const size_t k_dim = cols_;
+  const size_t n_dim = other.cols_;
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (size_t i = 0; i < rows_; ++i) {
+    const float* a_row = RowPtr(i);
+    float* out_row = out.RowPtr(i);
+    for (size_t k = 0; k < k_dim; ++k) {
+      const float a_ik = a_row[k];
+      if (a_ik == 0.0f) continue;
+      const float* b_row = other.RowPtr(k);
+      for (size_t j = 0; j < n_dim; ++j) out_row[j] += a_ik * b_row[j];
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::TransposedMatMul(const Tensor& other) const {
+  LASAGNE_CHECK_EQ(rows_, other.rows_);
+  Tensor out(cols_, other.cols_);
+  const size_t n_dim = other.cols_;
+  for (size_t r = 0; r < rows_; ++r) {
+    const float* a_row = RowPtr(r);
+    const float* b_row = other.RowPtr(r);
+    for (size_t i = 0; i < cols_; ++i) {
+      const float a_ri = a_row[i];
+      if (a_ri == 0.0f) continue;
+      float* out_row = out.RowPtr(i);
+      for (size_t j = 0; j < n_dim; ++j) out_row[j] += a_ri * b_row[j];
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::MatMulTransposed(const Tensor& other) const {
+  LASAGNE_CHECK_EQ(cols_, other.cols_);
+  Tensor out(rows_, other.rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const float* a_row = RowPtr(i);
+    float* out_row = out.RowPtr(i);
+    for (size_t j = 0; j < other.rows_; ++j) {
+      const float* b_row = other.RowPtr(j);
+      float acc = 0.0f;
+      for (size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
+      out_row[j] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::Transpose() const {
+  Tensor out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  }
+  return out;
+}
+
+float Tensor::Sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::Mean() const {
+  LASAGNE_CHECK_GT(size(), 0u);
+  return Sum() / static_cast<float>(size());
+}
+
+float Tensor::Min() const {
+  LASAGNE_CHECK_GT(size(), 0u);
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::Max() const {
+  LASAGNE_CHECK_GT(size(), 0u);
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::Norm() const { return std::sqrt(SquaredNorm()); }
+
+float Tensor::SquaredNorm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(acc);
+}
+
+Tensor Tensor::RowSum() const {
+  Tensor out(rows_, 1);
+  for (size_t i = 0; i < rows_; ++i) {
+    const float* row = RowPtr(i);
+    double acc = 0.0;
+    for (size_t j = 0; j < cols_; ++j) acc += row[j];
+    out(i, 0) = static_cast<float>(acc);
+  }
+  return out;
+}
+
+Tensor Tensor::ColSum() const {
+  Tensor out(1, cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const float* row = RowPtr(i);
+    for (size_t j = 0; j < cols_; ++j) out(0, j) += row[j];
+  }
+  return out;
+}
+
+Tensor Tensor::RowMean() const {
+  LASAGNE_CHECK_GT(cols_, 0u);
+  Tensor out = RowSum();
+  out *= 1.0f / static_cast<float>(cols_);
+  return out;
+}
+
+std::vector<size_t> Tensor::ArgMaxPerRow() const {
+  LASAGNE_CHECK_GT(cols_, 0u);
+  std::vector<size_t> out(rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const float* row = RowPtr(i);
+    size_t best = 0;
+    for (size_t j = 1; j < cols_; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[i] = best;
+  }
+  return out;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor Tensor::GatherRows(const std::vector<size_t>& indices) const {
+  Tensor out(indices.size(), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    LASAGNE_CHECK_LT(indices[i], rows_);
+    std::copy(RowPtr(indices[i]), RowPtr(indices[i]) + cols_, out.RowPtr(i));
+  }
+  return out;
+}
+
+Tensor Tensor::Row(size_t r) const {
+  LASAGNE_CHECK_LT(r, rows_);
+  Tensor out(1, cols_);
+  std::copy(RowPtr(r), RowPtr(r) + cols_, out.RowPtr(0));
+  return out;
+}
+
+bool Tensor::AllFinite() const {
+  for (float v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+float Tensor::MaxAbsDiff(const Tensor& other) const {
+  LASAGNE_CHECK(SameShape(other));
+  float max_diff = 0.0f;
+  for (size_t i = 0; i < size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(data_[i] - other.data_[i]));
+  }
+  return max_diff;
+}
+
+std::string Tensor::DebugString() const {
+  std::ostringstream os;
+  os << "Tensor(" << rows_ << "x" << cols_;
+  if (!empty()) {
+    os << ", mean=" << Mean() << ", norm=" << Norm();
+  }
+  os << ")";
+  return os.str();
+}
+
+Tensor operator*(float scalar, const Tensor& tensor) {
+  return tensor * scalar;
+}
+
+}  // namespace lasagne

@@ -1,0 +1,151 @@
+#ifndef LASAGNE_TENSOR_TENSOR_H_
+#define LASAGNE_TENSOR_TENSOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace lasagne {
+
+/// Dense row-major float32 matrix.
+///
+/// `Tensor` is the value type that flows through the whole library: node
+/// feature matrices, hidden representations, weight matrices and
+/// gradients. It is intentionally 2-D only (an `n`-vector is an `n x 1`
+/// tensor); graph learning on this substrate never needs higher rank.
+/// Copyable and movable; copies are deep.
+class Tensor {
+ public:
+  /// Empty 0x0 tensor.
+  Tensor() : rows_(0), cols_(0) {}
+
+  /// Zero-initialized `rows x cols` tensor.
+  Tensor(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  /// Tensor with explicit contents (row-major, size must match).
+  Tensor(size_t rows, size_t cols, std::vector<float> data);
+
+  // -- Factories -----------------------------------------------------------
+
+  /// All-zeros.
+  static Tensor Zeros(size_t rows, size_t cols);
+  /// All-ones.
+  static Tensor Ones(size_t rows, size_t cols);
+  /// Every entry `value`.
+  static Tensor Full(size_t rows, size_t cols, float value);
+  /// Identity matrix.
+  static Tensor Identity(size_t n);
+  /// IID uniform entries in [lo, hi).
+  static Tensor Uniform(size_t rows, size_t cols, float lo, float hi,
+                        Rng& rng);
+  /// IID normal entries.
+  static Tensor Normal(size_t rows, size_t cols, float mean, float stddev,
+                       Rng& rng);
+  /// Glorot/Xavier uniform initialization: U(-a, a), a = sqrt(6/(in+out)).
+  static Tensor GlorotUniform(size_t in_dim, size_t out_dim, Rng& rng);
+  /// Row vector (1 x n) from values.
+  static Tensor RowVector(const std::vector<float>& values);
+  /// Column vector (n x 1) from values.
+  static Tensor ColumnVector(const std::vector<float>& values);
+
+  // -- Shape and element access --------------------------------------------
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  float& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Checked element access (aborts on out-of-range).
+  float At(size_t r, size_t c) const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const float* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  // -- Elementwise / scalar ops (allocate the result) -----------------------
+
+  Tensor operator+(const Tensor& other) const;
+  Tensor operator-(const Tensor& other) const;
+  /// Hadamard (elementwise) product.
+  Tensor operator*(const Tensor& other) const;
+  Tensor operator*(float scalar) const;
+  Tensor operator/(float scalar) const;
+
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float scalar);
+
+  /// `this + alpha * other`, fused.
+  void Axpy(float alpha, const Tensor& other);
+
+  /// Applies `fn` to every entry, returning a new tensor.
+  Tensor Map(const std::function<float(float)>& fn) const;
+
+  // -- Linear algebra --------------------------------------------------------
+
+  /// Dense matrix product `this (r x k) * other (k x c)`.
+  Tensor MatMul(const Tensor& other) const;
+  /// `this^T * other` without materializing the transpose.
+  Tensor TransposedMatMul(const Tensor& other) const;
+  /// `this * other^T` without materializing the transpose.
+  Tensor MatMulTransposed(const Tensor& other) const;
+  /// Materialized transpose.
+  Tensor Transpose() const;
+
+  // -- Reductions ------------------------------------------------------------
+
+  float Sum() const;
+  float Mean() const;
+  float Min() const;
+  float Max() const;
+  /// Frobenius norm.
+  float Norm() const;
+  /// Sum of squares (== Norm()^2 without the sqrt).
+  float SquaredNorm() const;
+  /// Per-row sum, returned as (rows x 1).
+  Tensor RowSum() const;
+  /// Per-column sum, returned as (1 x cols).
+  Tensor ColSum() const;
+  /// Per-row mean, returned as (rows x 1).
+  Tensor RowMean() const;
+  /// Index of the max entry in each row.
+  std::vector<size_t> ArgMaxPerRow() const;
+
+  // -- Utilities ---------------------------------------------------------------
+
+  void Fill(float value);
+  void SetZero() { Fill(0.0f); }
+  /// Extracts rows given by `indices` (gather).
+  Tensor GatherRows(const std::vector<size_t>& indices) const;
+  /// Returns a copy of row r as (1 x cols).
+  Tensor Row(size_t r) const;
+  /// True when all entries are finite.
+  bool AllFinite() const;
+  /// Max |a - b| over entries; shapes must match.
+  float MaxAbsDiff(const Tensor& other) const;
+  /// Human-readable summary ("Tensor(3x4, mean=..., norm=...)").
+  std::string DebugString() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+/// Scalar * tensor.
+Tensor operator*(float scalar, const Tensor& tensor);
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_TENSOR_TENSOR_H_

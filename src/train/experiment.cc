@@ -1,0 +1,50 @@
+#include "train/experiment.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lasagne {
+
+Summary MeanStd(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double total = 0.0;
+  for (double v : values) total += v;
+  s.mean = total / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.std_dev = std::sqrt(sq / static_cast<double>(values.size()));
+  return s;
+}
+
+ExperimentResult RunRepeatedExperiment(const std::string& model_name,
+                                       const Dataset& data,
+                                       const ModelConfig& config,
+                                       const TrainOptions& options,
+                                       size_t repeats) {
+  LASAGNE_CHECK_GT(repeats, 0u);
+  ExperimentResult result;
+  std::vector<double> test_accs;
+  std::vector<double> val_accs;
+  std::vector<double> epoch_times;
+  for (size_t r = 0; r < repeats; ++r) {
+    ModelConfig run_config = config;
+    run_config.seed = config.seed + 1000 * r + 17;
+    TrainOptions run_options = options;
+    run_options.seed = options.seed + 2000 * r + 31;
+    std::unique_ptr<Model> model = MakeModel(model_name, data, run_config);
+    TrainResult train = TrainModel(*model, run_options);
+    test_accs.push_back(train.test_accuracy * 100.0);
+    val_accs.push_back(train.best_val_accuracy * 100.0);
+    epoch_times.push_back(train.mean_epoch_time_ms);
+  }
+  result.runs = test_accs;
+  result.test_accuracy = MeanStd(test_accs);
+  result.val_accuracy = MeanStd(val_accs);
+  result.epoch_time_ms = MeanStd(epoch_times);
+  return result;
+}
+
+}  // namespace lasagne

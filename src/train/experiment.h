@@ -1,0 +1,41 @@
+#ifndef LASAGNE_TRAIN_EXPERIMENT_H_
+#define LASAGNE_TRAIN_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/model.h"
+#include "train/trainer.h"
+
+namespace lasagne {
+
+/// mean +- population-std summary of repeated trials.
+struct Summary {
+  double mean = 0.0;
+  double std_dev = 0.0;
+  size_t count = 0;
+};
+
+Summary MeanStd(const std::vector<double>& values);
+
+/// Result of a repeated experiment for one (model, dataset) cell.
+struct ExperimentResult {
+  Summary test_accuracy;      // in percent, like the paper's tables
+  Summary val_accuracy;       // in percent
+  Summary epoch_time_ms;      // per-epoch wall clock
+  std::vector<double> runs;   // raw per-run test accuracies (percent)
+};
+
+/// Trains `model_name` on `data` `repeats` times (per-run seeds derived
+/// from config.seed) and summarizes the test accuracy, mirroring the
+/// paper's "run each method 10 times, report mean and std" protocol.
+ExperimentResult RunRepeatedExperiment(const std::string& model_name,
+                                       const Dataset& data,
+                                       const ModelConfig& config,
+                                       const TrainOptions& options,
+                                       size_t repeats);
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_TRAIN_EXPERIMENT_H_

@@ -1,0 +1,83 @@
+#include "train/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lasagne {
+
+void Optimizer::ZeroGrad() {
+  for (const ag::Variable& p : params_) p->ZeroGrad();
+}
+
+AdamOptimizer::AdamOptimizer(std::vector<ag::Variable> params,
+                             float learning_rate, float weight_decay,
+                             float beta1, float beta2, float epsilon)
+    : Optimizer(std::move(params)),
+      learning_rate_(learning_rate),
+      weight_decay_(weight_decay),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const ag::Variable& p : params_) {
+    m_.emplace_back(p->rows(), p->cols());
+    v_.emplace_back(p->rows(), p->cols());
+  }
+}
+
+void AdamOptimizer::Step() {
+  ++step_count_;
+  const float bias1 =
+      1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 =
+      1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Variable& p = params_[i];
+    if (p->grad().empty()) continue;
+    Tensor& value = p->mutable_value();
+    const Tensor& grad = p->grad();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    for (size_t j = 0; j < value.size(); ++j) {
+      float g = grad.data()[j] + weight_decay_ * value.data()[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      value.data()[j] -=
+          learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+SgdOptimizer::SgdOptimizer(std::vector<ag::Variable> params,
+                           float learning_rate, float momentum,
+                           float weight_decay)
+    : Optimizer(std::move(params)),
+      learning_rate_(learning_rate),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (const ag::Variable& p : params_) {
+    velocity_.emplace_back(p->rows(), p->cols());
+  }
+}
+
+void SgdOptimizer::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Variable& p = params_[i];
+    if (p->grad().empty()) continue;
+    Tensor& value = p->mutable_value();
+    const Tensor& grad = p->grad();
+    float* vel = velocity_[i].data();
+    for (size_t j = 0; j < value.size(); ++j) {
+      const float g = grad.data()[j] + weight_decay_ * value.data()[j];
+      vel[j] = momentum_ * vel[j] + g;
+      value.data()[j] -= learning_rate_ * vel[j];
+    }
+  }
+}
+
+}  // namespace lasagne

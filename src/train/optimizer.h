@@ -1,0 +1,68 @@
+#ifndef LASAGNE_TRAIN_OPTIMIZER_H_
+#define LASAGNE_TRAIN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace lasagne {
+
+/// First-order optimizer over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ag::Variable> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+
+  const std::vector<ag::Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<ag::Variable> params_;
+};
+
+/// Adam (Kingma & Ba) with L2 regularization added to the gradient
+/// (classic weight decay, matching the paper's "l2 regularization
+/// factor" setting).
+class AdamOptimizer : public Optimizer {
+ public:
+  AdamOptimizer(std::vector<ag::Variable> params, float learning_rate,
+                float weight_decay = 0.0f, float beta1 = 0.9f,
+                float beta2 = 0.999f, float epsilon = 1e-8f);
+
+  void Step() override;
+
+ private:
+  float learning_rate_;
+  float weight_decay_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  size_t step_count_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// Plain SGD with optional momentum and L2 weight decay.
+class SgdOptimizer : public Optimizer {
+ public:
+  SgdOptimizer(std::vector<ag::Variable> params, float learning_rate,
+               float momentum = 0.0f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float learning_rate_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_TRAIN_OPTIMIZER_H_

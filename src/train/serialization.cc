@@ -1,0 +1,54 @@
+#include "train/serialization.h"
+
+#include <fstream>
+
+namespace lasagne {
+
+bool SaveParameters(const std::vector<ag::Variable>& params,
+                    const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "lasagne-checkpoint v1\n" << params.size() << "\n";
+  out.precision(9);
+  for (const ag::Variable& p : params) {
+    const Tensor& t = p->value();
+    out << t.rows() << " " << t.cols() << "\n";
+    for (size_t i = 0; i < t.size(); ++i) {
+      out << t.data()[i] << (i + 1 == t.size() ? '\n' : ' ');
+    }
+    if (t.size() == 0) out << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+bool SaveModel(const Model& model, const std::string& path) {
+  return SaveParameters(model.Parameters(), path);
+}
+
+bool LoadParameters(const std::vector<ag::Variable>& params,
+                    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != "lasagne-checkpoint" || version != "v1") return false;
+  size_t count = 0;
+  in >> count;
+  if (count != params.size()) return false;
+  for (const ag::Variable& p : params) {
+    size_t rows = 0, cols = 0;
+    in >> rows >> cols;
+    Tensor& t = p->mutable_value();
+    if (rows != t.rows() || cols != t.cols()) return false;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (!(in >> t.data()[i])) return false;
+    }
+  }
+  return true;
+}
+
+bool LoadModel(Model& model, const std::string& path) {
+  return LoadParameters(model.Parameters(), path);
+}
+
+}  // namespace lasagne

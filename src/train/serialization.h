@@ -1,0 +1,36 @@
+#ifndef LASAGNE_TRAIN_SERIALIZATION_H_
+#define LASAGNE_TRAIN_SERIALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "models/model.h"
+
+namespace lasagne {
+
+/// Writes all parameter tensors to a portable text checkpoint:
+///   lasagne-checkpoint v1
+///   <num_tensors>
+///   <rows> <cols>
+///   <row-major values...>
+/// Returns false (with no partial file guarantees beyond truncation) on
+/// I/O failure.
+bool SaveParameters(const std::vector<ag::Variable>& params,
+                    const std::string& path);
+
+/// Convenience overload for a model.
+bool SaveModel(const Model& model, const std::string& path);
+
+/// Restores parameter values from a checkpoint written by
+/// SaveParameters. The parameter list must match in count and shapes
+/// (same architecture/config); returns false on mismatch or I/O error.
+bool LoadParameters(const std::vector<ag::Variable>& params,
+                    const std::string& path);
+
+/// Convenience overload for a model.
+bool LoadModel(Model& model, const std::string& path);
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_TRAIN_SERIALIZATION_H_

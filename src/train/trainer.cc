@@ -1,0 +1,101 @@
+#include "train/trainer.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/check.h"
+#include "train/optimizer.h"
+
+namespace lasagne {
+
+double MaskedAccuracy(const Tensor& logits,
+                      const std::vector<int32_t>& labels,
+                      const std::vector<float>& mask) {
+  LASAGNE_CHECK_EQ(logits.rows(), labels.size());
+  LASAGNE_CHECK_EQ(logits.rows(), mask.size());
+  std::vector<size_t> predictions = logits.ArgMaxPerRow();
+  double correct = 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i] <= 0.0f) continue;
+    total += 1.0;
+    if (static_cast<int32_t>(predictions[i]) == labels[i]) correct += 1.0;
+  }
+  return total > 0.0 ? correct / total : 0.0;
+}
+
+double EvaluateAccuracy(Model& model, const std::vector<float>& mask,
+                        Rng& rng) {
+  nn::ForwardContext ctx{/*training=*/false, &rng};
+  ag::Variable logits = model.Forward(ctx);
+  return MaskedAccuracy(logits->value(), model.data().labels, mask);
+}
+
+TrainResult TrainModel(Model& model, const TrainOptions& options) {
+  Rng rng(options.seed);
+  std::vector<ag::Variable> params = model.Parameters();
+  AdamOptimizer optimizer(params, options.learning_rate,
+                          options.weight_decay);
+  TrainResult result;
+  size_t epochs_since_best = 0;
+  std::vector<Tensor> best_params;
+  double total_time_ms = 0.0;
+
+  for (size_t epoch = 0; epoch < options.max_epochs; ++epoch) {
+    const auto start = std::chrono::steady_clock::now();
+    nn::ForwardContext train_ctx{/*training=*/true, &rng};
+    optimizer.ZeroGrad();
+    ag::Variable loss = model.TrainingLoss(train_ctx);
+    ag::Backward(loss);
+    optimizer.Step();
+    const auto end = std::chrono::steady_clock::now();
+    total_time_ms +=
+        std::chrono::duration<double, std::milli>(end - start).count();
+
+    result.loss_history.push_back(loss->value()(0, 0));
+    const double val_acc = EvaluateAccuracy(model, model.data().val_mask,
+                                            rng);
+    result.val_accuracy_history.push_back(val_acc);
+    result.epochs_run = epoch + 1;
+
+    if (val_acc > result.best_val_accuracy) {
+      result.best_val_accuracy = val_acc;
+      epochs_since_best = 0;
+      if (options.restore_best) {
+        best_params.clear();
+        for (const ag::Variable& p : params) {
+          best_params.push_back(p->value());
+        }
+      }
+    } else {
+      ++epochs_since_best;
+    }
+    if (options.verbose && epoch % 10 == 0) {
+      std::printf("  epoch %3zu  loss %.4f  val %.4f\n", epoch,
+                  result.loss_history.back(), val_acc);
+    }
+    if (options.epoch_callback) options.epoch_callback(epoch, model);
+    // Paper §5.1.3: terminate when validation accuracy has not improved
+    // for `patience` consecutive checks.
+    if (epochs_since_best >= options.patience) break;
+  }
+
+  if (options.restore_best && !best_params.empty()) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i]->mutable_value() = best_params[i];
+    }
+  }
+  result.final_loss =
+      result.loss_history.empty() ? 0.0 : result.loss_history.back();
+  result.mean_epoch_time_ms =
+      result.epochs_run > 0
+          ? total_time_ms / static_cast<double>(result.epochs_run)
+          : 0.0;
+  result.test_accuracy =
+      EvaluateAccuracy(model, model.data().test_mask, rng);
+  result.train_accuracy =
+      EvaluateAccuracy(model, model.data().train_mask, rng);
+  return result;
+}
+
+}  // namespace lasagne

@@ -1,0 +1,55 @@
+#ifndef LASAGNE_TRAIN_TRAINER_H_
+#define LASAGNE_TRAIN_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "models/model.h"
+
+namespace lasagne {
+
+/// Training hyper-parameters (defaults follow the paper's §5.1.3:
+/// Adam, lr 0.02, L2 5e-4, up to 400 epochs, early stop after 20
+/// non-improving validation checks).
+struct TrainOptions {
+  size_t max_epochs = 400;
+  size_t patience = 20;
+  float learning_rate = 0.02f;
+  float weight_decay = 5e-4f;
+  uint64_t seed = 1;
+  bool verbose = false;
+  /// Restore the parameters of the best-validation epoch before the
+  /// final test evaluation.
+  bool restore_best = true;
+  /// Optional per-epoch observer (runs after the optimizer step), e.g.
+  /// the Fig. 6 mutual-information probe.
+  std::function<void(size_t epoch, Model& model)> epoch_callback;
+};
+
+/// Outcome of one training run.
+struct TrainResult {
+  double best_val_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  double train_accuracy = 0.0;
+  double final_loss = 0.0;
+  size_t epochs_run = 0;
+  double mean_epoch_time_ms = 0.0;
+  std::vector<double> loss_history;
+  std::vector<double> val_accuracy_history;
+};
+
+/// Argmax accuracy of `logits` over nodes with mask > 0.
+double MaskedAccuracy(const Tensor& logits,
+                      const std::vector<int32_t>& labels,
+                      const std::vector<float>& mask);
+
+/// Evaluates the model (training=false) on the given mask.
+double EvaluateAccuracy(Model& model, const std::vector<float>& mask,
+                        Rng& rng);
+
+/// Full training loop: Adam + early stopping on validation accuracy.
+TrainResult TrainModel(Model& model, const TrainOptions& options);
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_TRAIN_TRAINER_H_

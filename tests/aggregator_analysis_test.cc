@@ -1,0 +1,69 @@
+#include "core/aggregator_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "data/registry.h"
+#include "train/trainer.h"
+
+namespace lasagne {
+namespace {
+
+std::unique_ptr<LasagneModel> TrainedModel(const Dataset& data,
+                                           AggregatorKind kind) {
+  LasagneConfig config;
+  config.aggregator = kind;
+  config.depth = 4;
+  config.hidden_dim = 16;
+  config.dropout = 0.3f;
+  config.seed = 5;
+  auto model = std::make_unique<LasagneModel>(data, config);
+  TrainOptions options;
+  options.max_epochs = 40;
+  options.patience = 40;
+  options.seed = 7;
+  TrainModel(*model, options);
+  return model;
+}
+
+TEST(AggregatorAnalysisTest, StochasticReportWellFormed) {
+  Dataset data = LoadDataset("cora", 0.25, 71);
+  auto model = TrainedModel(data, AggregatorKind::kStochastic);
+  AggregatorReport report = AnalyzeAggregator(*model, data);
+  EXPECT_EQ(report.aggregator, "stochastic");
+  EXPECT_EQ(report.num_layers, 3u);
+  EXPECT_EQ(report.mean_per_layer.size(), 3u);
+  for (double m : report.mean_per_layer) {
+    EXPECT_GE(m, 0.0);
+    EXPECT_LE(m, 1.0 + 1e-6);
+  }
+  EXPECT_GE(report.pagerank_early_preference_spearman, -1.0);
+  EXPECT_LE(report.pagerank_early_preference_spearman, 1.0);
+  EXPECT_EQ(report.most_central_gates.size(), 3u);
+  EXPECT_EQ(report.least_central_gates.size(), 3u);
+  EXPECT_NE(report.Summary().find("stochastic"), std::string::npos);
+}
+
+TEST(AggregatorAnalysisTest, WeightedGatesAreNormalized) {
+  Dataset data = LoadDataset("cora", 0.25, 72);
+  auto model = TrainedModel(data, AggregatorKind::kWeighted);
+  AggregatorReport report = AnalyzeAggregator(*model, data);
+  EXPECT_EQ(report.aggregator, "weighted");
+  // |C| normalized per node: layer means sum to ~1.
+  double total = 0.0;
+  for (double m : report.mean_per_layer) total += m;
+  EXPECT_NEAR(total, 1.0, 1e-3);
+}
+
+TEST(AggregatorAnalysisTest, RejectsNonNodeIndexedAggregators) {
+  Dataset data = LoadDataset("cora", 0.2, 73);
+  LasagneConfig config;
+  config.aggregator = AggregatorKind::kMaxPooling;
+  config.depth = 3;
+  config.hidden_dim = 8;
+  config.seed = 3;
+  LasagneModel model(data, config);
+  EXPECT_DEATH(AnalyzeAggregator(model, data), "node-indexed");
+}
+
+}  // namespace
+}  // namespace lasagne

@@ -1,0 +1,474 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "autograd/edge_ops.h"
+#include "autograd/fm_op.h"
+#include "autograd/variable.h"
+#include "graph/graph.h"
+#include "test_util.h"
+
+namespace lasagne {
+namespace {
+
+using ag::Variable;
+using testing::GradCheck;
+
+constexpr float kTol = 2e-2f;
+
+Variable Param(size_t r, size_t c, uint64_t seed) {
+  Rng rng(seed);
+  return ag::MakeParameter(Tensor::Normal(r, c, 0.0f, 1.0f, rng));
+}
+
+TEST(AutogradTest, ForwardValuesBasicOps) {
+  Variable a = ag::MakeParameter(Tensor(1, 2, {1.0f, -2.0f}));
+  Variable b = ag::MakeParameter(Tensor(1, 2, {3.0f, 4.0f}));
+  EXPECT_FLOAT_EQ(ag::Add(a, b)->value()(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(ag::Sub(a, b)->value()(0, 1), -6.0f);
+  EXPECT_FLOAT_EQ(ag::Mul(a, b)->value()(0, 1), -8.0f);
+  EXPECT_FLOAT_EQ(ag::Relu(a)->value()(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(ag::LeakyRelu(a, 0.1f)->value()(0, 1), -0.2f);
+  EXPECT_NEAR(ag::Sigmoid(a)->value()(0, 0), 1.0f / (1.0f + std::exp(-1.0f)),
+              1e-6f);
+}
+
+TEST(AutogradTest, BackwardThroughAdd) {
+  Variable a = Param(2, 3, 1);
+  Variable b = Param(2, 3, 2);
+  EXPECT_LT(GradCheck([&] { return ag::Sum(ag::Add(a, b)); }, {a, b}), kTol);
+}
+
+TEST(AutogradTest, BackwardThroughSubMul) {
+  Variable a = Param(2, 3, 3);
+  Variable b = Param(2, 3, 4);
+  EXPECT_LT(GradCheck(
+                [&] { return ag::Sum(ag::Mul(ag::Sub(a, b), a)); }, {a, b}),
+            kTol);
+}
+
+TEST(AutogradTest, BackwardThroughAddMany) {
+  Variable a = Param(2, 2, 5);
+  Variable b = Param(2, 2, 6);
+  Variable c = Param(2, 2, 7);
+  EXPECT_LT(
+      GradCheck([&] { return ag::Sum(ag::AddMany({a, b, c})); }, {a, b, c}),
+      kTol);
+}
+
+TEST(AutogradTest, BackwardThroughMatMul) {
+  Variable a = Param(3, 4, 8);
+  Variable b = Param(4, 2, 9);
+  EXPECT_LT(GradCheck([&] { return ag::Sum(ag::MatMul(a, b)); }, {a, b}),
+            kTol);
+}
+
+TEST(AutogradTest, BackwardThroughChainedMatMulRelu) {
+  Variable x = Param(3, 4, 10);
+  Variable w1 = Param(4, 5, 11);
+  Variable w2 = Param(5, 2, 12);
+  auto loss = [&] {
+    return ag::Sum(ag::MatMul(ag::Relu(ag::MatMul(x, w1)), w2));
+  };
+  EXPECT_LT(GradCheck(loss, {x, w1, w2}), kTol);
+}
+
+TEST(AutogradTest, BackwardThroughTranspose) {
+  Variable a = Param(2, 4, 13);
+  Variable b = Param(2, 3, 14);
+  EXPECT_LT(GradCheck(
+                [&] { return ag::Sum(ag::MatMul(ag::Transpose(a), b)); },
+                {a, b}),
+            kTol);
+}
+
+TEST(AutogradTest, BackwardThroughUnaryOps) {
+  Variable a = Param(2, 3, 15);
+  EXPECT_LT(GradCheck([&] { return ag::Sum(ag::Tanh(a)); }, {a}), kTol);
+  EXPECT_LT(GradCheck([&] { return ag::Sum(ag::Sigmoid(a)); }, {a}), kTol);
+  EXPECT_LT(GradCheck([&] { return ag::Sum(ag::Exp(a)); }, {a}), kTol);
+  Variable pos = ag::MakeParameter(Tensor(1, 3, {0.5f, 1.5f, 2.5f}));
+  EXPECT_LT(GradCheck([&] { return ag::Sum(ag::Log(pos)); }, {pos}), kTol);
+  EXPECT_LT(GradCheck([&] { return ag::Sum(ag::LeakyRelu(a, 0.3f)); }, {a}),
+            kTol);
+}
+
+TEST(AutogradTest, BackwardThroughSpMM) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  auto a_hat = std::make_shared<CsrMatrix>(g.NormalizedAdjacency());
+  Variable x = Param(4, 3, 16);
+  EXPECT_LT(GradCheck([&] { return ag::Sum(ag::SpMM(a_hat, x)); }, {x}),
+            kTol);
+}
+
+TEST(AutogradTest, BackwardThroughRowScale) {
+  Variable x = Param(3, 4, 17);
+  Variable c = Param(3, 1, 18);
+  EXPECT_LT(GradCheck([&] { return ag::Sum(ag::RowScale(x, c)); }, {x, c}),
+            kTol);
+}
+
+TEST(AutogradTest, BackwardThroughRowDivide) {
+  Variable x = Param(3, 4, 19);
+  Variable d = ag::MakeParameter(Tensor(3, 1, {1.5f, 2.0f, 0.7f}));
+  EXPECT_LT(GradCheck([&] { return ag::Sum(ag::RowDivide(x, d)); }, {x, d}),
+            kTol);
+}
+
+TEST(AutogradTest, BackwardThroughRowMax) {
+  Variable x = Param(3, 5, 20);
+  EXPECT_LT(GradCheck([&] { return ag::Sum(ag::RowMax(x)); }, {x}), kTol);
+}
+
+TEST(AutogradTest, BackwardThroughConcatSlice) {
+  Variable a = Param(3, 2, 21);
+  Variable b = Param(3, 3, 22);
+  auto loss = [&] {
+    Variable cat = ag::ConcatCols({a, b});
+    return ag::Sum(ag::Mul(ag::SliceCols(cat, 1, 3),
+                           ag::SliceCols(cat, 1, 3)));
+  };
+  EXPECT_LT(GradCheck(loss, {a, b}), kTol);
+}
+
+TEST(AutogradTest, BackwardThroughGatherRows) {
+  Variable x = Param(4, 3, 23);
+  auto loss = [&] {
+    return ag::Sum(ag::GatherRows(x, {0, 2, 2, 3}));
+  };
+  EXPECT_LT(GradCheck(loss, {x}), kTol);
+}
+
+TEST(AutogradTest, BackwardThroughMaxOverSet) {
+  Variable a = Param(3, 4, 24);
+  Variable b = Param(3, 4, 25);
+  Variable c = Param(3, 4, 26);
+  EXPECT_LT(
+      GradCheck([&] { return ag::Sum(ag::MaxOverSet({a, b, c})); },
+                {a, b, c}),
+      kTol);
+}
+
+TEST(AutogradTest, MaxOverSetForwardIsElementwiseMax) {
+  Variable a = ag::MakeParameter(Tensor(1, 3, {1.0f, 5.0f, -1.0f}));
+  Variable b = ag::MakeParameter(Tensor(1, 3, {2.0f, 0.0f, -3.0f}));
+  Tensor m = ag::MaxOverSet({a, b})->value();
+  EXPECT_FLOAT_EQ(m(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(m(0, 1), 5.0f);
+  EXPECT_FLOAT_EQ(m(0, 2), -1.0f);
+}
+
+TEST(AutogradTest, BackwardThroughMeanRows) {
+  Variable x = Param(4, 3, 27);
+  EXPECT_LT(GradCheck([&] { return ag::Sum(ag::MeanRows(x)); }, {x}), kTol);
+}
+
+TEST(AutogradTest, BackwardThroughReductions) {
+  Variable x = Param(3, 3, 28);
+  EXPECT_LT(GradCheck([&] { return ag::Mean(x); }, {x}), kTol);
+  EXPECT_LT(GradCheck([&] { return ag::SquaredSum(x); }, {x}), kTol);
+}
+
+TEST(AutogradTest, BackwardThroughPairNorm) {
+  Variable x = Param(5, 4, 29);
+  EXPECT_LT(GradCheck([&] { return ag::Sum(ag::Mul(ag::PairNorm(x, 1.3f),
+                                                   ag::PairNorm(x, 1.3f))); },
+                      {x}),
+            5e-2f);
+}
+
+TEST(AutogradTest, PairNormCentersAndScales) {
+  Variable x = Param(6, 3, 30);
+  Tensor y = ag::PairNorm(x, 2.0f)->value();
+  for (size_t r = 0; r < y.rows(); ++r) {
+    double sq = 0.0;
+    for (size_t c = 0; c < y.cols(); ++c) sq += y(r, c) * y(r, c);
+    EXPECT_NEAR(std::sqrt(sq), 2.0, 1e-3);
+  }
+}
+
+TEST(AutogradTest, BackwardThroughSoftmaxCrossEntropy) {
+  Variable logits = Param(4, 3, 31);
+  std::vector<int32_t> labels = {0, 2, 1, 0};
+  std::vector<float> mask = {1.0f, 1.0f, 0.0f, 1.0f};
+  EXPECT_LT(GradCheck(
+                [&] { return ag::SoftmaxCrossEntropy(logits, labels, mask); },
+                {logits}),
+            kTol);
+}
+
+TEST(AutogradTest, SoftmaxCrossEntropyIgnoresMaskedRows) {
+  Variable logits = Param(2, 3, 32);
+  std::vector<int32_t> labels = {0, 1};
+  Variable loss_both =
+      ag::SoftmaxCrossEntropy(logits, labels, {1.0f, 0.0f});
+  // Perturbing the masked row must not change the loss.
+  logits->mutable_value()(1, 0) += 10.0f;
+  Variable loss_again =
+      ag::SoftmaxCrossEntropy(logits, labels, {1.0f, 0.0f});
+  EXPECT_NEAR(loss_both->value()(0, 0), loss_again->value()(0, 0), 1e-6f);
+}
+
+TEST(AutogradTest, BackwardThroughWeightedCrossEntropy) {
+  Variable logits = Param(4, 3, 33);
+  std::vector<int32_t> labels = {0, 2, 1, 0};
+  std::vector<float> weights = {0.5f, 2.0f, 1.0f, 0.0f};
+  EXPECT_LT(GradCheck(
+                [&] {
+                  return ag::WeightedSoftmaxCrossEntropy(logits, labels,
+                                                         weights);
+                },
+                {logits}),
+            kTol);
+}
+
+TEST(AutogradTest, BackwardThroughBinaryCrossEntropy) {
+  Variable logits = Param(3, 2, 34);
+  Tensor targets(3, 2, {1, 0, 0, 1, 1, 1});
+  EXPECT_LT(GradCheck(
+                [&] {
+                  return ag::BinaryCrossEntropyWithLogits(logits, targets);
+                },
+                {logits}),
+            kTol);
+}
+
+TEST(AutogradTest, BackwardThroughMeanCosineDistance) {
+  Variable x = Param(5, 4, 35);
+  std::vector<std::pair<uint32_t, uint32_t>> pairs = {{0, 1}, {2, 4}, {1, 3}};
+  EXPECT_LT(GradCheck(
+                [&] { return ag::MeanCosineDistance(x, pairs); }, {x}),
+            kTol);
+}
+
+TEST(AutogradTest, MeanCosineDistanceOfIdenticalRowsIsZero) {
+  Tensor v(2, 3, {1, 2, 3, 1, 2, 3});
+  Variable x = ag::MakeParameter(v);
+  Variable d = ag::MeanCosineDistance(x, {{0, 1}});
+  EXPECT_NEAR(d->value()(0, 0), 0.0f, 1e-5f);
+}
+
+TEST(AutogradTest, DropoutEvalIsIdentity) {
+  Rng rng(1);
+  Variable x = Param(4, 4, 36);
+  Variable y = ag::Dropout(x, 0.5f, rng, /*training=*/false);
+  EXPECT_EQ(y.get(), x.get());
+}
+
+TEST(AutogradTest, DropoutPreservesExpectation) {
+  Rng rng(2);
+  Variable x = ag::MakeParameter(Tensor::Ones(100, 100));
+  Variable y = ag::Dropout(x, 0.3f, rng, /*training=*/true);
+  EXPECT_NEAR(y->value().Mean(), 1.0f, 0.05f);
+}
+
+TEST(AutogradTest, BernoulliStraightThroughEvalPassesProbs) {
+  Rng rng(3);
+  Variable p = ag::MakeParameter(Tensor(2, 2, {0.2f, 0.8f, 0.5f, 1.0f}));
+  Variable y = ag::BernoulliStraightThrough(p, rng, /*training=*/false);
+  EXPECT_LT(y->value().MaxAbsDiff(p->value()), 1e-7f);
+}
+
+TEST(AutogradTest, BernoulliStraightThroughTrainingSamplesBinary) {
+  Rng rng(4);
+  Variable p = ag::MakeParameter(Tensor::Full(10, 10, 0.5f));
+  Variable y = ag::BernoulliStraightThrough(p, rng, /*training=*/true);
+  for (size_t i = 0; i < y->value().size(); ++i) {
+    float v = y->value().data()[i];
+    EXPECT_TRUE(v == 0.0f || v == 1.0f);
+  }
+  // Gradient passes straight through.
+  ag::Variable loss = ag::Sum(y);
+  ag::Backward(loss);
+  EXPECT_LT(p->grad().MaxAbsDiff(Tensor::Ones(10, 10)), 1e-6f);
+}
+
+TEST(AutogradTest, GradientAccumulatesAcrossUses) {
+  Variable x = ag::MakeParameter(Tensor(1, 1, {2.0f}));
+  // loss = x * x  => dloss/dx = 2x = 4
+  Variable loss = ag::Sum(ag::Mul(x, x));
+  ag::Backward(loss);
+  EXPECT_NEAR(x->grad()(0, 0), 4.0f, 1e-5f);
+}
+
+TEST(AutogradTest, ZeroGradResets) {
+  Variable x = ag::MakeParameter(Tensor(1, 1, {2.0f}));
+  ag::Backward(ag::Sum(ag::Mul(x, x)));
+  x->ZeroGrad();
+  EXPECT_FLOAT_EQ(x->grad()(0, 0), 0.0f);
+}
+
+TEST(AutogradTest, ConstantReceivesNoGradient) {
+  Variable c = ag::MakeConstant(Tensor::Ones(2, 2));
+  Variable x = Param(2, 2, 37);
+  ag::Backward(ag::Sum(ag::Mul(c, x)));
+  EXPECT_TRUE(c->grad().empty());
+  EXPECT_FALSE(x->grad().empty());
+}
+
+TEST(AutogradTest, DiamondGraphGradientsCorrect) {
+  // loss = sum((x + x) * x) = sum(2 x^2) => d/dx = 4x.
+  Variable x = ag::MakeParameter(Tensor(1, 2, {1.0f, -3.0f}));
+  Variable loss = ag::Sum(ag::Mul(ag::Add(x, x), x));
+  ag::Backward(loss);
+  EXPECT_NEAR(x->grad()(0, 0), 4.0f, 1e-5f);
+  EXPECT_NEAR(x->grad()(0, 1), -12.0f, 1e-4f);
+}
+
+// -- Edge ops ---------------------------------------------------------------
+
+std::shared_ptr<const ag::EdgeStructure> TestEdges() {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 2}});
+  return ag::EdgeStructure::FromGraph(g, /*add_self_loops=*/true);
+}
+
+TEST(EdgeOpsTest, EdgeStructureHasSelfLoops) {
+  auto edges = TestEdges();
+  // Node 0: self + neighbors {1, 2} = 3 incident edges.
+  EXPECT_EQ(edges->row_ptr[1] - edges->row_ptr[0], 3u);
+  // Total directed edges: 2*4 + 4 self loops = 12.
+  EXPECT_EQ(edges->num_edges(), 12u);
+}
+
+TEST(EdgeOpsTest, GatherEdgeScoresBackward) {
+  auto edges = TestEdges();
+  Variable dst = Param(4, 1, 38);
+  Variable src = Param(4, 1, 39);
+  auto loss = [&] {
+    Variable s = ag::GatherEdgeScores(dst, src, edges);
+    return ag::Sum(ag::Mul(s, s));
+  };
+  EXPECT_LT(GradCheck(loss, {dst, src}), kTol);
+}
+
+TEST(EdgeOpsTest, EdgeSoftmaxNormalizesPerDestination) {
+  auto edges = TestEdges();
+  Variable scores = Param(static_cast<size_t>(edges->num_edges()), 1, 40);
+  Tensor probs = ag::EdgeSoftmax(scores, edges)->value();
+  for (size_t i = 0; i < edges->num_nodes; ++i) {
+    double total = 0.0;
+    for (size_t k = edges->row_ptr[i]; k < edges->row_ptr[i + 1]; ++k) {
+      total += probs(k, 0);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-5);
+  }
+}
+
+TEST(EdgeOpsTest, EdgeSoftmaxBackward) {
+  auto edges = TestEdges();
+  Variable scores = Param(static_cast<size_t>(edges->num_edges()), 1, 41);
+  Variable weights = Param(static_cast<size_t>(edges->num_edges()), 1, 42);
+  auto loss = [&] {
+    Variable p = ag::EdgeSoftmax(scores, edges);
+    return ag::Sum(ag::Mul(p, weights));
+  };
+  EXPECT_LT(GradCheck(loss, {scores}), kTol);
+}
+
+TEST(EdgeOpsTest, EdgeWeightedAggregateBackward) {
+  auto edges = TestEdges();
+  Variable w = Param(static_cast<size_t>(edges->num_edges()), 1, 43);
+  Variable h = Param(4, 3, 44);
+  auto loss = [&] {
+    Variable out = ag::EdgeWeightedAggregate(w, h, edges);
+    return ag::Sum(ag::Mul(out, out));
+  };
+  EXPECT_LT(GradCheck(loss, {w, h}), kTol);
+}
+
+TEST(EdgeOpsTest, UniformAttentionMatchesRowStochasticSpmm) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 2}});
+  auto edges = ag::EdgeStructure::FromGraph(g, /*add_self_loops=*/true);
+  // Zero scores -> uniform attention == row-stochastic mean aggregation.
+  Variable scores = ag::MakeParameter(
+      Tensor::Zeros(static_cast<size_t>(edges->num_edges()), 1));
+  Variable h = Param(4, 3, 45);
+  Variable att = ag::EdgeWeightedAggregate(
+      ag::EdgeSoftmax(scores, edges), h, edges);
+  auto walk = std::make_shared<CsrMatrix>(g.RandomWalkAdjacency());
+  Variable mean_agg = ag::SpMM(walk, h);
+  EXPECT_LT(att->value().MaxAbsDiff(mean_agg->value()), 1e-5f);
+}
+
+TEST(EdgeOpsTest, AddEdgeBiasBackward) {
+  auto edges = TestEdges();
+  auto bias = std::make_shared<std::vector<float>>(edges->num_edges(), 0.5f);
+  Variable scores = Param(static_cast<size_t>(edges->num_edges()), 1, 46);
+  auto loss = [&] {
+    Variable s = ag::AddEdgeBias(scores, bias);
+    return ag::Sum(ag::Mul(s, s));
+  };
+  EXPECT_LT(GradCheck(loss, {scores}), kTol);
+}
+
+// -- FM op --------------------------------------------------------------------
+
+TEST(FmOpTest, MatchesNaiveDoubleLoop) {
+  Rng rng(47);
+  const size_t n = 3, f = 2, k = 3;
+  std::vector<size_t> offsets = {0, 2, 5, 7};  // three fields: 2, 3, 2 dims
+  const size_t m = offsets.back();
+  Tensor xv = Tensor::Normal(n, m, 0.0f, 1.0f, rng);
+  Tensor wv = Tensor::Normal(m, f, 0.0f, 1.0f, rng);
+  Tensor vv = Tensor::Normal(m, f * k, 0.0f, 1.0f, rng);
+  Variable x = ag::MakeParameter(xv);
+  Variable w = ag::MakeParameter(wv);
+  Variable v = ag::MakeParameter(vv);
+  Tensor got = ag::FmInteraction(x, w, v, offsets, k)->value();
+
+  // Naive reference.
+  std::vector<size_t> field_of(m);
+  for (size_t p = 0; p + 1 < offsets.size(); ++p) {
+    for (size_t mm = offsets[p]; mm < offsets[p + 1]; ++mm) field_of[mm] = p;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < f; ++j) {
+      double expect = 0.0;
+      for (size_t mm = 0; mm < m; ++mm) expect += wv(mm, j) * xv(i, mm);
+      for (size_t a = 0; a < m; ++a) {
+        for (size_t b = a + 1; b < m; ++b) {
+          if (field_of[a] == field_of[b]) continue;
+          double dot = 0.0;
+          for (size_t t = 0; t < k; ++t) {
+            dot += vv(a, j * k + t) * vv(b, j * k + t);
+          }
+          expect += dot * xv(i, a) * xv(i, b);
+        }
+      }
+      EXPECT_NEAR(got(i, j), expect, 1e-3) << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(FmOpTest, GradientsCheck) {
+  Rng rng(48);
+  const size_t n = 3, f = 2, k = 2;
+  std::vector<size_t> offsets = {0, 2, 4};
+  const size_t m = offsets.back();
+  Variable x = ag::MakeParameter(Tensor::Normal(n, m, 0.0f, 0.5f, rng));
+  Variable w = ag::MakeParameter(Tensor::Normal(m, f, 0.0f, 0.5f, rng));
+  Variable v = ag::MakeParameter(Tensor::Normal(m, f * k, 0.0f, 0.5f, rng));
+  auto loss = [&] {
+    Variable o = ag::FmInteraction(x, w, v, offsets, k);
+    return ag::Sum(ag::Mul(o, o));
+  };
+  EXPECT_LT(GradCheck(loss, {x, w, v}), 5e-2f);
+}
+
+TEST(FmOpTest, SingleFieldHasNoCrossTerm) {
+  Rng rng(49);
+  const size_t n = 2, f = 2, k = 3, m = 4;
+  std::vector<size_t> offsets = {0, m};
+  Variable x = ag::MakeParameter(Tensor::Normal(n, m, 0.0f, 1.0f, rng));
+  Variable w = ag::MakeParameter(Tensor::Normal(m, f, 0.0f, 1.0f, rng));
+  Variable v = ag::MakeParameter(Tensor::Normal(m, f * k, 0.0f, 1.0f, rng));
+  Tensor got = ag::FmInteraction(x, w, v, offsets, k)->value();
+  Tensor linear = x->value().MatMul(w->value());
+  EXPECT_LT(got.MaxAbsDiff(linear), 1e-4f);
+}
+
+}  // namespace
+}  // namespace lasagne

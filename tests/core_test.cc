@@ -1,0 +1,298 @@
+#include "core/lasagne_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/aggregators.h"
+#include "core/gcfm.h"
+#include "data/registry.h"
+#include "test_util.h"
+
+namespace lasagne {
+namespace {
+
+using testing::GradCheck;
+
+std::shared_ptr<const CsrMatrix> TinyAHat() {
+  Graph g = Graph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}});
+  return std::make_shared<CsrMatrix>(g.NormalizedAdjacency());
+}
+
+std::vector<ag::Variable> MakeHistory(size_t layers, size_t n, size_t d,
+                                      uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ag::Variable> history;
+  for (size_t l = 0; l < layers; ++l) {
+    history.push_back(
+        ag::MakeParameter(Tensor::Normal(n, d, 0.0f, 1.0f, rng)));
+  }
+  return history;
+}
+
+TEST(WeightedAggregatorTest, SingleLayerHistoryIsRowScaledIdentity) {
+  Rng rng(1);
+  WeightedAggregator agg(5, {4}, rng);
+  auto history = MakeHistory(1, 5, 4, 2);
+  nn::ForwardContext ctx{false, &rng};
+  ag::Variable out = agg.Aggregate(TinyAHat(), history, ctx);
+  // With l = 1, Eq. 5 reduces to C[:,0] (x) H; C initialized to 1.
+  EXPECT_LT(out->value().MaxAbsDiff(history[0]->value()), 1e-5f);
+}
+
+TEST(WeightedAggregatorTest, GradientsFlowToContributionsAndTransforms) {
+  Rng rng(3);
+  auto a_hat = TinyAHat();
+  WeightedAggregator agg(5, {4, 4, 4}, rng);
+  auto history = MakeHistory(3, 5, 4, 4);
+  Rng fwd_rng(5);
+  nn::ForwardContext ctx{false, &fwd_rng};
+  std::vector<ag::Variable> params = agg.Parameters();
+  EXPECT_EQ(params.size(), 3u);  // C + two W(il)
+  auto loss = [&] {
+    ag::Variable out = agg.Aggregate(a_hat, history, ctx);
+    return ag::Sum(ag::Mul(out, out));
+  };
+  EXPECT_LT(GradCheck(loss, params), 3e-2f);
+}
+
+TEST(WeightedAggregatorTest, SupportsFlexibleHiddenDims) {
+  Rng rng(7);
+  auto a_hat = TinyAHat();
+  WeightedAggregator agg(5, {8, 6, 4}, rng);
+  Rng gen(8);
+  std::vector<ag::Variable> history = {
+      ag::MakeParameter(Tensor::Normal(5, 8, 0, 1, gen)),
+      ag::MakeParameter(Tensor::Normal(5, 6, 0, 1, gen)),
+      ag::MakeParameter(Tensor::Normal(5, 4, 0, 1, gen))};
+  nn::ForwardContext ctx{false, &rng};
+  ag::Variable out = agg.Aggregate(a_hat, history, ctx);
+  EXPECT_EQ(out->cols(), 4u);  // current layer's dim
+}
+
+TEST(MaxPoolingAggregatorTest, MaxOverCandidateTerms) {
+  Rng rng(9);
+  auto a_hat = TinyAHat();
+  MaxPoolingAggregator agg({4, 4, 4}, rng);
+  auto history = MakeHistory(3, 5, 4, 10);
+  nn::ForwardContext ctx{false, &rng};
+  ag::Variable out = agg.Aggregate(a_hat, history, ctx);
+  // The output dominates the current layer coordinate-wise (the current
+  // layer is always one of the max candidates, Eq. 5 special case).
+  for (size_t r = 0; r < 5; ++r) {
+    for (size_t c = 0; c < 4; ++c) {
+      EXPECT_GE(out->value()(r, c), history[2]->value()(r, c));
+    }
+  }
+  // No contribution matrix C: only the cross-layer transforms W(il).
+  EXPECT_EQ(agg.Parameters().size(), 2u);
+}
+
+TEST(MaxPoolingAggregatorTest, SingleEntryHistoryIsIdentity) {
+  Rng rng(10);
+  MaxPoolingAggregator agg({4}, rng);
+  auto history = MakeHistory(1, 5, 4, 11);
+  nn::ForwardContext ctx{false, &rng};
+  ag::Variable out = agg.Aggregate(TinyAHat(), history, ctx);
+  EXPECT_LT(out->value().MaxAbsDiff(history[0]->value()), 1e-6f);
+}
+
+TEST(StochasticAggregatorTest, EvalModeIsDeterministicExpectation) {
+  Rng rng(11);
+  ag::Variable p =
+      ag::MakeParameter(Tensor::Normal(5, 3, 0.0f, 0.5f, rng));
+  StochasticAggregator agg(p, 3, {4, 4, 4}, rng);
+  auto history = MakeHistory(3, 5, 4, 12);
+  Rng e1(1), e2(99);
+  nn::ForwardContext ctx1{false, &e1}, ctx2{false, &e2};
+  ag::Variable out1 = agg.Aggregate(TinyAHat(), history, ctx1);
+  ag::Variable out2 = agg.Aggregate(TinyAHat(), history, ctx2);
+  // Different RNGs, same result: eval path uses expectations.
+  EXPECT_LT(out1->value().MaxAbsDiff(out2->value()), 1e-6f);
+}
+
+TEST(StochasticAggregatorTest, TrainingGatesAreBinaryEffects) {
+  Rng rng(13);
+  // Large positive P => probability ~1 for every layer => training
+  // output equals the eval output.
+  ag::Variable p = ag::MakeParameter(Tensor::Full(5, 3, 8.0f));
+  StochasticAggregator agg(p, 3, {4, 4, 4}, rng);
+  auto history = MakeHistory(3, 5, 4, 14);
+  Rng tr(3), ev(4);
+  nn::ForwardContext train_ctx{true, &tr}, eval_ctx{false, &ev};
+  ag::Variable out_train = agg.Aggregate(TinyAHat(), history, train_ctx);
+  ag::Variable out_eval = agg.Aggregate(TinyAHat(), history, eval_ctx);
+  EXPECT_LT(out_train->value().MaxAbsDiff(out_eval->value()), 1e-5f);
+}
+
+TEST(StochasticAggregatorTest, GradientReachesP) {
+  Rng rng(15);
+  ag::Variable p =
+      ag::MakeParameter(Tensor::Normal(5, 2, 0.0f, 0.3f, rng));
+  StochasticAggregator agg(p, 2, {4, 4}, rng);
+  auto history = MakeHistory(2, 5, 4, 16);
+  Rng fwd(5);
+  nn::ForwardContext ctx{true, &fwd};
+  ag::Variable out = agg.Aggregate(TinyAHat(), history, ctx);
+  ag::Backward(ag::Sum(ag::Mul(out, out)));
+  EXPECT_FALSE(p->grad().empty());
+  EXPECT_GT(p->grad().Norm(), 0.0f);
+}
+
+TEST(MeanAggregatorTest, UniformCombination) {
+  Rng rng(17);
+  MeanAggregator agg({4, 4}, rng);
+  auto history = MakeHistory(2, 5, 4, 18);
+  nn::ForwardContext ctx{false, &rng};
+  ag::Variable out = agg.Aggregate(TinyAHat(), history, ctx);
+  EXPECT_EQ(out->rows(), 5u);
+  EXPECT_EQ(out->cols(), 4u);
+  EXPECT_EQ(agg.Parameters().size(), 1u);
+}
+
+TEST(GcFmLayerTest, OutputShapeAndGradients) {
+  Rng rng(19);
+  GcFmLayer layer({4, 3}, /*num_classes=*/2, /*fm_rank=*/2, rng,
+                  /*final_relu=*/false);
+  auto a_hat = TinyAHat();
+  Rng gen(20);
+  std::vector<ag::Variable> hidden = {
+      ag::MakeParameter(Tensor::Normal(5, 4, 0, 0.5, gen)),
+      ag::MakeParameter(Tensor::Normal(5, 3, 0, 0.5, gen))};
+  ag::Variable out = layer.Forward(a_hat, hidden);
+  EXPECT_EQ(out->rows(), 5u);
+  EXPECT_EQ(out->cols(), 2u);
+  auto loss = [&] {
+    ag::Variable o = layer.Forward(a_hat, hidden);
+    return ag::Sum(ag::Mul(o, o));
+  };
+  EXPECT_LT(GradCheck(loss, layer.Parameters()), 5e-2f);
+}
+
+TEST(GcFmLayerTest, FinalReluClampsNegatives) {
+  Rng rng(21);
+  GcFmLayer layer({4}, 3, 2, rng, /*final_relu=*/true);
+  Rng gen(22);
+  std::vector<ag::Variable> hidden = {
+      ag::MakeParameter(Tensor::Normal(5, 4, 0, 1.0, gen))};
+  ag::Variable out = layer.Forward(TinyAHat(), hidden);
+  EXPECT_GE(out->value().Min(), 0.0f);
+}
+
+// -- LasagneModel ------------------------------------------------------------
+
+const Dataset& TestData() {
+  static const Dataset& data = *new Dataset(LoadDataset("cora", 0.25, 9));
+  return data;
+}
+
+LasagneConfig BaseLasagneConfig(AggregatorKind kind) {
+  LasagneConfig config;
+  config.aggregator = kind;
+  config.depth = 4;
+  config.hidden_dim = 12;
+  config.dropout = 0.2f;
+  config.fm_rank = 3;
+  config.seed = 23;
+  return config;
+}
+
+TEST(LasagneModelTest, ForwardShapesAllAggregators) {
+  for (AggregatorKind kind :
+       {AggregatorKind::kWeighted, AggregatorKind::kMaxPooling,
+        AggregatorKind::kStochastic, AggregatorKind::kMean}) {
+    LasagneModel model(TestData(), BaseLasagneConfig(kind));
+    Rng rng(1);
+    nn::ForwardContext ctx{false, &rng};
+    ag::Variable logits = model.Forward(ctx);
+    EXPECT_EQ(logits->rows(), TestData().num_nodes());
+    EXPECT_EQ(logits->cols(), TestData().num_classes);
+    EXPECT_TRUE(logits->value().AllFinite());
+    EXPECT_EQ(model.hidden_states().size(), 3u);  // depth-1 hidden layers
+  }
+}
+
+TEST(LasagneModelTest, AllBaseConvolutionsWork) {
+  for (BaseConv base : {BaseConv::kGcn, BaseConv::kSgc, BaseConv::kGat}) {
+    LasagneConfig config = BaseLasagneConfig(AggregatorKind::kStochastic);
+    config.base = base;
+    LasagneModel model(TestData(), config);
+    Rng rng(2);
+    nn::ForwardContext ctx{true, &rng};
+    ag::Variable loss = model.TrainingLoss(ctx);
+    EXPECT_TRUE(loss->value().AllFinite());
+    ag::Backward(loss);
+  }
+}
+
+TEST(LasagneModelTest, FlexibleHiddenDimensions) {
+  LasagneConfig config = BaseLasagneConfig(AggregatorKind::kWeighted);
+  config.depth = 4;
+  config.hidden_dims = {16, 12, 8};  // the freedom ResGCN lacks
+  LasagneModel model(TestData(), config);
+  Rng rng(3);
+  nn::ForwardContext ctx{false, &rng};
+  ag::Variable logits = model.Forward(ctx);
+  EXPECT_TRUE(logits->value().AllFinite());
+  EXPECT_EQ(model.hidden_states()[0].cols(), 16u);
+  EXPECT_EQ(model.hidden_states()[2].cols(), 8u);
+}
+
+TEST(LasagneModelTest, StochasticProbabilitiesExposedForAnalysis) {
+  LasagneModel model(TestData(),
+                     BaseLasagneConfig(AggregatorKind::kStochastic));
+  Tensor probs = model.StochasticProbabilities();
+  EXPECT_EQ(probs.rows(), TestData().num_nodes());
+  EXPECT_EQ(probs.cols(), 3u);
+  EXPECT_LE(probs.Max(), 1.0f + 1e-5f);
+  EXPECT_GT(probs.Min(), 0.0f);
+}
+
+TEST(LasagneModelTest, WeightedContributionsExposed) {
+  LasagneModel model(TestData(),
+                     BaseLasagneConfig(AggregatorKind::kWeighted));
+  Tensor c = model.WeightedContributions();
+  EXPECT_EQ(c.rows(), TestData().num_nodes());
+  EXPECT_EQ(c.cols(), 3u);
+}
+
+TEST(LasagneModelTest, NoGcfmAblationUsesPlainGcOutput) {
+  LasagneConfig config = BaseLasagneConfig(AggregatorKind::kWeighted);
+  config.use_gcfm = false;
+  LasagneModel model(TestData(), config);
+  Rng rng(4);
+  nn::ForwardContext ctx{false, &rng};
+  ag::Variable logits = model.Forward(ctx);
+  EXPECT_TRUE(logits->value().AllFinite());
+}
+
+TEST(LasagneModelTest, InductiveRequiresMaxPooling) {
+  Dataset inductive = LoadDataset("flickr", 0.12, 11);
+  EXPECT_DEATH(LasagneModel(inductive,
+                            BaseLasagneConfig(AggregatorKind::kWeighted)),
+               "transductive");
+  // Max pooling constructs and trains fine.
+  LasagneModel model(inductive,
+                     BaseLasagneConfig(AggregatorKind::kMaxPooling));
+  Rng rng(5);
+  nn::ForwardContext ctx{true, &rng};
+  ag::Variable loss = model.TrainingLoss(ctx);
+  EXPECT_TRUE(loss->value().AllFinite());
+}
+
+TEST(LasagneModelTest, DeepTenLayerForwardStaysFinite) {
+  LasagneConfig config = BaseLasagneConfig(AggregatorKind::kStochastic);
+  config.depth = 10;
+  LasagneModel model(TestData(), config);
+  Rng rng(6);
+  nn::ForwardContext ctx{false, &rng};
+  EXPECT_TRUE(model.Forward(ctx)->value().AllFinite());
+}
+
+TEST(AggregatorFactoryTest, NamesRoundTrip) {
+  EXPECT_EQ(AggregatorKindName(AggregatorKind::kWeighted), "weighted");
+  EXPECT_EQ(AggregatorKindName(AggregatorKind::kMaxPooling), "maxpool");
+  EXPECT_EQ(AggregatorKindName(AggregatorKind::kStochastic), "stochastic");
+  EXPECT_EQ(AggregatorKindName(AggregatorKind::kMean), "mean");
+}
+
+}  // namespace
+}  // namespace lasagne

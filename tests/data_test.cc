@@ -1,0 +1,265 @@
+#include "data/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "graph/algorithms.h"
+
+namespace lasagne {
+namespace {
+
+TEST(SyntheticTest, PlantedPartitionBasicShape) {
+  PlantedPartitionConfig config;
+  config.num_nodes = 300;
+  config.num_classes = 5;
+  config.feature_dim = 16;
+  config.seed = 3;
+  Dataset d = GeneratePlantedPartition(config);
+  EXPECT_EQ(d.num_nodes(), 300u);
+  EXPECT_EQ(d.feature_dim(), 16u);
+  EXPECT_EQ(d.num_classes, 5u);
+  EXPECT_EQ(d.labels.size(), 300u);
+  for (int32_t l : d.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 5);
+  }
+}
+
+TEST(SyntheticTest, ClassesAreBalanced) {
+  PlantedPartitionConfig config;
+  config.num_nodes = 500;
+  config.num_classes = 5;
+  config.seed = 4;
+  Dataset d = GeneratePlantedPartition(config);
+  std::vector<int> counts(5, 0);
+  for (int32_t l : d.labels) counts[l]++;
+  for (int c : counts) EXPECT_EQ(c, 100);
+}
+
+TEST(SyntheticTest, IntraClassEdgeFractionNearSpec) {
+  PlantedPartitionConfig config;
+  config.num_nodes = 1000;
+  config.num_classes = 4;
+  config.intra_class_ratio = 0.85;
+  config.avg_degree = 8.0;
+  config.seed = 5;
+  Dataset d = GeneratePlantedPartition(config);
+  size_t intra = 0, total = 0;
+  for (const auto& [u, v] : d.graph.Edges()) {
+    ++total;
+    if (d.labels[u] == d.labels[v]) ++intra;
+  }
+  ASSERT_GT(total, 0u);
+  const double frac = static_cast<double>(intra) / total;
+  // Inter-class picks can still land in the same class (1/C of the time),
+  // so expected intra fraction is ratio + (1-ratio)/C ~ 0.89.
+  EXPECT_NEAR(frac, 0.85 + 0.15 / 4.0, 0.05);
+}
+
+TEST(SyntheticTest, HubsCreateDegreeSkew) {
+  PlantedPartitionConfig config;
+  config.num_nodes = 800;
+  config.hub_fraction = 0.05;
+  config.hub_weight = 30.0;
+  config.avg_degree = 6.0;
+  config.seed = 6;
+  Dataset d = GeneratePlantedPartition(config);
+  EXPECT_GT(d.graph.MaxDegree(), 5 * d.graph.AverageDegree());
+}
+
+TEST(SyntheticTest, FeaturesAreClassSeparable) {
+  // A nearest-centroid probe on the raw features must beat chance by a
+  // wide margin, otherwise no model can learn anything.
+  PlantedPartitionConfig config;
+  config.num_nodes = 400;
+  config.num_classes = 4;
+  config.feature_dim = 32;
+  config.feature_noise = 0.8;
+  config.seed = 7;
+  Dataset d = GeneratePlantedPartition(config);
+  Tensor centroids(4, 32);
+  std::vector<int> counts(4, 0);
+  for (size_t i = 0; i < d.num_nodes(); ++i) {
+    counts[d.labels[i]]++;
+    for (size_t j = 0; j < 32; ++j) {
+      centroids(d.labels[i], j) += d.features(i, j);
+    }
+  }
+  for (size_t c = 0; c < 4; ++c) {
+    for (size_t j = 0; j < 32; ++j) centroids(c, j) /= counts[c];
+  }
+  int correct = 0;
+  for (size_t i = 0; i < d.num_nodes(); ++i) {
+    int best = 0;
+    double best_d = 1e30;
+    for (int c = 0; c < 4; ++c) {
+      double dist = 0;
+      for (size_t j = 0; j < 32; ++j) {
+        double diff = d.features(i, j) - centroids(c, j);
+        dist += diff * diff;
+      }
+      if (dist < best_d) {
+        best_d = dist;
+        best = c;
+      }
+    }
+    correct += (best == d.labels[i]);
+  }
+  EXPECT_GT(static_cast<double>(correct) / d.num_nodes(), 0.5);
+}
+
+TEST(SyntheticTest, BipartiteStructure) {
+  BipartiteConfig config;
+  config.num_items = 200;
+  config.num_users = 100;
+  config.num_classes = 10;
+  config.seed = 8;
+  Dataset d = GenerateBipartite(config);
+  EXPECT_EQ(d.num_nodes(), 300u);
+  // Edges are user-item watches or item-item co-clicks; never user-user.
+  size_t watch_edges = 0, co_click_edges = 0;
+  for (const auto& [u, v] : d.graph.Edges()) {
+    const bool u_item = u < 200;
+    const bool v_item = v < 200;
+    EXPECT_TRUE(u_item || v_item);  // no user-user edges
+    if (u_item && v_item) {
+      ++co_click_edges;
+    } else {
+      ++watch_edges;
+    }
+  }
+  EXPECT_GT(watch_edges, 0u);
+  EXPECT_GT(co_click_edges, 0u);  // "concurrent clicks" projection
+}
+
+TEST(SyntheticTest, BipartiteCoClickCanBeDisabled) {
+  BipartiteConfig config;
+  config.num_items = 100;
+  config.num_users = 80;
+  config.num_classes = 5;
+  config.co_click_pairs_per_user = 0.0;
+  config.seed = 8;
+  Dataset d = GenerateBipartite(config);
+  for (const auto& [u, v] : d.graph.Edges()) {
+    EXPECT_NE(u < 100, v < 100);  // strictly bipartite again
+  }
+}
+
+TEST(SyntheticTest, BipartitePopularitySkew) {
+  BipartiteConfig config;
+  config.num_items = 300;
+  config.num_users = 300;
+  config.popularity_exponent = 1.1;
+  config.avg_items_per_user = 8.0;
+  config.seed = 9;
+  Dataset d = GenerateBipartite(config);
+  // The hottest item should be far above the average item degree.
+  size_t max_item_degree = 0;
+  double total = 0;
+  for (uint32_t i = 0; i < 300; ++i) {
+    max_item_degree = std::max(max_item_degree, d.graph.Degree(i));
+    total += d.graph.Degree(i);
+  }
+  EXPECT_GT(max_item_degree, 8 * total / 300);
+}
+
+TEST(SplitsTest, TransductiveSplitCounts) {
+  PlantedPartitionConfig config;
+  config.num_nodes = 400;
+  config.num_classes = 4;
+  config.seed = 10;
+  Dataset d = GeneratePlantedPartition(config);
+  Rng rng(1);
+  ApplyTransductiveSplit(d, 5, 50, 100, rng);
+  EXPECT_EQ(d.TrainNodes().size(), 20u);
+  EXPECT_EQ(d.ValNodes().size(), 50u);
+  EXPECT_EQ(d.TestNodes().size(), 100u);
+  // Per-class train balance.
+  std::vector<int> counts(4, 0);
+  for (uint32_t u : d.TrainNodes()) counts[d.labels[u]]++;
+  for (int c : counts) EXPECT_EQ(c, 5);
+}
+
+TEST(SplitsTest, ResampleLabelRateKeepsValTest) {
+  Dataset d = LoadDataset("cora", 1.0, 2);
+  auto val_before = d.ValNodes();
+  auto test_before = d.TestNodes();
+  Rng rng(3);
+  ResampleTrainPerClass(d, 12, rng);
+  EXPECT_EQ(d.ValNodes(), val_before);
+  EXPECT_EQ(d.TestNodes(), test_before);
+  EXPECT_EQ(d.TrainNodes().size(), 12u * d.num_classes);
+}
+
+TEST(SplitsTest, InductiveSplitFractions) {
+  PlantedPartitionConfig config;
+  config.num_nodes = 400;
+  config.seed = 11;
+  Dataset d = GeneratePlantedPartition(config);
+  Rng rng(4);
+  ApplyInductiveSplit(d, 0.5, 0.25, rng);
+  EXPECT_TRUE(d.inductive);
+  EXPECT_EQ(d.TrainNodes().size(), 200u);
+  EXPECT_EQ(d.ValNodes().size(), 100u);
+  EXPECT_EQ(d.TestNodes().size(), 100u);
+}
+
+TEST(DatasetTest, TrainSubgraphOnlyTrainNodes) {
+  Dataset d = LoadDataset("flickr", 0.3, 5);
+  Dataset sub = d.TrainSubgraph();
+  EXPECT_EQ(sub.num_nodes(), d.TrainNodes().size());
+  EXPECT_EQ(sub.TrainNodes().size(), sub.num_nodes());
+  // Features of subgraph node i match original train node i.
+  auto train_nodes = d.TrainNodes();
+  for (size_t i = 0; i < std::min<size_t>(10, train_nodes.size()); ++i) {
+    EXPECT_FLOAT_EQ(sub.features(i, 0), d.features(train_nodes[i], 0));
+    EXPECT_EQ(sub.labels[i], d.labels[train_nodes[i]]);
+  }
+}
+
+TEST(RegistryTest, AllSpecsLoadable) {
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    Dataset d = LoadDataset(spec.name, 0.25, 1);
+    EXPECT_GT(d.num_nodes(), 0u) << spec.name;
+    EXPECT_EQ(d.name, spec.name);
+    d.Validate();
+    EXPECT_EQ(d.inductive, spec.inductive) << spec.name;
+  }
+}
+
+TEST(RegistryTest, ElevenDatasetsLikePaperTable2) {
+  EXPECT_EQ(AllDatasetSpecs().size(), 11u);
+}
+
+TEST(RegistryTest, SeedsChangeGraphScaleChangesSize) {
+  Dataset a = LoadDataset("cora", 1.0, 1);
+  Dataset b = LoadDataset("cora", 1.0, 2);
+  EXPECT_NE(a.graph.num_edges(), b.graph.num_edges());
+  Dataset half = LoadDataset("cora", 0.5, 1);
+  EXPECT_NEAR(static_cast<double>(half.num_nodes()),
+              0.5 * a.num_nodes(), 2.0);
+}
+
+TEST(RegistryTest, DeterministicForSameSeed) {
+  Dataset a = LoadDataset("citeseer", 0.5, 7);
+  Dataset b = LoadDataset("citeseer", 0.5, 7);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_LT(a.features.MaxAbsDiff(b.features), 1e-7f);
+  EXPECT_EQ(a.train_mask, b.train_mask);
+}
+
+TEST(RegistryTest, CoraAplInRealisticRange) {
+  // The paper reports APL 7.3 for Cora; our stand-in should land in the
+  // same small-world ballpark (a few hops), which is what drives the
+  // depth analysis.
+  Dataset d = LoadDataset("cora", 1.0, 1);
+  Rng rng(1);
+  double apl = AveragePathLengthSampled(d.graph, 64, rng);
+  EXPECT_GT(apl, 2.0);
+  EXPECT_LT(apl, 12.0);
+}
+
+}  // namespace
+}  // namespace lasagne

@@ -1,0 +1,288 @@
+// Tests for the extension surface added on top of the paper core:
+// LSTM cell/aggregator, JK-Net combination modes, batch-norm op,
+// serialization, dataset file I/O, classification metrics and the
+// unsupervised (DGI/GMI) pipelines.
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "core/lasagne_model.h"
+#include "core/lstm_aggregator.h"
+#include "data/io.h"
+#include "data/registry.h"
+#include "metrics/classification.h"
+#include "models/gcn_family.h"
+#include "models/unsupervised.h"
+#include "test_util.h"
+#include "train/serialization.h"
+#include "train/trainer.h"
+
+namespace lasagne {
+namespace {
+
+using testing::GradCheck;
+
+TEST(BatchNormColumnsTest, NormalizesColumns) {
+  Rng rng(1);
+  ag::Variable x =
+      ag::MakeParameter(Tensor::Normal(50, 4, 3.0f, 2.0f, rng));
+  Tensor y = ag::BatchNormColumns(x)->value();
+  for (size_t j = 0; j < 4; ++j) {
+    double mean = 0.0, var = 0.0;
+    for (size_t i = 0; i < 50; ++i) mean += y(i, j);
+    mean /= 50.0;
+    for (size_t i = 0; i < 50; ++i) {
+      var += (y(i, j) - mean) * (y(i, j) - mean);
+    }
+    var /= 50.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(BatchNormColumnsTest, GradientsCheck) {
+  Rng rng(2);
+  ag::Variable x =
+      ag::MakeParameter(Tensor::Normal(6, 3, 0.0f, 1.0f, rng));
+  ag::Variable w = ag::MakeParameter(Tensor::Normal(6, 3, 0.0f, 1.0f, rng));
+  auto loss = [&] {
+    return ag::Sum(ag::Mul(ag::BatchNormColumns(x), w));
+  };
+  EXPECT_LT(GradCheck(loss, {x}), 3e-2f);
+}
+
+TEST(LstmCellTest, StateShapesAndBoundedActivations) {
+  Rng rng(3);
+  LstmCell cell(8, 5, rng);
+  LstmCell::State state = cell.InitialState(10);
+  ag::Variable x = ag::MakeParameter(Tensor::Normal(10, 8, 0, 1, rng));
+  for (int t = 0; t < 3; ++t) state = cell.Step(x, state);
+  EXPECT_EQ(state.h->rows(), 10u);
+  EXPECT_EQ(state.h->cols(), 5u);
+  // tanh-bounded hidden state.
+  EXPECT_LE(state.h->value().Max(), 1.0f);
+  EXPECT_GE(state.h->value().Min(), -1.0f);
+  EXPECT_EQ(cell.Parameters().size(), 3u);
+}
+
+TEST(LstmCellTest, GradientsFlowThroughTime) {
+  Rng rng(4);
+  LstmCell cell(3, 4, rng);
+  ag::Variable x0 = ag::MakeParameter(Tensor::Normal(2, 3, 0, 0.5, rng));
+  ag::Variable x1 = ag::MakeParameter(Tensor::Normal(2, 3, 0, 0.5, rng));
+  auto loss = [&] {
+    LstmCell::State s = cell.InitialState(2);
+    s = cell.Step(x0, s);
+    s = cell.Step(x1, s);
+    return ag::Sum(ag::Mul(s.h, s.h));
+  };
+  std::vector<ag::Variable> params = cell.Parameters();
+  params.push_back(x0);  // gradient through both timesteps
+  EXPECT_LT(GradCheck(loss, params), 3e-2f);
+}
+
+TEST(LstmAggregatorTest, OutputShapeAndGradients) {
+  Rng rng(5);
+  Graph g = Graph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto a_hat = std::make_shared<CsrMatrix>(g.NormalizedAdjacency());
+  LstmAggregator agg({4, 4, 4}, /*lstm_hidden=*/6, rng);
+  std::vector<ag::Variable> history;
+  Rng gen(6);
+  for (int i = 0; i < 3; ++i) {
+    history.push_back(
+        ag::MakeParameter(Tensor::Normal(5, 4, 0, 0.5, gen)));
+  }
+  nn::ForwardContext ctx{false, &gen};
+  ag::Variable out = agg.Aggregate(a_hat, history, ctx);
+  EXPECT_EQ(out->rows(), 5u);
+  EXPECT_EQ(out->cols(), 4u);
+  EXPECT_FALSE(agg.node_indexed());
+  auto loss = [&] {
+    ag::Variable o = agg.Aggregate(a_hat, history, ctx);
+    return ag::Sum(ag::Mul(o, o));
+  };
+  EXPECT_LT(GradCheck(loss, agg.Parameters(), 3e-3f), 6e-2f);
+}
+
+TEST(LstmAggregatorTest, WorksInsideLasagneModel) {
+  Dataset data = LoadDataset("cora", 0.25, 7);
+  LasagneConfig config;
+  config.aggregator = AggregatorKind::kLstm;
+  config.depth = 4;
+  config.hidden_dim = 12;
+  config.seed = 8;
+  LasagneModel model(data, config);
+  Rng rng(9);
+  nn::ForwardContext ctx{true, &rng};
+  ag::Variable loss = model.TrainingLoss(ctx);
+  EXPECT_TRUE(loss->value().AllFinite());
+  ag::Backward(loss);
+}
+
+TEST(LstmAggregatorTest, RunsInductively) {
+  Dataset data = LoadDataset("flickr", 0.12, 7);
+  LasagneConfig config;
+  config.aggregator = AggregatorKind::kLstm;
+  config.depth = 3;
+  config.hidden_dim = 12;
+  config.seed = 8;
+  LasagneModel model(data, config);  // must not abort (not node-indexed)
+  Rng rng(10);
+  nn::ForwardContext ctx{true, &rng};
+  EXPECT_TRUE(model.TrainingLoss(ctx)->value().AllFinite());
+}
+
+TEST(JkNetModesTest, AllModesTrainAndDifferInShape) {
+  Dataset data = LoadDataset("cora", 0.25, 11);
+  for (const char* name : {"jknet", "jknet-maxpool", "jknet-lstm"}) {
+    ModelConfig config;
+    config.depth = 3;
+    config.hidden_dim = 12;
+    config.seed = 12;
+    std::unique_ptr<Model> model = MakeModel(name, data, config);
+    Rng rng(13);
+    nn::ForwardContext ctx{true, &rng};
+    ag::Variable loss = model->TrainingLoss(ctx);
+    EXPECT_TRUE(loss->value().AllFinite()) << name;
+    ag::Backward(loss);
+    nn::ForwardContext eval{false, &rng};
+    EXPECT_EQ(model->Forward(eval)->cols(), data.num_classes) << name;
+  }
+}
+
+TEST(SerializationTest, SaveLoadRoundTrip) {
+  Dataset data = LoadDataset("cora", 0.2, 14);
+  ModelConfig config;
+  config.depth = 3;
+  config.hidden_dim = 8;
+  config.seed = 15;
+  std::unique_ptr<Model> model = MakeModel("lasagne-weighted", data, config);
+  const std::string path = ::testing::TempDir() + "/ckpt.txt";
+  ASSERT_TRUE(SaveModel(*model, path));
+
+  // A second model with a different seed differs, then matches after load.
+  ModelConfig other_config = config;
+  other_config.seed = 999;
+  std::unique_ptr<Model> other =
+      MakeModel("lasagne-weighted", data, other_config);
+  Rng rng(16);
+  nn::ForwardContext ctx{false, &rng};
+  Tensor before = other->Forward(ctx)->value();
+  Tensor original = model->Forward(ctx)->value();
+  EXPECT_GT(before.MaxAbsDiff(original), 1e-4f);
+  ASSERT_TRUE(LoadModel(*other, path));
+  Tensor after = other->Forward(ctx)->value();
+  EXPECT_LT(after.MaxAbsDiff(original), 1e-5f);
+}
+
+TEST(SerializationTest, RejectsArchitectureMismatch) {
+  Dataset data = LoadDataset("cora", 0.2, 17);
+  ModelConfig config;
+  config.depth = 3;
+  config.hidden_dim = 8;
+  config.seed = 18;
+  std::unique_ptr<Model> small = MakeModel("gcn", data, config);
+  const std::string path = ::testing::TempDir() + "/ckpt2.txt";
+  ASSERT_TRUE(SaveModel(*small, path));
+  ModelConfig bigger = config;
+  bigger.hidden_dim = 16;
+  std::unique_ptr<Model> big = MakeModel("gcn", data, bigger);
+  EXPECT_FALSE(LoadModel(*big, path));
+  EXPECT_FALSE(LoadModel(*small, path + ".does-not-exist"));
+}
+
+TEST(DatasetIoTest, SaveLoadRoundTrip) {
+  Dataset data = LoadDataset("citeseer", 0.2, 19);
+  const std::string prefix = ::testing::TempDir() + "/citeseer_export";
+  ASSERT_TRUE(SaveDatasetToFiles(data, prefix));
+  Dataset loaded = LoadDatasetFromFiles(prefix);
+  EXPECT_EQ(loaded.num_nodes(), data.num_nodes());
+  EXPECT_EQ(loaded.graph.num_edges(), data.graph.num_edges());
+  EXPECT_EQ(loaded.num_classes, data.num_classes);
+  EXPECT_EQ(loaded.labels, data.labels);
+  EXPECT_EQ(loaded.train_mask, data.train_mask);
+  EXPECT_EQ(loaded.val_mask, data.val_mask);
+  EXPECT_EQ(loaded.test_mask, data.test_mask);
+  EXPECT_LT(loaded.features.MaxAbsDiff(data.features), 1e-4f);
+}
+
+TEST(DatasetIoTest, MissingFilesReturnEmpty) {
+  Dataset loaded = LoadDatasetFromFiles("/nonexistent/prefix");
+  EXPECT_EQ(loaded.num_nodes(), 0u);
+}
+
+TEST(ConfusionMatrixTest, CountsAndMetrics) {
+  // 2 classes; predictions: argmax of logits.
+  Tensor logits(4, 2, {0.9f, 0.1f,   // pred 0, true 0
+                       0.2f, 0.8f,   // pred 1, true 0
+                       0.1f, 0.9f,   // pred 1, true 1
+                       0.7f, 0.3f}); // pred 0, true 1 (masked out)
+  std::vector<int32_t> labels = {0, 0, 1, 1};
+  std::vector<float> mask = {1, 1, 1, 0};
+  ConfusionMatrix cm(logits, labels, mask, 2);
+  EXPECT_EQ(cm.TotalCount(), 3u);
+  EXPECT_EQ(cm.Count(0, 0), 1u);
+  EXPECT_EQ(cm.Count(0, 1), 1u);
+  EXPECT_EQ(cm.Count(1, 1), 1u);
+  EXPECT_NEAR(cm.Accuracy(), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(cm.Precision(0), 1.0, 1e-9);   // 1 of 1 predicted-0 correct
+  EXPECT_NEAR(cm.Recall(0), 0.5, 1e-9);      // 1 of 2 true-0 found
+  EXPECT_NEAR(cm.F1(0), 2.0 * 1.0 * 0.5 / 1.5, 1e-9);
+  EXPECT_GT(cm.MacroF1(), 0.0);
+  EXPECT_NEAR(cm.MicroF1(), cm.Accuracy(), 1e-12);
+}
+
+TEST(ConfusionMatrixTest, PerfectPrediction) {
+  Tensor logits(2, 2, {1.0f, 0.0f, 0.0f, 1.0f});
+  ConfusionMatrix cm(logits, {0, 1}, {1, 1}, 2);
+  EXPECT_NEAR(cm.Accuracy(), 1.0, 1e-12);
+  EXPECT_NEAR(cm.MacroF1(), 1.0, 1e-12);
+}
+
+TEST(UnsupervisedTest, DgiLearnsUsefulEmbeddings) {
+  Dataset data = LoadDataset("cora", 0.3, 20);
+  ModelConfig config;
+  config.hidden_dim = 32;
+  config.dropout = 0.2f;
+  config.seed = 21;
+  TrainOptions options;
+  options.max_epochs = 80;
+  options.patience = 40;
+  options.seed = 22;
+  UnsupervisedResult result = RunDgi(data, config, options);
+  // Far above the 1/7 chance level.
+  EXPECT_GT(result.test_accuracy, 0.35);
+  EXPECT_TRUE(std::isfinite(result.pretrain_loss));
+}
+
+TEST(UnsupervisedTest, GmiLearnsUsefulEmbeddings) {
+  Dataset data = LoadDataset("cora", 0.3, 23);
+  ModelConfig config;
+  config.hidden_dim = 32;
+  config.dropout = 0.2f;
+  config.seed = 24;
+  TrainOptions options;
+  options.max_epochs = 80;
+  options.patience = 40;
+  options.seed = 25;
+  UnsupervisedResult result = RunGmi(data, config, options);
+  EXPECT_GT(result.test_accuracy, 0.35);
+}
+
+TEST(LasagneLstmModelTest, RegisteredInFactory) {
+  Dataset data = LoadDataset("cora", 0.2, 26);
+  ModelConfig config;
+  config.depth = 3;
+  config.hidden_dim = 8;
+  config.seed = 27;
+  std::unique_ptr<Model> model = MakeModel("lasagne-lstm", data, config);
+  EXPECT_EQ(model->name(), "Lasagne(lstm)");
+  Rng rng(28);
+  nn::ForwardContext ctx{false, &rng};
+  EXPECT_TRUE(model->Forward(ctx)->value().AllFinite());
+}
+
+}  // namespace
+}  // namespace lasagne

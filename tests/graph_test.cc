@@ -1,0 +1,248 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+
+namespace lasagne {
+namespace {
+
+Graph PathGraph(size_t n) {
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (uint32_t i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return Graph::FromEdges(n, edges);
+}
+
+Graph StarGraph(size_t leaves) {
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (uint32_t i = 1; i <= leaves; ++i) edges.emplace_back(0, i);
+  return Graph::FromEdges(leaves + 1, edges);
+}
+
+Graph CompleteGraph(size_t n) {
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+TEST(GraphTest, FromEdgesDeduplicates) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 0}, {0, 1}, {1, 2}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(GraphTest, DegreesAndStats) {
+  Graph g = StarGraph(5);
+  EXPECT_EQ(g.Degree(0), 5u);
+  EXPECT_EQ(g.Degree(3), 1u);
+  EXPECT_EQ(g.MaxDegree(), 5u);
+  EXPECT_NEAR(g.AverageDegree(), 10.0 / 6.0, 1e-9);
+}
+
+TEST(GraphTest, EdgesEnumeration) {
+  Graph g = PathGraph(4);
+  auto edges = g.Edges();
+  EXPECT_EQ(edges.size(), 3u);
+  for (const auto& [u, v] : edges) EXPECT_LE(u, v);
+}
+
+TEST(GraphTest, NormalizedAdjacencyIsSymmetricWithUnitSpectralRadius) {
+  Graph g = PathGraph(10);
+  CsrMatrix a_hat = g.NormalizedAdjacency();
+  EXPECT_TRUE(a_hat.IsSymmetric(1e-6f));
+  Rng rng(1);
+  double radius = PowerIterationSpectralRadius(a_hat, 200, rng);
+  EXPECT_NEAR(radius, 1.0, 1e-3);
+}
+
+TEST(GraphTest, NormalizedAdjacencyKnownValues) {
+  // Two nodes, one edge: degrees with self-loop are 2 and 2.
+  Graph g = Graph::FromEdges(2, {{0, 1}});
+  CsrMatrix a_hat = g.NormalizedAdjacency();
+  EXPECT_NEAR(a_hat.At(0, 0), 0.5f, 1e-6f);
+  EXPECT_NEAR(a_hat.At(0, 1), 0.5f, 1e-6f);
+  EXPECT_NEAR(a_hat.At(1, 1), 0.5f, 1e-6f);
+}
+
+TEST(GraphTest, RandomWalkAdjacencyRowsSumToOne) {
+  Graph g = StarGraph(4);
+  CsrMatrix walk = g.RandomWalkAdjacency();
+  Tensor sums = walk.Multiply(Tensor::Ones(5, 1));
+  for (size_t r = 0; r < 5; ++r) EXPECT_NEAR(sums(r, 0), 1.0f, 1e-6f);
+}
+
+TEST(GraphTest, InducedSubgraph) {
+  Graph g = PathGraph(5);  // 0-1-2-3-4
+  Graph sub = g.InducedSubgraph({1, 2, 4});
+  EXPECT_EQ(sub.num_nodes(), 3u);
+  EXPECT_EQ(sub.num_edges(), 1u);  // only 1-2 survives
+  EXPECT_TRUE(sub.HasEdge(0, 1));
+  EXPECT_FALSE(sub.HasEdge(1, 2));
+}
+
+TEST(GraphTest, DropEdgesRates) {
+  Graph g = CompleteGraph(20);
+  Rng rng(3);
+  Graph none = g.DropEdges(0.0, rng);
+  EXPECT_EQ(none.num_edges(), g.num_edges());
+  Graph all = g.DropEdges(1.0, rng);
+  EXPECT_EQ(all.num_edges(), 0u);
+  Graph half = g.DropEdges(0.5, rng);
+  EXPECT_GT(half.num_edges(), g.num_edges() / 4);
+  EXPECT_LT(half.num_edges(), 3 * g.num_edges() / 4);
+}
+
+TEST(AlgorithmsTest, BfsDistancesOnPath) {
+  Graph g = PathGraph(5);
+  auto dist = BfsDistances(g, 0);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(dist[i], i);
+}
+
+TEST(AlgorithmsTest, BfsUnreachableIsMinusOne) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {2, 3}});
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], -1);
+}
+
+TEST(AlgorithmsTest, AveragePathLengthClosedForms) {
+  // Complete graph: APL = 1.
+  EXPECT_NEAR(AveragePathLength(CompleteGraph(6)), 1.0, 1e-9);
+  // Star graph with L leaves: pairs = C(L+1, 2); leaf-leaf distance 2.
+  // APL = (L * 1 + C(L,2) * 2) / C(L+1,2). For L=4: (4 + 12) / 10 = 1.6.
+  EXPECT_NEAR(AveragePathLength(StarGraph(4)), 1.6, 1e-9);
+  // Path graph 0-1-2: (1+1+2)/3 = 4/3.
+  EXPECT_NEAR(AveragePathLength(PathGraph(3)), 4.0 / 3.0, 1e-9);
+}
+
+TEST(AlgorithmsTest, SampledAplApproximatesExact) {
+  Graph g = PathGraph(30);
+  Rng rng(7);
+  double exact = AveragePathLength(g);
+  double sampled = AveragePathLengthSampled(g, 30, rng);  // all sources
+  EXPECT_NEAR(sampled, exact, 1e-9);
+}
+
+TEST(AlgorithmsTest, PageRankSumsToOneAndRanksHub) {
+  Graph g = StarGraph(6);
+  Tensor pr = PageRank(g);
+  EXPECT_NEAR(pr.Sum(), 1.0f, 1e-4f);
+  // Hub outranks every leaf.
+  for (size_t i = 1; i < 7; ++i) EXPECT_GT(pr(0, 0), pr(i, 0));
+}
+
+TEST(AlgorithmsTest, PageRankUniformOnRegularGraph) {
+  Graph g = CompleteGraph(8);
+  Tensor pr = PageRank(g);
+  for (size_t i = 0; i < 8; ++i) EXPECT_NEAR(pr(i, 0), 1.0f / 8.0f, 1e-4f);
+}
+
+TEST(AlgorithmsTest, ConnectedComponentsCounts) {
+  Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {3, 4}});
+  size_t num = 0;
+  auto comp = ConnectedComponents(g, &num);
+  EXPECT_EQ(num, 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[3], comp[5]);
+}
+
+TEST(AlgorithmsTest, PartitionCoversAllNodesOnce) {
+  Graph g = PathGraph(50);
+  Rng rng(5);
+  auto parts = PartitionGraph(g, 5, rng);
+  std::vector<int> seen(50, 0);
+  for (const auto& part : parts) {
+    for (uint32_t u : part) seen[u]++;
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(AlgorithmsTest, PartitionRoughlyBalanced) {
+  Graph g = PathGraph(100);
+  Rng rng(9);
+  auto parts = PartitionGraph(g, 4, rng);
+  for (const auto& part : parts) {
+    EXPECT_GE(part.size(), 10u);
+    EXPECT_LE(part.size(), 60u);
+  }
+}
+
+TEST(AlgorithmsTest, RandomWalkStaysOnGraph) {
+  Graph g = PathGraph(10);
+  Rng rng(11);
+  auto walk = RandomWalk(g, 5, 20, rng);
+  EXPECT_EQ(walk[0], 5u);
+  for (size_t i = 1; i < walk.size(); ++i) {
+    EXPECT_TRUE(g.HasEdge(walk[i - 1], walk[i]));
+  }
+}
+
+TEST(AlgorithmsTest, RandomWalkStopsAtIsolatedNode) {
+  Graph g = Graph::FromEdges(3, {{0, 1}});
+  Rng rng(13);
+  auto walk = RandomWalk(g, 2, 5, rng);
+  EXPECT_EQ(walk.size(), 1u);
+}
+
+TEST(AlgorithmsTest, PpmiMatrixNonNegativeAndLocal) {
+  Graph g = PathGraph(8);
+  Rng rng(15);
+  CsrMatrix ppmi = PpmiMatrix(g, 10, 6, 2, rng);
+  EXPECT_EQ(ppmi.rows(), 8u);
+  for (float v : ppmi.values()) EXPECT_GE(v, 0.0f);
+  // A window-2 walk on a path cannot connect nodes 0 and 7.
+  EXPECT_FLOAT_EQ(ppmi.At(0, 7), 0.0f);
+}
+
+TEST(AlgorithmsTest, ClusteringCoefficientClosedForms) {
+  // Complete graph: every triple closed -> coefficient 1.
+  EXPECT_NEAR(AverageClusteringCoefficient(CompleteGraph(5)), 1.0, 1e-9);
+  // Star graph: no triangles -> 0.
+  EXPECT_NEAR(AverageClusteringCoefficient(StarGraph(5)), 0.0, 1e-9);
+  // Triangle plus a pendant: nodes {0,1,2} form a triangle, 3 hangs off
+  // node 0. Node 0 has deg 3 with 1 of 3 pairs closed; nodes 1,2 have
+  // coefficient 1; node 3 degree 1 contributes 0.
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 0}, {0, 3}});
+  EXPECT_NEAR(AverageClusteringCoefficient(g),
+              (1.0 / 3.0 + 1.0 + 1.0 + 0.0) / 4.0, 1e-9);
+}
+
+TEST(AlgorithmsTest, EdgeHomophilyCounts) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  std::vector<int32_t> labels = {0, 0, 1, 1};
+  // Edges: (0,1) same, (1,2) diff, (2,3) same -> 2/3.
+  EXPECT_NEAR(EdgeHomophily(g, labels), 2.0 / 3.0, 1e-9);
+}
+
+TEST(AlgorithmsTest, DegreeHistogramBuckets) {
+  // Star with 5 leaves: hub degree 5 (bucket [4,8) = index 3), leaves
+  // degree 1 (bucket [1,2) = index 1).
+  Graph g = StarGraph(5);
+  auto hist = DegreeHistogram(g);
+  ASSERT_GE(hist.size(), 4u);
+  EXPECT_EQ(hist[1], 5u);
+  EXPECT_EQ(hist[3], 1u);
+  // Isolated node lands in bucket 0.
+  Graph iso = Graph::FromEdges(3, {{0, 1}});
+  auto hist2 = DegreeHistogram(iso);
+  EXPECT_EQ(hist2[0], 1u);
+}
+
+TEST(AlgorithmsTest, StructuralFingerprintsRowStochastic) {
+  Graph g = StarGraph(5);
+  CsrMatrix fp = StructuralFingerprints(g, 2, 0.5, 8);
+  Tensor sums = fp.Multiply(Tensor::Ones(6, 1));
+  for (size_t r = 0; r < 6; ++r) EXPECT_NEAR(sums(r, 0), 1.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace lasagne

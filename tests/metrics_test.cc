@@ -1,0 +1,155 @@
+#include "metrics/mutual_info.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace lasagne {
+namespace {
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  Rng rng(1);
+  Tensor points(40, 2);
+  for (size_t i = 0; i < 20; ++i) {
+    points(i, 0) = 10.0f + static_cast<float>(rng.Normal(0, 0.2));
+    points(i, 1) = 10.0f + static_cast<float>(rng.Normal(0, 0.2));
+    points(i + 20, 0) = -10.0f + static_cast<float>(rng.Normal(0, 0.2));
+    points(i + 20, 1) = -10.0f + static_cast<float>(rng.Normal(0, 0.2));
+  }
+  auto assign = KMeansCluster(points, 2, 20, rng);
+  for (size_t i = 1; i < 20; ++i) EXPECT_EQ(assign[i], assign[0]);
+  for (size_t i = 21; i < 40; ++i) EXPECT_EQ(assign[i], assign[20]);
+  EXPECT_NE(assign[0], assign[20]);
+}
+
+TEST(KMeansTest, KLargerThanNClamps) {
+  Rng rng(2);
+  Tensor points = Tensor::Normal(3, 2, 0.0f, 1.0f, rng);
+  auto assign = KMeansCluster(points, 10, 5, rng);
+  EXPECT_EQ(assign.size(), 3u);
+  for (uint32_t a : assign) EXPECT_LT(a, 3u);
+}
+
+TEST(DiscreteMiTest, EntropyOfUniform) {
+  std::vector<uint32_t> a = {0, 1, 2, 3, 0, 1, 2, 3};
+  EXPECT_NEAR(DiscreteEntropy(a, 4), std::log(4.0), 1e-9);
+}
+
+TEST(DiscreteMiTest, SelfMiEqualsEntropy) {
+  std::vector<uint32_t> a = {0, 0, 1, 1, 2, 2, 2, 0};
+  EXPECT_NEAR(DiscreteMutualInformation(a, a, 3, 3), DiscreteEntropy(a, 3),
+              1e-9);
+}
+
+TEST(DiscreteMiTest, IndependentVariablesHaveZeroMi) {
+  // a alternates slow, b alternates fast -> independent on this support.
+  std::vector<uint32_t> a, b;
+  for (int i = 0; i < 400; ++i) {
+    a.push_back((i / 2) % 2);
+    b.push_back(i % 2);
+  }
+  EXPECT_NEAR(DiscreteMutualInformation(a, b, 2, 2), 0.0, 1e-9);
+}
+
+TEST(DiscreteMiTest, DataProcessingInequality) {
+  // c = f(b) cannot have more information about a than b.
+  Rng rng(3);
+  std::vector<uint32_t> a, b, c;
+  for (int i = 0; i < 500; ++i) {
+    uint32_t ai = static_cast<uint32_t>(rng.UniformInt(4));
+    uint32_t bi = rng.Bernoulli(0.8) ? ai : static_cast<uint32_t>(
+                                               rng.UniformInt(4));
+    a.push_back(ai);
+    b.push_back(bi);
+    c.push_back(bi / 2);  // deterministic coarsening of b
+  }
+  const double mi_ab = DiscreteMutualInformation(a, b, 4, 4);
+  const double mi_ac = DiscreteMutualInformation(a, c, 4, 2);
+  EXPECT_LE(mi_ac, mi_ab + 1e-9);
+}
+
+TEST(RepresentationMiTest, IdentityBeatsNoise) {
+  Rng rng(4);
+  Tensor x = Tensor::Normal(300, 8, 0.0f, 1.0f, rng);
+  Tensor noise = Tensor::Normal(300, 8, 0.0f, 1.0f, rng);
+  Rng rng_a(5), rng_b(5);
+  const double mi_self = RepresentationMutualInformation(x, x, 8, rng_a);
+  const double mi_noise =
+      RepresentationMutualInformation(x, noise, 8, rng_b);
+  EXPECT_GT(mi_self, mi_noise + 0.5);
+  EXPECT_LT(mi_noise, 0.5);
+}
+
+TEST(RepresentationMiTest, DegradesWithNoiseLevel) {
+  Rng rng(6);
+  Tensor x = Tensor::Normal(300, 8, 0.0f, 1.0f, rng);
+  auto corrupted = [&](float noise_level) {
+    Rng noise_rng(7);
+    Tensor h = x;
+    for (size_t i = 0; i < h.size(); ++i) {
+      h.data()[i] += noise_level *
+                     static_cast<float>(noise_rng.Normal(0.0, 1.0));
+    }
+    Rng mi_rng(8);
+    return RepresentationMutualInformation(x, h, 8, mi_rng);
+  };
+  const double mi_low = corrupted(0.1f);
+  const double mi_high = corrupted(5.0f);
+  EXPECT_GT(mi_low, mi_high);
+}
+
+TEST(PcaTest, RecoversDominantDirection) {
+  Rng rng(9);
+  // Points along (1, 1) with small orthogonal noise.
+  Tensor x(200, 2);
+  for (size_t i = 0; i < 200; ++i) {
+    const float t = static_cast<float>(rng.Normal(0, 5.0));
+    const float noise = static_cast<float>(rng.Normal(0, 0.1));
+    x(i, 0) = t + noise;
+    x(i, 1) = t - noise;
+  }
+  Tensor projected = PcaProject(x, 1, 50, rng);
+  // Variance captured along PC1 should be ~ all of it.
+  double var_proj = 0.0, var_total = 0.0;
+  for (size_t i = 0; i < 200; ++i) {
+    var_proj += projected(i, 0) * projected(i, 0);
+    var_total += x(i, 0) * x(i, 0) + x(i, 1) * x(i, 1);
+  }
+  EXPECT_GT(var_proj / var_total, 0.95);
+}
+
+TEST(BinnedMiTest, MonotoneRelationDetected) {
+  std::vector<float> a, b, noise;
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    float v = static_cast<float>(rng.Normal(0, 1));
+    a.push_back(v);
+    b.push_back(v * v);  // deterministic nonlinear function
+    noise.push_back(static_cast<float>(rng.Normal(0, 1)));
+  }
+  EXPECT_GT(BinnedMutualInformation(a, b, 10),
+            BinnedMutualInformation(a, noise, 10) + 0.3);
+}
+
+TEST(CorrelationTest, PearsonOnLinearData) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-9);
+  std::vector<double> c = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-9);
+}
+
+TEST(CorrelationTest, SpearmanHandlesMonotoneNonlinear) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {1, 8, 27, 64, 125};  // monotone, nonlinear
+  EXPECT_NEAR(SpearmanCorrelation(a, b), 1.0, 1e-9);
+}
+
+TEST(MadTest, IdenticalRowsZeroOppositeTwo) {
+  Tensor x(2, 3, {1, 2, 3, -1, -2, -3});
+  EXPECT_NEAR(MeanAverageDistance(x, {{0, 0}}), 0.0, 1e-6);
+  EXPECT_NEAR(MeanAverageDistance(x, {{0, 1}}), 2.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace lasagne

@@ -1,0 +1,199 @@
+// Coverage for corners not exercised elsewhere: trainer semantics,
+// checked accessors, death-on-misuse, RNG stream independence, dangling
+// PageRank nodes, edge-structure variants, registry error paths.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/edge_ops.h"
+#include "autograd/ops.h"
+#include "data/registry.h"
+#include "graph/algorithms.h"
+#include "sparse/csr_matrix.h"
+#include "tensor/tensor.h"
+#include "train/experiment.h"
+#include "train/trainer.h"
+
+namespace lasagne {
+namespace {
+
+TEST(TensorMiscTest, CheckedAtAbortsOutOfRange) {
+  Tensor t(2, 2);
+  EXPECT_FLOAT_EQ(t.At(1, 1), 0.0f);
+  EXPECT_DEATH(t.At(2, 0), "LASAGNE_CHECK");
+  EXPECT_DEATH(t.At(0, 2), "LASAGNE_CHECK");
+}
+
+TEST(TensorMiscTest, ShapeMismatchAborts) {
+  Tensor a(2, 2), b(2, 3);
+  EXPECT_DEATH(a + b, "LASAGNE_CHECK");
+  EXPECT_DEATH(a.MatMul(Tensor(3, 2)), "LASAGNE_CHECK");
+}
+
+TEST(TensorMiscTest, DebugStringMentionsShape) {
+  Tensor t(3, 4);
+  EXPECT_NE(t.DebugString().find("3x4"), std::string::npos);
+}
+
+TEST(TensorMiscTest, RowExtractsSingleRow) {
+  Tensor t(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Row(1);
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_FLOAT_EQ(r(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(r(0, 2), 6.0f);
+}
+
+TEST(RngMiscTest, SplitStreamsAreIndependent) {
+  Rng parent(7);
+  Rng a = parent.Split();
+  Rng b = parent.Split();
+  // The two children diverge from each other and from the parent.
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.NextUint64() != b.NextUint64()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(CsrMiscTest, AtOnEmptyRowsAndScale) {
+  CsrMatrix m = CsrMatrix::FromTriplets(3, 3, {{0, 2, 4.0f}});
+  EXPECT_FLOAT_EQ(m.At(1, 1), 0.0f);  // fully empty row
+  EXPECT_FLOAT_EQ(m.Scale(0.5f).At(0, 2), 2.0f);
+}
+
+TEST(CsrMiscTest, RowStochasticLeavesEmptyRowsEmpty) {
+  CsrMatrix m = CsrMatrix::FromTriplets(2, 2, {{0, 0, 3.0f}});
+  CsrMatrix rs = m.RowStochastic();
+  EXPECT_FLOAT_EQ(rs.At(0, 0), 1.0f);
+  EXPECT_EQ(rs.RowNnz(1), 0u);
+}
+
+TEST(PageRankMiscTest, DanglingNodesStillSumToOne) {
+  // Node 2 is isolated (dangling); mass must be redistributed.
+  Graph g = Graph::FromEdges(3, {{0, 1}});
+  Tensor pr = PageRank(g);
+  EXPECT_NEAR(pr.Sum(), 1.0f, 1e-3f);
+  EXPECT_GT(pr(2, 0), 0.0f);
+}
+
+TEST(EdgeStructureMiscTest, WithoutSelfLoops) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}});
+  auto edges = ag::EdgeStructure::FromGraph(g, /*add_self_loops=*/false);
+  // Directed edge count == 2 * undirected, no self loops added.
+  EXPECT_EQ(edges->num_edges(), 4u);
+  for (size_t i = 0; i < edges->num_nodes; ++i) {
+    for (size_t k = edges->row_ptr[i]; k < edges->row_ptr[i + 1]; ++k) {
+      EXPECT_NE(edges->src[k], i);
+    }
+  }
+}
+
+TEST(RegistryMiscTest, UnknownDatasetAborts) {
+  EXPECT_DEATH(LoadDataset("not-a-dataset"), "unknown dataset");
+  EXPECT_DEATH(GetDatasetSpec("nope"), "unknown dataset");
+}
+
+TEST(OpsMiscTest, LogClampsBelowEps) {
+  ag::Variable x = ag::MakeParameter(Tensor(1, 2, {0.0f, 1.0f}));
+  Tensor y = ag::Log(x, 1e-6f)->value();
+  EXPECT_NEAR(y(0, 0), std::log(1e-6f), 1e-3f);
+  EXPECT_NEAR(y(0, 1), 0.0f, 1e-6f);
+}
+
+TEST(OpsMiscTest, BackwardWithExplicitSeed) {
+  ag::Variable x = ag::MakeParameter(Tensor(2, 2, {1, 2, 3, 4}));
+  ag::Variable y = ag::ScalarMul(x, 3.0f);
+  Tensor seed(2, 2, {1, 0, 0, 1});
+  ag::BackwardWithGrad(y, seed);
+  EXPECT_FLOAT_EQ(x->grad()(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(x->grad()(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(x->grad()(1, 1), 3.0f);
+}
+
+TEST(OpsMiscTest, ScalarBackwardRequiresScalar) {
+  ag::Variable x = ag::MakeParameter(Tensor::Ones(2, 2));
+  EXPECT_DEATH(ag::Backward(x), "LASAGNE_CHECK");
+}
+
+TEST(TrainerMiscTest, RestoreBestRecoversEarlyPeak) {
+  // Train long past convergence with restore_best on/off; the restored
+  // model's val accuracy equals the recorded best.
+  Dataset data = LoadDataset("cora", 0.2, 61);
+  ModelConfig config;
+  config.depth = 2;
+  config.hidden_dim = 8;
+  config.dropout = 0.0f;
+  config.seed = 3;
+  std::unique_ptr<Model> model = MakeModel("gcn", data, config);
+  TrainOptions options;
+  options.max_epochs = 80;
+  options.patience = 80;
+  options.restore_best = true;
+  options.seed = 5;
+  TrainResult result = TrainModel(*model, options);
+  Rng rng(7);
+  const double val_now = EvaluateAccuracy(*model, data.val_mask, rng);
+  EXPECT_NEAR(val_now, result.best_val_accuracy, 1e-9);
+}
+
+TEST(TrainerMiscTest, ZeroTrainMaskAborts) {
+  Dataset data = LoadDataset("cora", 0.2, 62);
+  std::fill(data.train_mask.begin(), data.train_mask.end(), 0.0f);
+  ModelConfig config;
+  config.depth = 2;
+  config.hidden_dim = 8;
+  config.seed = 3;
+  std::unique_ptr<Model> model = MakeModel("gcn", data, config);
+  Rng rng(1);
+  nn::ForwardContext ctx{true, &rng};
+  EXPECT_DEATH(model->TrainingLoss(ctx), "LASAGNE_CHECK");
+}
+
+TEST(ExperimentMiscTest, RepeatedRunsDifferAcrossSeeds) {
+  Dataset data = LoadDataset("cora", 0.2, 63);
+  ModelConfig config;
+  config.depth = 2;
+  config.hidden_dim = 8;
+  config.seed = 3;
+  TrainOptions options;
+  options.max_epochs = 30;
+  options.seed = 5;
+  ExperimentResult result =
+      RunRepeatedExperiment("gcn", data, config, options, 3);
+  // Different seeds should generally produce non-identical runs.
+  const bool all_equal = result.runs[0] == result.runs[1] &&
+                         result.runs[1] == result.runs[2];
+  EXPECT_FALSE(all_equal);
+  // And the summary must bracket the individual runs.
+  for (double r : result.runs) {
+    EXPECT_GE(r, result.test_accuracy.mean - 3 * result.test_accuracy.std_dev -
+                     1e-9);
+    EXPECT_LE(r, result.test_accuracy.mean + 3 * result.test_accuracy.std_dev +
+                     1e-9);
+  }
+}
+
+TEST(ExperimentMiscTest, SameSeedIsDeterministic) {
+  Dataset data = LoadDataset("cora", 0.2, 64);
+  ModelConfig config;
+  config.depth = 2;
+  config.hidden_dim = 8;
+  config.seed = 9;
+  TrainOptions options;
+  options.max_epochs = 25;
+  options.seed = 11;
+  ExperimentResult a =
+      RunRepeatedExperiment("gcn", data, config, options, 1);
+  ExperimentResult b =
+      RunRepeatedExperiment("gcn", data, config, options, 1);
+  EXPECT_EQ(a.runs[0], b.runs[0]);
+}
+
+TEST(MaskedAccuracyMiscTest, EmptyMaskIsZero) {
+  Tensor logits(2, 2, {1, 0, 0, 1});
+  EXPECT_EQ(MaskedAccuracy(logits, {0, 1}, {0, 0}), 0.0);
+}
+
+}  // namespace
+}  // namespace lasagne

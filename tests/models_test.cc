@@ -1,0 +1,170 @@
+#include "models/model.h"
+
+#include <gtest/gtest.h>
+
+#include "data/registry.h"
+#include "train/optimizer.h"
+
+namespace lasagne {
+namespace {
+
+const Dataset& SmallData() {
+  static const Dataset& data = *new Dataset(LoadDataset("cora", 0.25, 3));
+  return data;
+}
+
+const Dataset& SmallInductive() {
+  static const Dataset& data = *new Dataset(LoadDataset("flickr", 0.15, 3));
+  return data;
+}
+
+ModelConfig SmallConfig() {
+  ModelConfig config;
+  config.depth = 3;
+  config.hidden_dim = 16;
+  config.dropout = 0.3f;
+  config.heads = 2;
+  config.num_partitions = 4;
+  config.fastgcn_sample = 64;
+  config.saint_root_count = 24;
+  config.seed = 5;
+  return config;
+}
+
+class ModelZooTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ModelZooTest, ForwardShapeAndFinite) {
+  const Dataset& data = SmallData();
+  std::unique_ptr<Model> model =
+      MakeModel(GetParam(), data, SmallConfig());
+  Rng rng(1);
+  nn::ForwardContext ctx{/*training=*/false, &rng};
+  ag::Variable logits = model->Forward(ctx);
+  EXPECT_EQ(logits->rows(), data.num_nodes());
+  EXPECT_EQ(logits->cols(), data.num_classes);
+  EXPECT_TRUE(logits->value().AllFinite());
+  EXPECT_FALSE(model->Parameters().empty());
+}
+
+TEST_P(ModelZooTest, TrainingLossBackwardProducesGradients) {
+  const Dataset& data = SmallData();
+  std::unique_ptr<Model> model =
+      MakeModel(GetParam(), data, SmallConfig());
+  Rng rng(2);
+  nn::ForwardContext ctx{/*training=*/true, &rng};
+  ag::Variable loss = model->TrainingLoss(ctx);
+  EXPECT_TRUE(loss->value().AllFinite());
+  ag::Backward(loss);
+  size_t with_grad = 0;
+  for (const ag::Variable& p : model->Parameters()) {
+    if (!p->grad().empty() && p->grad().Norm() > 0.0f) ++with_grad;
+  }
+  EXPECT_GT(with_grad, 0u) << GetParam();
+}
+
+TEST_P(ModelZooTest, AdamStepsReduceLoss) {
+  const Dataset& data = SmallData();
+  ModelConfig config = SmallConfig();
+  config.dropout = 0.0f;  // deterministic objective for this check
+  std::unique_ptr<Model> model = MakeModel(GetParam(), data, config);
+  Rng rng(3);
+  AdamOptimizer opt(model->Parameters(), 0.02f);
+  double first_loss = 0.0, last_loss = 0.0;
+  for (int step = 0; step < 30; ++step) {
+    nn::ForwardContext ctx{/*training=*/true, &rng};
+    opt.ZeroGrad();
+    ag::Variable loss = model->TrainingLoss(ctx);
+    if (step == 0) first_loss = loss->value()(0, 0);
+    last_loss = loss->value()(0, 0);
+    ag::Backward(loss);
+    opt.Step();
+  }
+  EXPECT_LT(last_loss, first_loss) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelZooTest,
+    ::testing::Values("gcn", "resgcn", "densegcn", "jknet", "sgc", "gat",
+                      "appnp", "mixhop", "gin", "dropedge", "pairnorm",
+                      "madreg", "stgcn", "ngcn", "dgcn", "gpnn", "lgcn",
+                      "adsf", "graphsage", "fastgcn", "clustergcn",
+                      "graphsaint", "lasagne-weighted",
+                      "lasagne-stochastic", "lasagne-maxpool",
+                      "lasagne-mean", "lasagne-stochastic-sgc",
+                      "lasagne-stochastic-gat"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+class InductiveModelTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(InductiveModelTest, TrainsOnTrainSubgraphEvaluatesFullGraph) {
+  const Dataset& data = SmallInductive();
+  ASSERT_TRUE(data.inductive);
+  std::unique_ptr<Model> model =
+      MakeModel(GetParam(), data, SmallConfig());
+  Rng rng(4);
+  nn::ForwardContext train_ctx{/*training=*/true, &rng};
+  ag::Variable loss = model->TrainingLoss(train_ctx);
+  EXPECT_TRUE(loss->value().AllFinite());
+  ag::Backward(loss);
+  nn::ForwardContext eval_ctx{/*training=*/false, &rng};
+  ag::Variable logits = model->Forward(eval_ctx);
+  EXPECT_EQ(logits->rows(), data.num_nodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    InductiveModels, InductiveModelTest,
+    ::testing::Values("graphsage", "fastgcn", "clustergcn", "graphsaint",
+                      "lasagne-maxpool"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(ModelFactoryTest, UnknownNameAborts) {
+  EXPECT_DEATH(MakeModel("not-a-model", SmallData(), SmallConfig()),
+               "unknown model");
+}
+
+TEST(ModelFactoryTest, KnownNamesAllConstruct) {
+  for (const std::string& name : KnownModelNames()) {
+    std::unique_ptr<Model> model =
+        MakeModel(name, SmallData(), SmallConfig());
+    EXPECT_FALSE(model->name().empty());
+  }
+}
+
+TEST(ModelZooDepthTest, GcnSupportsTenLayers) {
+  ModelConfig config = SmallConfig();
+  config.depth = 10;
+  std::unique_ptr<Model> model = MakeModel("gcn", SmallData(), config);
+  Rng rng(6);
+  nn::ForwardContext ctx{/*training=*/false, &rng};
+  ag::Variable logits = model->Forward(ctx);
+  EXPECT_TRUE(logits->value().AllFinite());
+  EXPECT_EQ(model->hidden_states().size(), 10u);
+}
+
+TEST(ModelZooDepthTest, HiddenStatesRecordedPerLayer) {
+  ModelConfig config = SmallConfig();
+  config.depth = 4;
+  std::unique_ptr<Model> model = MakeModel("jknet", SmallData(), config);
+  Rng rng(7);
+  nn::ForwardContext ctx{/*training=*/false, &rng};
+  model->Forward(ctx);
+  EXPECT_EQ(model->hidden_states().size(), 4u);
+  for (const Tensor& h : model->hidden_states()) {
+    EXPECT_EQ(h.rows(), SmallData().num_nodes());
+  }
+}
+
+}  // namespace
+}  // namespace lasagne

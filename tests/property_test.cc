@@ -1,0 +1,199 @@
+// Parameterized property sweeps: invariants that must hold across the
+// whole configuration space (depths x aggregators x bases, random CSR
+// shapes, arbitrary graph shapes).
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/lasagne_model.h"
+#include "data/registry.h"
+#include "graph/algorithms.h"
+#include "test_util.h"
+#include "train/trainer.h"
+
+namespace lasagne {
+namespace {
+
+// --- Lasagne depth x aggregator sweep ---------------------------------------
+
+class LasagneSweepTest
+    : public ::testing::TestWithParam<std::tuple<AggregatorKind, size_t>> {
+};
+
+TEST_P(LasagneSweepTest, ForwardFiniteGradsFlowLossDrops) {
+  auto [kind, depth] = GetParam();
+  static const Dataset& data = *new Dataset(LoadDataset("cora", 0.2, 31));
+  LasagneConfig config;
+  config.aggregator = kind;
+  config.depth = depth;
+  config.hidden_dim = 8;
+  config.dropout = 0.0f;
+  config.fm_rank = 2;
+  config.seed = 33;
+  LasagneModel model(data, config);
+  EXPECT_EQ(model.hidden_states().size(), 0u);
+
+  Rng rng(35);
+  nn::ForwardContext ctx{true, &rng};
+  ag::Variable first_loss = model.TrainingLoss(ctx);
+  ASSERT_TRUE(first_loss->value().AllFinite());
+
+  // Three plain gradient steps must reduce the deterministic loss for
+  // every configuration (dropout off; stochastic gates resample, so
+  // give it the eval path for the comparison).
+  std::vector<ag::Variable> params = model.Parameters();
+  ASSERT_FALSE(params.empty());
+  for (int step = 0; step < 5; ++step) {
+    for (auto& p : params) p->ZeroGrad();
+    nn::ForwardContext step_ctx{true, &rng};
+    ag::Variable loss = model.TrainingLoss(step_ctx);
+    ag::Backward(loss);
+    for (auto& p : params) {
+      if (!p->grad().empty()) p->mutable_value().Axpy(-0.1f, p->grad());
+    }
+  }
+  Rng eval_rng(36);
+  nn::ForwardContext eval_ctx{false, &eval_rng};
+  ag::Variable final_logits = model.Forward(eval_ctx);
+  EXPECT_TRUE(final_logits->value().AllFinite());
+  EXPECT_EQ(model.hidden_states().size(), depth - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DepthsAndAggregators, LasagneSweepTest,
+    ::testing::Combine(
+        ::testing::Values(AggregatorKind::kWeighted,
+                          AggregatorKind::kMaxPooling,
+                          AggregatorKind::kStochastic,
+                          AggregatorKind::kMean, AggregatorKind::kLstm),
+        ::testing::Values(size_t{2}, size_t{4}, size_t{7})),
+    [](const ::testing::TestParamInfo<std::tuple<AggregatorKind, size_t>>&
+           info) {
+      return AggregatorKindName(std::get<0>(info.param)) + "_depth" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --- CSR random-shape properties ---------------------------------------------
+
+class CsrPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsrPropertyTest, MultiplyAgreesWithDenseOnRandomMatrices) {
+  Rng rng(100 + GetParam());
+  const size_t rows = 2 + rng.UniformInt(20);
+  const size_t cols = 2 + rng.UniformInt(20);
+  const size_t inner = 2 + rng.UniformInt(15);
+  Tensor dense_a = Tensor::Normal(rows, inner, 0, 1, rng);
+  for (size_t i = 0; i < dense_a.size(); ++i) {
+    if (rng.Bernoulli(0.6)) dense_a.data()[i] = 0.0f;
+  }
+  CsrMatrix sparse_a = CsrMatrix::FromDense(dense_a);
+  Tensor b = Tensor::Normal(inner, cols, 0, 1, rng);
+  EXPECT_LT(sparse_a.Multiply(b).MaxAbsDiff(dense_a.MatMul(b)), 1e-4f);
+  // Transpose consistency.
+  Tensor c = Tensor::Normal(rows, cols, 0, 1, rng);
+  EXPECT_LT(sparse_a.TransposedMultiply(c).MaxAbsDiff(
+                dense_a.Transpose().MatMul(c)),
+            1e-4f);
+  // (A^T)^T == A.
+  EXPECT_LT(sparse_a.Transpose().Transpose().ToDense().MaxAbsDiff(dense_a),
+            1e-6f);
+}
+
+TEST_P(CsrPropertyTest, SparseSparseMatchesDense) {
+  Rng rng(200 + GetParam());
+  const size_t n = 3 + rng.UniformInt(12);
+  Tensor da = Tensor::Normal(n, n, 0, 1, rng);
+  Tensor db = Tensor::Normal(n, n, 0, 1, rng);
+  for (size_t i = 0; i < da.size(); ++i) {
+    if (rng.Bernoulli(0.7)) da.data()[i] = 0.0f;
+    if (rng.Bernoulli(0.7)) db.data()[i] = 0.0f;
+  }
+  CsrMatrix sa = CsrMatrix::FromDense(da);
+  CsrMatrix sb = CsrMatrix::FromDense(db);
+  EXPECT_LT(sa.Multiply(sb).ToDense().MaxAbsDiff(da.MatMul(db)), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, CsrPropertyTest,
+                         ::testing::Range(0, 8));
+
+// --- Graph invariants under random generation --------------------------------
+
+class GraphPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GraphPropertyTest, NormalizedAdjacencySpectralRadiusAtMostOne) {
+  Dataset data = LoadDataset(
+      GetParam() % 2 == 0 ? "cora" : "citeseer", 0.15,
+      static_cast<uint64_t>(GetParam() + 1));
+  CsrMatrix a_hat = data.graph.NormalizedAdjacency();
+  EXPECT_TRUE(a_hat.IsSymmetric(1e-5f));
+  Rng rng(GetParam());
+  const double radius = PowerIterationSpectralRadius(a_hat, 150, rng);
+  EXPECT_LE(std::abs(radius), 1.0 + 1e-3);
+}
+
+TEST_P(GraphPropertyTest, PageRankIsDistribution) {
+  Dataset data =
+      LoadDataset("pubmed", 0.1, static_cast<uint64_t>(GetParam() + 1));
+  Tensor pr = PageRank(data.graph);
+  EXPECT_NEAR(pr.Sum(), 1.0f, 1e-3f);
+  EXPECT_GE(pr.Min(), 0.0f);
+}
+
+TEST_P(GraphPropertyTest, PartitionIsAPartition) {
+  Dataset data =
+      LoadDataset("cora", 0.2, static_cast<uint64_t>(GetParam() + 1));
+  Rng rng(GetParam() * 7 + 1);
+  auto parts = PartitionGraph(data.graph, 4 + GetParam() % 3, rng);
+  std::vector<int> seen(data.num_nodes(), 0);
+  for (const auto& part : parts) {
+    for (uint32_t u : part) seen[u]++;
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphPropertyTest, ::testing::Range(0, 5));
+
+// --- Autograd composition property --------------------------------------------
+
+class AutogradCompositionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AutogradCompositionTest, RandomDeepCompositionsGradCheck) {
+  // Build a random chain of ops and gradient-check the whole thing.
+  Rng rng(300 + GetParam());
+  ag::Variable x =
+      ag::MakeParameter(Tensor::Normal(4, 5, 0.0f, 0.5f, rng));
+  ag::Variable w =
+      ag::MakeParameter(Tensor::Normal(5, 5, 0.0f, 0.5f, rng));
+  auto loss = [&] {
+    ag::Variable h = x;
+    Rng pick(400 + GetParam());
+    for (int step = 0; step < 6; ++step) {
+      switch (pick.UniformInt(5)) {
+        case 0:
+          h = ag::Tanh(h);
+          break;
+        case 1:
+          h = ag::MatMul(h, w);
+          break;
+        case 2:
+          h = ag::Add(h, x);
+          break;
+        case 3:
+          h = ag::LeakyRelu(h, 0.1f);
+          break;
+        case 4:
+          h = ag::Mul(h, h);
+          break;
+      }
+    }
+    return ag::Mean(h);
+  };
+  EXPECT_LT(testing::GradCheck(loss, {x, w}, 2e-3f), 6e-2f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chains, AutogradCompositionTest,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace lasagne

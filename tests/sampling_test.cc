@@ -1,0 +1,102 @@
+#include "sampling/samplers.h"
+
+#include <gtest/gtest.h>
+
+#include "data/registry.h"
+
+namespace lasagne {
+namespace {
+
+Graph TestGraph() {
+  Dataset d = LoadDataset("cora", 0.3, 2);
+  return d.graph;
+}
+
+TEST(SamplersTest, NeighborOperatorRespectsFanout) {
+  Graph g = TestGraph();
+  Rng rng(1);
+  CsrMatrix op = SampleNeighborOperator(g, 3, rng);
+  for (size_t r = 0; r < op.rows(); ++r) {
+    EXPECT_LE(op.RowNnz(r), 3u);
+  }
+}
+
+TEST(SamplersTest, NeighborOperatorRowStochastic) {
+  Graph g = TestGraph();
+  Rng rng(2);
+  CsrMatrix op = SampleNeighborOperator(g, 4, rng);
+  Tensor sums = op.Multiply(Tensor::Ones(g.num_nodes(), 1));
+  for (uint32_t u = 0; u < g.num_nodes(); ++u) {
+    if (g.Degree(u) > 0) EXPECT_NEAR(sums(u, 0), 1.0f, 1e-5f);
+  }
+}
+
+TEST(SamplersTest, FullNeighborOperatorIsMean) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {0, 2}});
+  CsrMatrix op = FullNeighborOperator(g);
+  EXPECT_NEAR(op.At(0, 1), 0.5f, 1e-6f);
+  EXPECT_NEAR(op.At(0, 2), 0.5f, 1e-6f);
+  EXPECT_NEAR(op.At(1, 0), 1.0f, 1e-6f);
+}
+
+TEST(SamplersTest, FastGcnOperatorIsUnbiased) {
+  // E[op] == a_hat: average many sampled operators and compare.
+  Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5},
+                                 {5, 0}, {0, 3}});
+  CsrMatrix a_hat = g.NormalizedAdjacency();
+  Rng rng(3);
+  Tensor x = Tensor::Normal(6, 4, 0.0f, 1.0f, rng);
+  Tensor expect = a_hat.Multiply(x);
+  Tensor mean(6, 4);
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    CsrMatrix op = FastGcnLayerOperator(a_hat, 3, rng);
+    mean += op.Multiply(x);
+  }
+  mean *= 1.0f / trials;
+  EXPECT_LT(mean.MaxAbsDiff(expect), 0.12f);
+}
+
+TEST(SamplersTest, ColumnImportanceMatchesDefinition) {
+  CsrMatrix m = CsrMatrix::FromTriplets(
+      2, 2, {{0, 0, 1.0f}, {1, 0, 2.0f}, {0, 1, 3.0f}});
+  std::vector<double> imp = ColumnImportance(m);
+  EXPECT_NEAR(imp[0], 1.0 + 4.0, 1e-9);
+  EXPECT_NEAR(imp[1], 9.0, 1e-9);
+}
+
+TEST(SamplersTest, RandomWalkSubgraphNodesValidAndUnique) {
+  Graph g = TestGraph();
+  Rng rng(4);
+  auto nodes = RandomWalkSubgraphNodes(g, 20, 4, rng);
+  EXPECT_FALSE(nodes.empty());
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_LT(nodes[i - 1], nodes[i]);  // sorted unique
+  }
+  for (uint32_t u : nodes) EXPECT_LT(u, g.num_nodes());
+}
+
+TEST(SamplersTest, InclusionProbabilitiesInRange) {
+  Graph g = TestGraph();
+  Rng rng(5);
+  auto probs = EstimateInclusionProbabilities(g, 20, 4, 10, rng);
+  EXPECT_EQ(probs.size(), g.num_nodes());
+  for (double p : probs) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(SamplersTest, HighDegreeNodesIncludedMoreOften) {
+  Graph star = Graph::FromEdges(
+      11, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}, {0, 6}, {0, 7},
+           {0, 8}, {0, 9}, {0, 10}});
+  Rng rng(6);
+  auto probs = EstimateInclusionProbabilities(star, 3, 2, 40, rng);
+  for (size_t leaf = 1; leaf <= 10; ++leaf) {
+    EXPECT_GE(probs[0], probs[leaf]);
+  }
+}
+
+}  // namespace
+}  // namespace lasagne

@@ -1,0 +1,130 @@
+#include "sparse/csr_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/rng.h"
+
+namespace lasagne {
+namespace {
+
+CsrMatrix SmallMatrix() {
+  // [[1, 0, 2],
+  //  [0, 3, 0],
+  //  [4, 0, 5]]
+  return CsrMatrix::FromTriplets(
+      3, 3, {{0, 0, 1.0f}, {0, 2, 2.0f}, {1, 1, 3.0f}, {2, 0, 4.0f},
+             {2, 2, 5.0f}});
+}
+
+TEST(CsrMatrixTest, FromTripletsCoalescesDuplicates) {
+  CsrMatrix m = CsrMatrix::FromTriplets(
+      2, 2, {{0, 0, 1.0f}, {0, 0, 2.0f}, {1, 1, 5.0f}});
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(m.At(1, 1), 5.0f);
+  EXPECT_FLOAT_EQ(m.At(0, 1), 0.0f);
+}
+
+TEST(CsrMatrixTest, DenseRoundTrip) {
+  Rng rng(1);
+  Tensor dense = Tensor::Normal(5, 4, 0.0f, 1.0f, rng);
+  // Sparsify a bit.
+  for (size_t i = 0; i < dense.size(); ++i) {
+    if (i % 3 == 0) dense.data()[i] = 0.0f;
+  }
+  CsrMatrix m = CsrMatrix::FromDense(dense);
+  EXPECT_LT(m.ToDense().MaxAbsDiff(dense), 1e-6f);
+}
+
+TEST(CsrMatrixTest, MultiplyMatchesDense) {
+  Rng rng(2);
+  CsrMatrix m = SmallMatrix();
+  Tensor x = Tensor::Normal(3, 4, 0.0f, 1.0f, rng);
+  Tensor sparse_result = m.Multiply(x);
+  Tensor dense_result = m.ToDense().MatMul(x);
+  EXPECT_LT(sparse_result.MaxAbsDiff(dense_result), 1e-5f);
+}
+
+TEST(CsrMatrixTest, TransposedMultiplyMatchesDense) {
+  Rng rng(3);
+  CsrMatrix m = SmallMatrix();
+  Tensor x = Tensor::Normal(3, 2, 0.0f, 1.0f, rng);
+  Tensor fused = m.TransposedMultiply(x);
+  Tensor direct = m.ToDense().Transpose().MatMul(x);
+  EXPECT_LT(fused.MaxAbsDiff(direct), 1e-5f);
+}
+
+TEST(CsrMatrixTest, TransposeMatchesDense) {
+  CsrMatrix m = SmallMatrix();
+  Tensor t = m.Transpose().ToDense();
+  EXPECT_LT(t.MaxAbsDiff(m.ToDense().Transpose()), 1e-6f);
+}
+
+TEST(CsrMatrixTest, SparseSparseMultiply) {
+  Rng rng(4);
+  CsrMatrix a = SmallMatrix();
+  CsrMatrix b = SmallMatrix();
+  Tensor expect = a.ToDense().MatMul(b.ToDense());
+  EXPECT_LT(a.Multiply(b).ToDense().MaxAbsDiff(expect), 1e-5f);
+}
+
+TEST(CsrMatrixTest, SparseSparseMultiplyRowCapKeepsLargest) {
+  CsrMatrix a = SmallMatrix();
+  CsrMatrix prod = a.Multiply(a, /*prune_tolerance=*/0.0f, /*row_cap=*/1);
+  for (size_t r = 0; r < prod.rows(); ++r) {
+    EXPECT_LE(prod.RowNnz(r), 1u);
+  }
+  // Row 2 of a*a is [4+20, 0, 8+25] = [24, 0, 33]; the kept entry is 33.
+  EXPECT_FLOAT_EQ(prod.At(2, 2), 33.0f);
+  EXPECT_FLOAT_EQ(prod.At(2, 0), 0.0f);
+}
+
+TEST(CsrMatrixTest, AddMatchesDense) {
+  CsrMatrix a = SmallMatrix();
+  CsrMatrix b = CsrMatrix::Identity(3);
+  Tensor expect = a.ToDense() + b.ToDense();
+  EXPECT_LT(a.Add(b).ToDense().MaxAbsDiff(expect), 1e-6f);
+}
+
+TEST(CsrMatrixTest, ScaleRowsCols) {
+  CsrMatrix m = SmallMatrix();
+  Tensor rf = Tensor::ColumnVector({1.0f, 2.0f, 3.0f});
+  Tensor cf = Tensor::ColumnVector({4.0f, 5.0f, 6.0f});
+  CsrMatrix scaled = m.ScaleRowsCols(rf, cf);
+  EXPECT_FLOAT_EQ(scaled.At(0, 0), 1.0f * 1.0f * 4.0f);
+  EXPECT_FLOAT_EQ(scaled.At(2, 2), 5.0f * 3.0f * 6.0f);
+}
+
+TEST(CsrMatrixTest, RowStochasticRowsSumToOne) {
+  CsrMatrix m = SmallMatrix().RowStochastic();
+  Tensor row_sums = m.Multiply(Tensor::Ones(3, 1));
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_NEAR(row_sums(r, 0), 1.0f, 1e-6f);
+  }
+}
+
+TEST(CsrMatrixTest, SubMatrixExtractsBlock) {
+  CsrMatrix m = SmallMatrix();
+  CsrMatrix sub = m.SubMatrix({0, 2}, {0, 2});
+  // [[1, 2], [4, 5]]
+  EXPECT_FLOAT_EQ(sub.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(sub.At(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(sub.At(1, 0), 4.0f);
+  EXPECT_FLOAT_EQ(sub.At(1, 1), 5.0f);
+}
+
+TEST(CsrMatrixTest, IsSymmetricDetects) {
+  CsrMatrix sym = CsrMatrix::FromTriplets(
+      2, 2, {{0, 1, 2.0f}, {1, 0, 2.0f}, {0, 0, 1.0f}});
+  EXPECT_TRUE(sym.IsSymmetric());
+  EXPECT_FALSE(SmallMatrix().IsSymmetric());
+}
+
+TEST(CsrMatrixTest, IdentityBehavesAsIdentity) {
+  Rng rng(5);
+  Tensor x = Tensor::Normal(4, 3, 0.0f, 1.0f, rng);
+  EXPECT_LT(CsrMatrix::Identity(4).Multiply(x).MaxAbsDiff(x), 1e-7f);
+}
+
+}  // namespace
+}  // namespace lasagne

@@ -1,0 +1,211 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/rng.h"
+
+namespace lasagne {
+namespace {
+
+TEST(TensorTest, ConstructionAndShape) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 4u);
+  EXPECT_EQ(t.size(), 12u);
+  EXPECT_FLOAT_EQ(t(2, 3), 0.0f);
+}
+
+TEST(TensorTest, FactoriesProduceExpectedValues) {
+  EXPECT_FLOAT_EQ(Tensor::Ones(2, 2)(1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(Tensor::Full(2, 2, 3.5f)(0, 1), 3.5f);
+  Tensor id = Tensor::Identity(3);
+  EXPECT_FLOAT_EQ(id(1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(id(0, 1), 0.0f);
+}
+
+TEST(TensorTest, RowAndColumnVector) {
+  Tensor r = Tensor::RowVector({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_EQ(r.cols(), 3u);
+  Tensor c = Tensor::ColumnVector({1.0f, 2.0f});
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 1u);
+}
+
+TEST(TensorTest, ElementwiseArithmetic) {
+  Tensor a(2, 2, {1, 2, 3, 4});
+  Tensor b(2, 2, {5, 6, 7, 8});
+  Tensor sum = a + b;
+  EXPECT_FLOAT_EQ(sum(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(sum(1, 1), 12.0f);
+  Tensor diff = b - a;
+  EXPECT_FLOAT_EQ(diff(1, 0), 4.0f);
+  Tensor had = a * b;
+  EXPECT_FLOAT_EQ(had(0, 1), 12.0f);
+  Tensor scaled = a * 2.0f;
+  EXPECT_FLOAT_EQ(scaled(1, 1), 8.0f);
+  EXPECT_FLOAT_EQ((2.0f * a)(1, 1), 8.0f);
+}
+
+TEST(TensorTest, AxpyAccumulates) {
+  Tensor a(1, 3, {1, 1, 1});
+  Tensor b(1, 3, {1, 2, 3});
+  a.Axpy(2.0f, b);
+  EXPECT_FLOAT_EQ(a(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(a(0, 2), 7.0f);
+}
+
+TEST(TensorTest, MatMulMatchesHandComputation) {
+  Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c = a.MatMul(b);
+  EXPECT_FLOAT_EQ(c(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 154.0f);
+}
+
+TEST(TensorTest, TransposedMatMulVariantsAgree) {
+  Rng rng(1);
+  Tensor a = Tensor::Normal(4, 3, 0.0f, 1.0f, rng);
+  Tensor b = Tensor::Normal(4, 5, 0.0f, 1.0f, rng);
+  Tensor direct = a.Transpose().MatMul(b);
+  Tensor fused = a.TransposedMatMul(b);
+  EXPECT_LT(direct.MaxAbsDiff(fused), 1e-5f);
+
+  Tensor c = Tensor::Normal(5, 3, 0.0f, 1.0f, rng);
+  Tensor direct2 = a.MatMul(c.Transpose());
+  Tensor fused2 = a.MatMulTransposed(c);
+  EXPECT_LT(direct2.MaxAbsDiff(fused2), 1e-5f);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(a.Sum(), 21.0f);
+  EXPECT_FLOAT_EQ(a.Mean(), 3.5f);
+  EXPECT_FLOAT_EQ(a.Min(), 1.0f);
+  EXPECT_FLOAT_EQ(a.Max(), 6.0f);
+  EXPECT_FLOAT_EQ(a.SquaredNorm(), 91.0f);
+  EXPECT_NEAR(a.Norm(), std::sqrt(91.0f), 1e-5f);
+  Tensor rs = a.RowSum();
+  EXPECT_FLOAT_EQ(rs(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(rs(1, 0), 15.0f);
+  Tensor cs = a.ColSum();
+  EXPECT_FLOAT_EQ(cs(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(cs(0, 2), 9.0f);
+  Tensor rm = a.RowMean();
+  EXPECT_FLOAT_EQ(rm(1, 0), 5.0f);
+}
+
+TEST(TensorTest, ArgMaxPerRow) {
+  Tensor a(2, 3, {1, 9, 3, 7, 5, 6});
+  std::vector<size_t> am = a.ArgMaxPerRow();
+  EXPECT_EQ(am[0], 1u);
+  EXPECT_EQ(am[1], 0u);
+}
+
+TEST(TensorTest, GatherRowsCopiesSelection) {
+  Tensor a(3, 2, {1, 2, 3, 4, 5, 6});
+  Tensor g = a.GatherRows({2, 0});
+  EXPECT_FLOAT_EQ(g(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(g(1, 1), 2.0f);
+}
+
+TEST(TensorTest, MapAppliesFunction) {
+  Tensor a(1, 3, {-1, 0, 2});
+  Tensor relu = a.Map([](float v) { return v > 0 ? v : 0.0f; });
+  EXPECT_FLOAT_EQ(relu(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(relu(0, 2), 2.0f);
+}
+
+TEST(TensorTest, AllFiniteDetectsNan) {
+  Tensor a(1, 2, {1.0f, 2.0f});
+  EXPECT_TRUE(a.AllFinite());
+  a(0, 1) = std::nanf("");
+  EXPECT_FALSE(a.AllFinite());
+}
+
+TEST(TensorTest, GlorotBoundsRespected) {
+  Rng rng(7);
+  Tensor w = Tensor::GlorotUniform(64, 32, rng);
+  const float bound = std::sqrt(6.0f / (64 + 32));
+  EXPECT_LE(w.Max(), bound);
+  EXPECT_GE(w.Min(), -bound);
+  // Mean should be near zero.
+  EXPECT_NEAR(w.Mean(), 0.0f, 0.02f);
+}
+
+TEST(RngTest, DeterministicStreams) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(5);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) counts[rng.UniformInt(7)]++;
+  for (int c : counts) EXPECT_GT(c, 800);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(13);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 8000; ++i) counts[rng.Categorical(w)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / 8000.0, 0.75, 0.03);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(17);
+  std::vector<size_t> s = rng.SampleWithoutReplacement(50, 20);
+  EXPECT_EQ(s.size(), 20u);
+  std::sort(s.begin(), s.end());
+  EXPECT_TRUE(std::adjacent_find(s.begin(), s.end()) == s.end());
+  for (size_t v : s) EXPECT_LT(v, 50u);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+}  // namespace
+}  // namespace lasagne

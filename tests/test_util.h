@@ -1,0 +1,57 @@
+#ifndef LASAGNE_TESTS_TEST_UTIL_H_
+#define LASAGNE_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/tensor.h"
+
+namespace lasagne::testing {
+
+/// Finite-difference gradient check.
+///
+/// `make_loss` must rebuild the graph from scratch and return the scalar
+/// loss variable; `params` are the leaves whose analytic gradients are
+/// compared against central differences. Returns the max relative error
+/// max |analytic - numeric| / max(1, |analytic|, |numeric|).
+inline float GradCheck(const std::function<ag::Variable()>& make_loss,
+                       const std::vector<ag::Variable>& params,
+                       float step = 1e-3f) {
+  // Analytic pass.
+  for (const ag::Variable& p : params) p->ZeroGrad();
+  ag::Variable loss = make_loss();
+  ag::Backward(loss);
+  std::vector<Tensor> analytic;
+  analytic.reserve(params.size());
+  for (const ag::Variable& p : params) {
+    analytic.push_back(p->grad().empty()
+                           ? Tensor::Zeros(p->rows(), p->cols())
+                           : p->grad());
+  }
+  float max_err = 0.0f;
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    ag::Variable p = params[pi];
+    for (size_t r = 0; r < p->rows(); ++r) {
+      for (size_t c = 0; c < p->cols(); ++c) {
+        const float original = p->value()(r, c);
+        p->mutable_value()(r, c) = original + step;
+        const float plus = make_loss()->value()(0, 0);
+        p->mutable_value()(r, c) = original - step;
+        const float minus = make_loss()->value()(0, 0);
+        p->mutable_value()(r, c) = original;
+        const float numeric = (plus - minus) / (2.0f * step);
+        const float a = analytic[pi](r, c);
+        const float denom =
+            std::max({1.0f, std::fabs(a), std::fabs(numeric)});
+        max_err = std::max(max_err, std::fabs(a - numeric) / denom);
+      }
+    }
+  }
+  return max_err;
+}
+
+}  // namespace lasagne::testing
+
+#endif  // LASAGNE_TESTS_TEST_UTIL_H_
