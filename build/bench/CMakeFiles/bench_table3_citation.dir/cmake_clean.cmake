@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_citation.dir/bench_table3_citation.cc.o"
+  "CMakeFiles/bench_table3_citation.dir/bench_table3_citation.cc.o.d"
+  "bench_table3_citation"
+  "bench_table3_citation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_citation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_other.dir/bench_table5_other.cc.o"
+  "CMakeFiles/bench_table5_other.dir/bench_table5_other.cc.o.d"
+  "bench_table5_other"
+  "bench_table5_other.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_other.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_other_gnns.dir/bench_table7_other_gnns.cc.o"
+  "CMakeFiles/bench_table7_other_gnns.dir/bench_table7_other_gnns.cc.o.d"
+  "bench_table7_other_gnns"
+  "bench_table7_other_gnns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_other_gnns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

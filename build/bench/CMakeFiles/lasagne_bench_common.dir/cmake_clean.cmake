@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lasagne_bench_common.dir/common/bench_util.cc.o"
+  "CMakeFiles/lasagne_bench_common.dir/common/bench_util.cc.o.d"
+  "liblasagne_bench_common.a"
+  "liblasagne_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lasagne_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

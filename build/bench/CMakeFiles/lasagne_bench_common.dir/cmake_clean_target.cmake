@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblasagne_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_aggregator.dir/custom_aggregator.cpp.o"
+  "CMakeFiles/custom_aggregator.dir/custom_aggregator.cpp.o.d"
+  "custom_aggregator"
+  "custom_aggregator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_aggregator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

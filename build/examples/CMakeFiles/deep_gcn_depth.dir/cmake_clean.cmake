@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_gcn_depth.dir/deep_gcn_depth.cpp.o"
+  "CMakeFiles/deep_gcn_depth.dir/deep_gcn_depth.cpp.o.d"
+  "deep_gcn_depth"
+  "deep_gcn_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_gcn_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

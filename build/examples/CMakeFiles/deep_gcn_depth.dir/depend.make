@@ -1,0 +1,2 @@
+# Empty dependencies file for deep_gcn_depth.
+# This may be replaced when dependencies are built.

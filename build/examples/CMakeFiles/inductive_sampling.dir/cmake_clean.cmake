@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inductive_sampling.dir/inductive_sampling.cpp.o"
+  "CMakeFiles/inductive_sampling.dir/inductive_sampling.cpp.o.d"
+  "inductive_sampling"
+  "inductive_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inductive_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

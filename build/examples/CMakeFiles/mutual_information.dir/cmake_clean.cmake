@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutual_information.dir/mutual_information.cpp.o"
+  "CMakeFiles/mutual_information.dir/mutual_information.cpp.o.d"
+  "mutual_information"
+  "mutual_information.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutual_information.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autograd/edge_ops.cc" "src/CMakeFiles/lasagne.dir/autograd/edge_ops.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/autograd/edge_ops.cc.o.d"
+  "/root/repo/src/autograd/fm_op.cc" "src/CMakeFiles/lasagne.dir/autograd/fm_op.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/autograd/fm_op.cc.o.d"
+  "/root/repo/src/autograd/ops.cc" "src/CMakeFiles/lasagne.dir/autograd/ops.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/autograd/ops.cc.o.d"
+  "/root/repo/src/autograd/variable.cc" "src/CMakeFiles/lasagne.dir/autograd/variable.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/autograd/variable.cc.o.d"
+  "/root/repo/src/core/aggregator_analysis.cc" "src/CMakeFiles/lasagne.dir/core/aggregator_analysis.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/core/aggregator_analysis.cc.o.d"
+  "/root/repo/src/core/aggregators.cc" "src/CMakeFiles/lasagne.dir/core/aggregators.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/core/aggregators.cc.o.d"
+  "/root/repo/src/core/gcfm.cc" "src/CMakeFiles/lasagne.dir/core/gcfm.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/core/gcfm.cc.o.d"
+  "/root/repo/src/core/lasagne_model.cc" "src/CMakeFiles/lasagne.dir/core/lasagne_model.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/core/lasagne_model.cc.o.d"
+  "/root/repo/src/core/lstm_aggregator.cc" "src/CMakeFiles/lasagne.dir/core/lstm_aggregator.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/core/lstm_aggregator.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/lasagne.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/CMakeFiles/lasagne.dir/data/io.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/data/io.cc.o.d"
+  "/root/repo/src/data/registry.cc" "src/CMakeFiles/lasagne.dir/data/registry.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/data/registry.cc.o.d"
+  "/root/repo/src/data/splits.cc" "src/CMakeFiles/lasagne.dir/data/splits.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/data/splits.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/lasagne.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/graph/algorithms.cc" "src/CMakeFiles/lasagne.dir/graph/algorithms.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/graph/algorithms.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/lasagne.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/graph/graph.cc.o.d"
+  "/root/repo/src/metrics/classification.cc" "src/CMakeFiles/lasagne.dir/metrics/classification.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/metrics/classification.cc.o.d"
+  "/root/repo/src/metrics/mutual_info.cc" "src/CMakeFiles/lasagne.dir/metrics/mutual_info.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/metrics/mutual_info.cc.o.d"
+  "/root/repo/src/models/attention.cc" "src/CMakeFiles/lasagne.dir/models/attention.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/models/attention.cc.o.d"
+  "/root/repo/src/models/factory.cc" "src/CMakeFiles/lasagne.dir/models/factory.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/models/factory.cc.o.d"
+  "/root/repo/src/models/gcn_family.cc" "src/CMakeFiles/lasagne.dir/models/gcn_family.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/models/gcn_family.cc.o.d"
+  "/root/repo/src/models/model.cc" "src/CMakeFiles/lasagne.dir/models/model.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/models/model.cc.o.d"
+  "/root/repo/src/models/propagation.cc" "src/CMakeFiles/lasagne.dir/models/propagation.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/models/propagation.cc.o.d"
+  "/root/repo/src/models/sampling_models.cc" "src/CMakeFiles/lasagne.dir/models/sampling_models.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/models/sampling_models.cc.o.d"
+  "/root/repo/src/models/unsupervised.cc" "src/CMakeFiles/lasagne.dir/models/unsupervised.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/models/unsupervised.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/lasagne.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/nn/layers.cc.o.d"
+  "/root/repo/src/sampling/samplers.cc" "src/CMakeFiles/lasagne.dir/sampling/samplers.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/sampling/samplers.cc.o.d"
+  "/root/repo/src/sparse/csr_matrix.cc" "src/CMakeFiles/lasagne.dir/sparse/csr_matrix.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/sparse/csr_matrix.cc.o.d"
+  "/root/repo/src/tensor/rng.cc" "src/CMakeFiles/lasagne.dir/tensor/rng.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/tensor/rng.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/lasagne.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/train/experiment.cc" "src/CMakeFiles/lasagne.dir/train/experiment.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/train/experiment.cc.o.d"
+  "/root/repo/src/train/optimizer.cc" "src/CMakeFiles/lasagne.dir/train/optimizer.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/train/optimizer.cc.o.d"
+  "/root/repo/src/train/serialization.cc" "src/CMakeFiles/lasagne.dir/train/serialization.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/train/serialization.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/CMakeFiles/lasagne.dir/train/trainer.cc.o" "gcc" "src/CMakeFiles/lasagne.dir/train/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aggregator_analysis_test.cc" "tests/CMakeFiles/lasagne_tests.dir/aggregator_analysis_test.cc.o" "gcc" "tests/CMakeFiles/lasagne_tests.dir/aggregator_analysis_test.cc.o.d"
+  "/root/repo/tests/autograd_test.cc" "tests/CMakeFiles/lasagne_tests.dir/autograd_test.cc.o" "gcc" "tests/CMakeFiles/lasagne_tests.dir/autograd_test.cc.o.d"
+  "/root/repo/tests/baselines_behavior_test.cc" "tests/CMakeFiles/lasagne_tests.dir/baselines_behavior_test.cc.o" "gcc" "tests/CMakeFiles/lasagne_tests.dir/baselines_behavior_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/lasagne_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/lasagne_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/lasagne_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/lasagne_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/lasagne_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/lasagne_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/lasagne_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/lasagne_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/lasagne_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/lasagne_tests.dir/metrics_test.cc.o.d"
+  "/root/repo/tests/misc_coverage_test.cc" "tests/CMakeFiles/lasagne_tests.dir/misc_coverage_test.cc.o" "gcc" "tests/CMakeFiles/lasagne_tests.dir/misc_coverage_test.cc.o.d"
+  "/root/repo/tests/models_test.cc" "tests/CMakeFiles/lasagne_tests.dir/models_test.cc.o" "gcc" "tests/CMakeFiles/lasagne_tests.dir/models_test.cc.o.d"
+  "/root/repo/tests/nn_test.cc" "tests/CMakeFiles/lasagne_tests.dir/nn_test.cc.o" "gcc" "tests/CMakeFiles/lasagne_tests.dir/nn_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/lasagne_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/lasagne_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/sampling_test.cc" "tests/CMakeFiles/lasagne_tests.dir/sampling_test.cc.o" "gcc" "tests/CMakeFiles/lasagne_tests.dir/sampling_test.cc.o.d"
+  "/root/repo/tests/sparse_test.cc" "tests/CMakeFiles/lasagne_tests.dir/sparse_test.cc.o" "gcc" "tests/CMakeFiles/lasagne_tests.dir/sparse_test.cc.o.d"
+  "/root/repo/tests/tensor_test.cc" "tests/CMakeFiles/lasagne_tests.dir/tensor_test.cc.o" "gcc" "tests/CMakeFiles/lasagne_tests.dir/tensor_test.cc.o.d"
+  "/root/repo/tests/train_test.cc" "tests/CMakeFiles/lasagne_tests.dir/train_test.cc.o" "gcc" "tests/CMakeFiles/lasagne_tests.dir/train_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lasagne.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

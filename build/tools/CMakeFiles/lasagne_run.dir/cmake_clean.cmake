@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lasagne_run.dir/lasagne_run.cc.o"
+  "CMakeFiles/lasagne_run.dir/lasagne_run.cc.o.d"
+  "lasagne_run"
+  "lasagne_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lasagne_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
