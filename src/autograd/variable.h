@@ -33,6 +33,10 @@ class Node {
   /// Accumulated gradient; zero-sized until the first accumulation.
   const Tensor& grad() const { return grad_; }
 
+  /// Mutable access to the gradient buffer (gradient clipping, fault
+  /// injection). Zero-sized until the first accumulation.
+  Tensor& mutable_grad() { return grad_; }
+
   bool requires_grad() const { return requires_grad_; }
 
   /// Adds `g` into this node's gradient (allocating on first use).

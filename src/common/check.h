@@ -71,8 +71,12 @@ class CheckMessageBuilder {
   LASAGNE_CHECK_MSG((a) >= (b), "(" << (a) << " vs " << (b) << ")")
 
 #ifdef NDEBUG
-#define LASAGNE_DCHECK(condition) \
-  do {                            \
+// Keep the condition syntactically alive (but unevaluated) so that
+// variables referenced only in debug checks don't trigger
+// -Wunused-variable in release builds.
+#define LASAGNE_DCHECK(condition)            \
+  do {                                       \
+    (void)sizeof((condition) ? true : false); \
   } while (0)
 #else
 #define LASAGNE_DCHECK(condition) LASAGNE_CHECK(condition)

@@ -1,0 +1,44 @@
+#include "common/fault_injection.h"
+
+namespace lasagne {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Reset() {
+  write_failures_armed_ = 0;
+  write_fail_offset_ = 0;
+  nan_gradients_armed_ = 0;
+  nan_gradient_epoch_ = 0;
+  write_failures_injected_ = 0;
+  nan_gradients_injected_ = 0;
+}
+
+void FaultInjector::ArmWriteFailure(size_t byte_offset, int count) {
+  write_fail_offset_ = byte_offset;
+  write_failures_armed_ = count;
+}
+
+bool FaultInjector::ConsumeWriteFailure(size_t* fail_after_bytes) {
+  if (write_failures_armed_ <= 0) return false;
+  --write_failures_armed_;
+  ++write_failures_injected_;
+  *fail_after_bytes = write_fail_offset_;
+  return true;
+}
+
+void FaultInjector::ArmNanGradient(size_t epoch, int count) {
+  nan_gradient_epoch_ = epoch;
+  nan_gradients_armed_ = count;
+}
+
+bool FaultInjector::ConsumeNanGradient(size_t epoch) {
+  if (nan_gradients_armed_ <= 0 || epoch != nan_gradient_epoch_) return false;
+  --nan_gradients_armed_;
+  ++nan_gradients_injected_;
+  return true;
+}
+
+}  // namespace lasagne

@@ -1,0 +1,67 @@
+#ifndef LASAGNE_COMMON_FAULT_INJECTION_H_
+#define LASAGNE_COMMON_FAULT_INJECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lasagne {
+
+/// Deterministic fault-injection hook for exercising recovery paths.
+///
+/// Production code consults the global injector at the few places where
+/// the fault-tolerant runtime must handle failure: checkpoint writes
+/// (simulating a crash or full disk after N bytes) and gradient
+/// computation (simulating numerical divergence at a chosen epoch).
+/// All arming is one-shot-per-count and disabled by default, so the
+/// injector is a no-op outside tests. Not thread-safe; tests arm it
+/// from the thread that trains.
+class FaultInjector {
+ public:
+  /// Process-wide instance consulted by serialization and the trainer.
+  static FaultInjector& Global();
+
+  /// Returns every knob to the disabled state and clears counters.
+  void Reset();
+
+  // -- I/O failures --------------------------------------------------------
+
+  /// Arms the next `count` checkpoint writes to fail after exactly
+  /// `byte_offset` bytes have been written (0 = fail before any byte),
+  /// leaving a torn temp file behind as a real crash would.
+  void ArmWriteFailure(size_t byte_offset, int count = 1);
+
+  /// Consulted by the atomic file writer. When armed, consumes one
+  /// count, stores the cut-off in `*fail_after_bytes`, and returns
+  /// true; the writer must stop at that offset and report an I/O error.
+  bool ConsumeWriteFailure(size_t* fail_after_bytes);
+
+  // -- Numerical faults ----------------------------------------------------
+
+  /// Arms gradient poisoning: at training epoch `epoch` (for the next
+  /// `count` times that epoch index is reached, across runs), the
+  /// trainer overwrites one gradient entry with NaN after backward.
+  void ArmNanGradient(size_t epoch, int count = 1);
+
+  /// Consulted by the trainer after backward. Consumes one count and
+  /// returns true when `epoch` matches the armed epoch.
+  bool ConsumeNanGradient(size_t epoch);
+
+  // -- Observability -------------------------------------------------------
+
+  size_t write_failures_injected() const { return write_failures_injected_; }
+  size_t nan_gradients_injected() const { return nan_gradients_injected_; }
+
+ private:
+  FaultInjector() = default;
+
+  int write_failures_armed_ = 0;
+  size_t write_fail_offset_ = 0;
+  int nan_gradients_armed_ = 0;
+  size_t nan_gradient_epoch_ = 0;
+  size_t write_failures_injected_ = 0;
+  size_t nan_gradients_injected_ = 0;
+};
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_COMMON_FAULT_INJECTION_H_

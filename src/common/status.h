@@ -1,0 +1,147 @@
+#ifndef LASAGNE_COMMON_STATUS_H_
+#define LASAGNE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+// Recoverable-error vocabulary for API boundaries (dataset loading,
+// checkpoint I/O, config validation). Unlike LASAGNE_CHECK — which is
+// reserved for internal invariants whose violation means a bug — a
+// Status travels back to the caller, who decides whether to retry,
+// substitute a default, or surface the message to the user.
+//
+// The design follows absl::Status/absl::StatusOr in miniature: a code,
+// a message, and helper constructors named after the codes. The library
+// still does not use exceptions.
+
+namespace lasagne {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   // caller passed something malformed
+  kNotFound = 2,          // file or registry entry does not exist
+  kDataLoss = 3,          // file exists but is corrupt (checksum, truncation)
+  kFailedPrecondition = 4,  // operation needs different prior state
+  kIOError = 5,           // read/write/rename failed
+  kResourceExhausted = 6,  // retry/recovery budget spent
+  kInternal = 7,          // invariant violation reported instead of aborting
+};
+
+/// Human-readable name of a code ("kDataLoss" -> "DATA_LOSS").
+const char* StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "DATA_LOSS: checksum mismatch" (or "OK").
+  std::string ToString() const;
+
+  /// Prefixes extra context onto the message, preserving the code.
+  Status WithContext(const std::string& context) const {
+    if (ok()) return *this;
+    return Status(code_, context + ": " + message_);
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status NotFoundError(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+inline Status DataLossError(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
+}
+inline Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+inline Status IOError(std::string message) {
+  return Status(StatusCode::kIOError, std::move(message));
+}
+inline Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+inline Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+/// Either a value or the error that prevented producing one. Accessing
+/// `value()` on an error is an internal bug and aborts.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  /// Implicit from an error Status (must not be OK: an OK StatusOr
+  /// needs a value).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    LASAGNE_CHECK_MSG(!status_.ok(),
+                      "StatusOr constructed from OK status without a value");
+  }
+  /// Implicit from a value.
+  StatusOr(T value)  // NOLINT
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    LASAGNE_CHECK_MSG(ok(), "StatusOr::value on error: " << status_.ToString());
+    return value_;
+  }
+  T& value() & {
+    LASAGNE_CHECK_MSG(ok(), "StatusOr::value on error: " << status_.ToString());
+    return value_;
+  }
+  T&& value() && {
+    LASAGNE_CHECK_MSG(ok(), "StatusOr::value on error: " << status_.ToString());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace lasagne
+
+/// Propagates a non-OK Status to the caller.
+#define LASAGNE_RETURN_IF_ERROR(expr)               \
+  do {                                              \
+    ::lasagne::Status status_macro_ = (expr);       \
+    if (!status_macro_.ok()) return status_macro_;  \
+  } while (0)
+
+#define LASAGNE_STATUS_CONCAT_INNER_(a, b) a##b
+#define LASAGNE_STATUS_CONCAT_(a, b) LASAGNE_STATUS_CONCAT_INNER_(a, b)
+
+/// `LASAGNE_ASSIGN_OR_RETURN(auto x, MaybeX());` — unwraps a StatusOr,
+/// propagating the error on failure.
+#define LASAGNE_ASSIGN_OR_RETURN(lhs, expr)                            \
+  auto LASAGNE_STATUS_CONCAT_(statusor_, __LINE__) = (expr);           \
+  if (!LASAGNE_STATUS_CONCAT_(statusor_, __LINE__).ok()) {             \
+    return LASAGNE_STATUS_CONCAT_(statusor_, __LINE__).status();       \
+  }                                                                    \
+  lhs = std::move(LASAGNE_STATUS_CONCAT_(statusor_, __LINE__)).value()
+
+#endif  // LASAGNE_COMMON_STATUS_H_

@@ -36,23 +36,40 @@ Dataset Dataset::TrainSubgraph() const {
   return sub;
 }
 
-void Dataset::Validate() const {
+Status Dataset::Validate() const {
   const size_t n = num_nodes();
-  LASAGNE_CHECK_EQ(features.rows(), n);
-  LASAGNE_CHECK_EQ(labels.size(), n);
-  LASAGNE_CHECK_EQ(train_mask.size(), n);
-  LASAGNE_CHECK_EQ(val_mask.size(), n);
-  LASAGNE_CHECK_EQ(test_mask.size(), n);
-  LASAGNE_CHECK_GT(num_classes, 0u);
+  auto size_error = [&](const char* what, size_t got) {
+    return InvalidArgumentError(name + ": " + what + " has " +
+                                std::to_string(got) + " entries for " +
+                                std::to_string(n) + " nodes");
+  };
+  if (features.rows() != n) return size_error("feature matrix", features.rows());
+  if (labels.size() != n) return size_error("label vector", labels.size());
+  if (train_mask.size() != n) return size_error("train mask", train_mask.size());
+  if (val_mask.size() != n) return size_error("val mask", val_mask.size());
+  if (test_mask.size() != n) return size_error("test mask", test_mask.size());
+  if (num_classes == 0) {
+    return InvalidArgumentError(name + ": num_classes is zero");
+  }
   for (size_t i = 0; i < n; ++i) {
-    LASAGNE_CHECK_GE(labels[i], 0);
-    LASAGNE_CHECK_LT(static_cast<size_t>(labels[i]), num_classes);
+    if (labels[i] < 0 || static_cast<size_t>(labels[i]) >= num_classes) {
+      return InvalidArgumentError(
+          name + ": label " + std::to_string(labels[i]) + " at node " +
+          std::to_string(i) + " outside [0, " + std::to_string(num_classes) +
+          ")");
+    }
     // Masks are disjoint.
     int memberships = (train_mask[i] > 0) + (val_mask[i] > 0) +
                       (test_mask[i] > 0);
-    LASAGNE_CHECK_LE(memberships, 1);
+    if (memberships > 1) {
+      return InvalidArgumentError(name + ": node " + std::to_string(i) +
+                                  " is in more than one split");
+    }
   }
-  LASAGNE_CHECK(features.AllFinite());
+  if (!features.AllFinite()) {
+    return InvalidArgumentError(name + ": features contain NaN/Inf");
+  }
+  return Status::OK();
 }
 
 }  // namespace lasagne

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "graph/graph.h"
 #include "tensor/tensor.h"
 
@@ -46,9 +47,12 @@ struct Dataset {
   /// labels and an all-ones train mask (inductive training view).
   Dataset TrainSubgraph() const;
 
-  /// Internal consistency checks (sizes, label ranges, disjoint masks);
-  /// aborts on violation. Called by the generators before returning.
-  void Validate() const;
+  /// Internal consistency checks (sizes, label ranges, disjoint masks,
+  /// finite features). Returns InvalidArgument describing the first
+  /// violation instead of aborting, so loaders of external data can
+  /// reject malformed input cleanly; the synthetic generators CHECK the
+  /// result (a violation there is a bug).
+  Status Validate() const;
 };
 
 }  // namespace lasagne

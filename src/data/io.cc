@@ -1,5 +1,6 @@
 #include "data/io.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -7,18 +8,21 @@
 
 namespace lasagne {
 
-bool SaveDatasetToFiles(const Dataset& dataset, const std::string& prefix) {
+Status ExportDatasetToFiles(const Dataset& dataset,
+                            const std::string& prefix) {
   {
-    std::ofstream out(prefix + ".graph");
-    if (!out) return false;
+    const std::string path = prefix + ".graph";
+    std::ofstream out(path);
+    if (!out) return IOError("cannot open " + path + " for writing");
     auto edges = dataset.graph.Edges();
     out << dataset.num_nodes() << "\t" << edges.size() << "\n";
     for (const auto& [u, v] : edges) out << u << "\t" << v << "\n";
-    if (!out) return false;
+    if (!out) return IOError("write failed on " + path);
   }
   {
-    std::ofstream out(prefix + ".features");
-    if (!out) return false;
+    const std::string path = prefix + ".features";
+    std::ofstream out(path);
+    if (!out) return IOError("cannot open " + path + " for writing");
     out.precision(7);
     for (size_t i = 0; i < dataset.num_nodes(); ++i) {
       for (size_t j = 0; j < dataset.feature_dim(); ++j) {
@@ -26,18 +30,20 @@ bool SaveDatasetToFiles(const Dataset& dataset, const std::string& prefix) {
             << (j + 1 == dataset.feature_dim() ? '\n' : '\t');
       }
     }
-    if (!out) return false;
+    if (!out) return IOError("write failed on " + path);
   }
   {
-    std::ofstream out(prefix + ".labels");
-    if (!out) return false;
+    const std::string path = prefix + ".labels";
+    std::ofstream out(path);
+    if (!out) return IOError("cannot open " + path + " for writing");
     out << dataset.num_classes << "\n";
     for (int32_t label : dataset.labels) out << label << "\n";
-    if (!out) return false;
+    if (!out) return IOError("write failed on " + path);
   }
   {
-    std::ofstream out(prefix + ".splits");
-    if (!out) return false;
+    const std::string path = prefix + ".splits";
+    std::ofstream out(path);
+    if (!out) return IOError("cannot open " + path + " for writing");
     for (size_t i = 0; i < dataset.num_nodes(); ++i) {
       if (dataset.train_mask[i] > 0) {
         out << "train\n";
@@ -49,82 +55,130 @@ bool SaveDatasetToFiles(const Dataset& dataset, const std::string& prefix) {
         out << "none\n";
       }
     }
-    if (!out) return false;
+    if (!out) return IOError("write failed on " + path);
   }
-  return true;
+  return Status::OK();
 }
 
-Dataset LoadDatasetFromFiles(const std::string& prefix) {
+StatusOr<Dataset> TryLoadDatasetFromFiles(const std::string& prefix) {
   Dataset dataset;
-  std::ifstream graph_in(prefix + ".graph");
-  if (!graph_in) return dataset;
+  const std::string graph_path = prefix + ".graph";
+  std::ifstream graph_in(graph_path);
+  if (!graph_in) return NotFoundError("missing " + graph_path);
 
   size_t num_nodes = 0, num_edges = 0;
-  graph_in >> num_nodes >> num_edges;
-  LASAGNE_CHECK_GT(num_nodes, 0u);
+  if (!(graph_in >> num_nodes >> num_edges)) {
+    return DataLossError(graph_path + ": malformed header line");
+  }
+  if (num_nodes == 0) {
+    return InvalidArgumentError(graph_path + ": zero nodes");
+  }
   std::vector<std::pair<uint32_t, uint32_t>> edges;
   edges.reserve(num_edges);
   for (size_t e = 0; e < num_edges; ++e) {
     uint32_t u = 0, v = 0;
-    LASAGNE_CHECK(static_cast<bool>(graph_in >> u >> v));
+    if (!(graph_in >> u >> v)) {
+      return DataLossError(graph_path + ": truncated at edge " +
+                           std::to_string(e) + " of " +
+                           std::to_string(num_edges));
+    }
+    if (u >= num_nodes || v >= num_nodes) {
+      return InvalidArgumentError(graph_path + ": edge " +
+                                  std::to_string(e) + " (" +
+                                  std::to_string(u) + ", " +
+                                  std::to_string(v) +
+                                  ") references a node out of range");
+    }
     edges.emplace_back(u, v);
   }
   dataset.graph = Graph::FromEdges(num_nodes, edges);
 
   // Features: infer the dimension from the first line.
-  std::ifstream feat_in(prefix + ".features");
-  LASAGNE_CHECK_MSG(static_cast<bool>(feat_in),
-                    "missing " << prefix << ".features");
+  const std::string feat_path = prefix + ".features";
+  std::ifstream feat_in(feat_path);
+  if (!feat_in) return NotFoundError("missing " + feat_path);
   std::string first_line;
-  LASAGNE_CHECK(static_cast<bool>(std::getline(feat_in, first_line)));
+  if (!std::getline(feat_in, first_line)) {
+    return DataLossError(feat_path + ": empty file");
+  }
   std::vector<float> first_row;
   {
     std::istringstream line(first_line);
     float v;
     while (line >> v) first_row.push_back(v);
   }
-  LASAGNE_CHECK(!first_row.empty());
+  if (first_row.empty()) {
+    return DataLossError(feat_path + ": first line holds no numbers");
+  }
   const size_t dim = first_row.size();
   Tensor features(num_nodes, dim);
   std::copy(first_row.begin(), first_row.end(), features.RowPtr(0));
   for (size_t i = 1; i < num_nodes; ++i) {
     for (size_t j = 0; j < dim; ++j) {
-      LASAGNE_CHECK(static_cast<bool>(feat_in >> features(i, j)));
+      if (!(feat_in >> features(i, j))) {
+        return DataLossError(feat_path + ": truncated at node " +
+                             std::to_string(i) + " of " +
+                             std::to_string(num_nodes));
+      }
     }
   }
   dataset.features = std::move(features);
 
-  std::ifstream label_in(prefix + ".labels");
-  LASAGNE_CHECK_MSG(static_cast<bool>(label_in),
-                    "missing " << prefix << ".labels");
-  LASAGNE_CHECK(static_cast<bool>(label_in >> dataset.num_classes));
+  const std::string label_path = prefix + ".labels";
+  std::ifstream label_in(label_path);
+  if (!label_in) return NotFoundError("missing " + label_path);
+  if (!(label_in >> dataset.num_classes)) {
+    return DataLossError(label_path + ": missing class count");
+  }
   dataset.labels.resize(num_nodes);
   for (size_t i = 0; i < num_nodes; ++i) {
-    LASAGNE_CHECK(static_cast<bool>(label_in >> dataset.labels[i]));
+    if (!(label_in >> dataset.labels[i])) {
+      return DataLossError(label_path + ": truncated at node " +
+                           std::to_string(i));
+    }
   }
 
   dataset.train_mask.assign(num_nodes, 0.0f);
   dataset.val_mask.assign(num_nodes, 0.0f);
   dataset.test_mask.assign(num_nodes, 0.0f);
-  std::ifstream split_in(prefix + ".splits");
-  LASAGNE_CHECK_MSG(static_cast<bool>(split_in),
-                    "missing " << prefix << ".splits");
+  const std::string split_path = prefix + ".splits";
+  std::ifstream split_in(split_path);
+  if (!split_in) return NotFoundError("missing " + split_path);
   for (size_t i = 0; i < num_nodes; ++i) {
     std::string tag;
-    LASAGNE_CHECK(static_cast<bool>(split_in >> tag));
+    if (!(split_in >> tag)) {
+      return DataLossError(split_path + ": truncated at node " +
+                           std::to_string(i));
+    }
     if (tag == "train") {
       dataset.train_mask[i] = 1.0f;
     } else if (tag == "val") {
       dataset.val_mask[i] = 1.0f;
     } else if (tag == "test") {
       dataset.test_mask[i] = 1.0f;
-    } else {
-      LASAGNE_CHECK_MSG(tag == "none", "bad split tag: " << tag);
+    } else if (tag != "none") {
+      return InvalidArgumentError(split_path + ": bad split tag '" + tag +
+                                  "' at node " + std::to_string(i));
     }
   }
   dataset.name = prefix;
-  dataset.Validate();
+  LASAGNE_RETURN_IF_ERROR(
+      dataset.Validate().WithContext("loaded dataset " + prefix));
   return dataset;
+}
+
+bool SaveDatasetToFiles(const Dataset& dataset, const std::string& prefix) {
+  return ExportDatasetToFiles(dataset, prefix).ok();
+}
+
+Dataset LoadDatasetFromFiles(const std::string& prefix) {
+  StatusOr<Dataset> loaded = TryLoadDatasetFromFiles(prefix);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "LoadDatasetFromFiles(%s): %s\n", prefix.c_str(),
+                 loaded.status().ToString().c_str());
+    return Dataset();
+  }
+  return std::move(loaded).value();
 }
 
 }  // namespace lasagne

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/status.h"
 #include "data/dataset.h"
 
 namespace lasagne {
@@ -14,12 +15,24 @@ namespace lasagne {
 ///  * .features : one row per node, tab-separated floats
 ///  * .labels   : first line "<num_classes>", then one label per line
 ///  * .splits   : one of {train, val, test, none} per line
-/// Returns false on I/O failure.
+Status ExportDatasetToFiles(const Dataset& dataset,
+                            const std::string& prefix);
+
+/// Reads a dataset previously written by ExportDatasetToFiles (or
+/// hand-assembled in the same format). Missing files come back as
+/// NotFound, malformed contents as DataLoss/InvalidArgument with the
+/// offending file and record in the message — external data is caller
+/// input, never worth an abort. The loaded dataset is Validate()d
+/// before being returned.
+StatusOr<Dataset> TryLoadDatasetFromFiles(const std::string& prefix);
+
+// -- Legacy API ------------------------------------------------------------
+
+/// Bool wrapper around ExportDatasetToFiles.
 bool SaveDatasetToFiles(const Dataset& dataset, const std::string& prefix);
 
-/// Reads a dataset previously written by SaveDatasetToFiles (or
-/// hand-assembled in the same format). Aborts on malformed files;
-/// returns an empty dataset (num_nodes() == 0) when files are missing.
+/// Wrapper around TryLoadDatasetFromFiles that returns an empty dataset
+/// (num_nodes() == 0) on any failure, logging the error to stderr.
 Dataset LoadDatasetFromFiles(const std::string& prefix);
 
 }  // namespace lasagne

@@ -27,6 +27,13 @@ std::vector<uint32_t> PickPerClass(const Dataset& dataset,
   return chosen;
 }
 
+// The split generators build the masks themselves, so a validation
+// failure here is an internal bug, not caller input: CHECK it.
+void CheckValid(const Dataset& dataset) {
+  Status valid = dataset.Validate();
+  LASAGNE_CHECK_MSG(valid.ok(), valid.ToString());
+}
+
 }  // namespace
 
 void ApplyTransductiveSplitOnPrefix(Dataset& dataset, size_t eligible_limit,
@@ -56,7 +63,7 @@ void ApplyTransductiveSplitOnPrefix(Dataset& dataset, size_t eligible_limit,
   for (size_t i = 0; i < test_count; ++i) {
     dataset.test_mask[rest[val_count + i]] = 1.0f;
   }
-  dataset.Validate();
+  CheckValid(dataset);
 }
 
 void ApplyTransductiveSplit(Dataset& dataset, size_t train_per_class,
@@ -90,7 +97,7 @@ void ApplyInductiveSplit(Dataset& dataset, double train_fraction,
     }
   }
   dataset.inductive = true;
-  dataset.Validate();
+  CheckValid(dataset);
 }
 
 void ResampleTrainPerClass(Dataset& dataset, size_t train_per_class,
@@ -105,7 +112,7 @@ void ResampleTrainPerClass(Dataset& dataset, size_t train_per_class,
   }
   rng.Shuffle(eligible);
   PickPerClass(dataset, eligible, train_per_class, dataset.train_mask);
-  dataset.Validate();
+  CheckValid(dataset);
 }
 
 }  // namespace lasagne

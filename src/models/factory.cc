@@ -1,7 +1,9 @@
+#include <algorithm>
 #include <memory>
 #include <string>
 
 #include "common/check.h"
+#include "common/status.h"
 #include "core/lasagne_model.h"
 #include "models/attention.h"
 #include "models/gcn_family.h"
@@ -10,10 +12,14 @@
 #include "models/sampling_models.h"
 
 namespace lasagne {
+namespace {
 
-std::unique_ptr<Model> MakeModel(const std::string& name,
-                                 const Dataset& data,
-                                 const ModelConfig& config) {
+/// Constructs a model for a validated (name, config); the registry
+/// switch proper. Returns nullptr only for names missing from
+/// KnownModelNames(), which ValidateModelConfig rules out first.
+std::unique_ptr<Model> MakeModelImpl(const std::string& name,
+                                     const Dataset& data,
+                                     const ModelConfig& config) {
   if (name == "gcn") return std::make_unique<GcnModel>(data, config);
   if (name == "resgcn") return std::make_unique<ResGcnModel>(data, config);
   if (name == "densegcn") {
@@ -103,8 +109,71 @@ std::unique_ptr<Model> MakeModel(const std::string& name,
     return lasagne_variant(AggregatorKind::kStochastic, BaseConv::kGat,
                            true);
   }
-  LASAGNE_CHECK_MSG(false, "unknown model name: " << name);
   return nullptr;
+}
+
+}  // namespace
+
+Status ValidateModelConfig(const std::string& name, const Dataset& data,
+                           const ModelConfig& config) {
+  const std::vector<std::string> known = KnownModelNames();
+  if (std::find(known.begin(), known.end(), name) == known.end()) {
+    return NotFoundError("unknown model name: " + name);
+  }
+  if (data.num_nodes() == 0) {
+    return InvalidArgumentError("dataset is empty");
+  }
+  if (data.num_classes == 0) {
+    return InvalidArgumentError("dataset has no classes");
+  }
+  if (data.feature_dim() == 0) {
+    return InvalidArgumentError("dataset has no features");
+  }
+  if (config.depth == 0) {
+    return InvalidArgumentError("depth must be at least 1");
+  }
+  if (config.hidden_dim == 0) {
+    return InvalidArgumentError("hidden_dim must be at least 1");
+  }
+  if (!(config.dropout >= 0.0f && config.dropout < 1.0f)) {
+    return InvalidArgumentError("dropout must be in [0, 1), got " +
+                                std::to_string(config.dropout));
+  }
+  if (name == "gat" && config.heads == 0) {
+    return InvalidArgumentError("gat needs at least one attention head");
+  }
+  if (name == "appnp" && config.appnp_iterations == 0) {
+    return InvalidArgumentError("appnp needs at least one power iteration");
+  }
+  if ((name == "sgc" || name == "mixhop" || name == "ngcn") &&
+      config.power_k == 0) {
+    return InvalidArgumentError(name + " needs power_k >= 1");
+  }
+  if ((name == "clustergcn" || name == "gpnn") &&
+      config.num_partitions == 0) {
+    return InvalidArgumentError(name + " needs at least one partition");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<Model>> TryMakeModel(const std::string& name,
+                                              const Dataset& data,
+                                              const ModelConfig& config) {
+  LASAGNE_RETURN_IF_ERROR(ValidateModelConfig(name, data, config));
+  std::unique_ptr<Model> model = MakeModelImpl(name, data, config);
+  if (model == nullptr) {
+    return InternalError("validated model name '" + name +
+                         "' missing from the factory switch");
+  }
+  return model;
+}
+
+std::unique_ptr<Model> MakeModel(const std::string& name,
+                                 const Dataset& data,
+                                 const ModelConfig& config) {
+  StatusOr<std::unique_ptr<Model>> model = TryMakeModel(name, data, config);
+  LASAGNE_CHECK_MSG(model.ok(), model.status().ToString());
+  return std::move(model).value();
 }
 
 std::vector<std::string> KnownModelNames() {

@@ -7,6 +7,7 @@
 
 #include "autograd/ops.h"
 #include "autograd/variable.h"
+#include "common/status.h"
 #include "data/dataset.h"
 #include "nn/layers.h"
 
@@ -93,6 +94,19 @@ class Model {
 std::unique_ptr<Model> MakeModel(const std::string& name,
                                  const Dataset& data,
                                  const ModelConfig& config);
+
+/// Checks that `config` is usable with `name` (positive depth/width,
+/// dropout in [0, 1), a non-empty dataset, a known name, ...) without
+/// constructing anything. Returned errors name the offending field.
+Status ValidateModelConfig(const std::string& name, const Dataset& data,
+                           const ModelConfig& config);
+
+/// Error-returning variant of MakeModel: NotFound for unknown names,
+/// InvalidArgument for bad configs, instead of aborting. Preferred at
+/// API boundaries (CLI flags, experiment drivers).
+StatusOr<std::unique_ptr<Model>> TryMakeModel(const std::string& name,
+                                              const Dataset& data,
+                                              const ModelConfig& config);
 
 /// Names accepted by MakeModel, in a stable order.
 std::vector<std::string> KnownModelNames();

@@ -8,6 +8,15 @@
 
 namespace lasagne {
 
+/// Complete snapshot of an `Rng`'s internal state, used by the
+/// checkpointing layer so a resumed training run replays the exact
+/// random stream it would have seen uninterrupted.
+struct RngState {
+  uint64_t state = 0;
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 /// Deterministic pseudo-random number generator (SplitMix64 core).
 ///
 /// All randomness in the library flows through explicit `Rng` instances
@@ -60,6 +69,19 @@ class Rng {
   /// Derives an independent generator; handy for giving each repeat or
   /// each worker its own stream.
   Rng Split();
+
+  /// Captures the full generator state for checkpointing.
+  RngState SaveState() const {
+    return RngState{state_, has_cached_normal_, cached_normal_};
+  }
+
+  /// Restores a state captured by SaveState; the stream continues
+  /// bitwise-identically from the capture point.
+  void RestoreState(const RngState& s) {
+    state_ = s.state;
+    has_cached_normal_ = s.has_cached_normal;
+    cached_normal_ = s.cached_normal;
+  }
 
  private:
   uint64_t state_;

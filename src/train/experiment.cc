@@ -25,20 +25,47 @@ ExperimentResult RunRepeatedExperiment(const std::string& model_name,
                                        const TrainOptions& options,
                                        size_t repeats) {
   LASAGNE_CHECK_GT(repeats, 0u);
+  // Extra attempts granted to a trial whose run failed (diverged or
+  // could not be constructed) before it counts as a failed trial.
+  constexpr size_t kMaxRetriesPerTrial = 2;
   ExperimentResult result;
   std::vector<double> test_accs;
   std::vector<double> val_accs;
   std::vector<double> epoch_times;
   for (size_t r = 0; r < repeats; ++r) {
-    ModelConfig run_config = config;
-    run_config.seed = config.seed + 1000 * r + 17;
-    TrainOptions run_options = options;
-    run_options.seed = options.seed + 2000 * r + 31;
-    std::unique_ptr<Model> model = MakeModel(model_name, data, run_config);
-    TrainResult train = TrainModel(*model, run_options);
-    test_accs.push_back(train.test_accuracy * 100.0);
-    val_accs.push_back(train.best_val_accuracy * 100.0);
-    epoch_times.push_back(train.mean_epoch_time_ms);
+    bool trial_done = false;
+    for (size_t attempt = 0; attempt <= kMaxRetriesPerTrial && !trial_done;
+         ++attempt) {
+      // Retries perturb both seeds so the re-run draws fresh
+      // initialization and dropout/sampling streams.
+      ModelConfig run_config = config;
+      run_config.seed = config.seed + 1000 * r + 17 + 9973 * attempt;
+      TrainOptions run_options = options;
+      run_options.seed = options.seed + 2000 * r + 31 + 7919 * attempt;
+
+      StatusOr<std::unique_ptr<Model>> model =
+          TryMakeModel(model_name, data, run_config);
+      if (!model.ok()) {
+        result.trial_errors.push_back(
+            "trial " + std::to_string(r) + " attempt " +
+            std::to_string(attempt) + ": " + model.status().ToString());
+        continue;
+      }
+      TrainResult train = TrainModel(**model, run_options);
+      if (train.diverged) {
+        result.trial_errors.push_back(
+            "trial " + std::to_string(r) + " attempt " +
+            std::to_string(attempt) + ": diverged after " +
+            std::to_string(train.recoveries.size()) + " recoveries");
+        continue;
+      }
+      if (attempt > 0) ++result.retried_trials;
+      test_accs.push_back(train.test_accuracy * 100.0);
+      val_accs.push_back(train.best_val_accuracy * 100.0);
+      epoch_times.push_back(train.mean_epoch_time_ms);
+      trial_done = true;
+    }
+    if (!trial_done) ++result.failed_trials;
   }
   result.runs = test_accs;
   result.test_accuracy = MeanStd(test_accs);

@@ -25,11 +25,23 @@ struct ExperimentResult {
   Summary val_accuracy;       // in percent
   Summary epoch_time_ms;      // per-epoch wall clock
   std::vector<double> runs;   // raw per-run test accuracies (percent)
+
+  /// Per-trial isolation bookkeeping: trials that needed at least one
+  /// retry (diverged run or construction failure, re-attempted with a
+  /// perturbed seed), and trials that failed every attempt — those are
+  /// excluded from the summaries instead of killing the whole table.
+  size_t retried_trials = 0;
+  size_t failed_trials = 0;
+  std::vector<std::string> trial_errors;  // one note per failed attempt
 };
 
 /// Trains `model_name` on `data` `repeats` times (per-run seeds derived
 /// from config.seed) and summarizes the test accuracy, mirroring the
 /// paper's "run each method 10 times, report mean and std" protocol.
+/// Each trial is isolated: a diverged or unconstructible run is retried
+/// (up to 2 extra attempts with perturbed seeds) and, failing that,
+/// recorded in `failed_trials`/`trial_errors` while the remaining
+/// trials proceed.
 ExperimentResult RunRepeatedExperiment(const std::string& model_name,
                                        const Dataset& data,
                                        const ModelConfig& config,

@@ -27,6 +27,35 @@ AdamOptimizer::AdamOptimizer(std::vector<ag::Variable> params,
   }
 }
 
+AdamState AdamOptimizer::ExportState() const {
+  AdamState state;
+  state.step_count = step_count_;
+  state.m = m_;
+  state.v = v_;
+  return state;
+}
+
+Status AdamOptimizer::ImportState(const AdamState& state) {
+  if (state.m.size() != params_.size() ||
+      state.v.size() != params_.size()) {
+    return InvalidArgumentError(
+        "Adam state holds " + std::to_string(state.m.size()) + "/" +
+        std::to_string(state.v.size()) + " moment tensors for " +
+        std::to_string(params_.size()) + " parameters");
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (!state.m[i].SameShape(params_[i]->value()) ||
+        !state.v[i].SameShape(params_[i]->value())) {
+      return InvalidArgumentError("Adam moment shape mismatch at parameter " +
+                                  std::to_string(i));
+    }
+  }
+  step_count_ = state.step_count;
+  m_ = state.m;
+  v_ = state.v;
+  return Status::OK();
+}
+
 void AdamOptimizer::Step() {
   ++step_count_;
   const float bias1 =

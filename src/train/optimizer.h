@@ -4,8 +4,18 @@
 #include <vector>
 
 #include "autograd/variable.h"
+#include "common/status.h"
 
 namespace lasagne {
+
+/// Complete Adam bookkeeping state, exported for checkpointing and
+/// restored on resume so a continued run is bitwise-identical to an
+/// uninterrupted one.
+struct AdamState {
+  size_t step_count = 0;
+  std::vector<Tensor> m;  // first moments, one per parameter
+  std::vector<Tensor> v;  // second moments, one per parameter
+};
 
 /// First-order optimizer over a fixed parameter list.
 class Optimizer {
@@ -36,6 +46,19 @@ class AdamOptimizer : public Optimizer {
                 float beta2 = 0.999f, float epsilon = 1e-8f);
 
   void Step() override;
+
+  float learning_rate() const { return learning_rate_; }
+  /// Used by the trainer's divergence-recovery policy (LR backoff).
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  size_t step_count() const { return step_count_; }
+
+  /// Deep-copies the moment estimates and step counter.
+  AdamState ExportState() const;
+
+  /// Replaces the moment estimates and step counter. Fails with
+  /// InvalidArgument when the tensor count or shapes don't match the
+  /// parameter list.
+  Status ImportState(const AdamState& state);
 
  private:
   float learning_rate_;

@@ -2,8 +2,10 @@
 #define LASAGNE_TRAIN_TRAINER_H_
 
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "models/model.h"
 
 namespace lasagne {
@@ -24,6 +26,38 @@ struct TrainOptions {
   /// Optional per-epoch observer (runs after the optimizer step), e.g.
   /// the Fig. 6 mutual-information probe.
   std::function<void(size_t epoch, Model& model)> epoch_callback;
+
+  // -- Numerical health & divergence recovery ------------------------------
+
+  /// Global-norm gradient clipping threshold; 0 disables clipping.
+  float grad_clip_norm = 0.0f;
+  /// On a NaN/Inf loss, gradient or parameter, the trainer rolls back
+  /// to the last healthy epoch, multiplies the learning rate by
+  /// `recovery_lr_backoff`, and retries — at most this many times per
+  /// run before giving up (`TrainResult::diverged`).
+  size_t max_recoveries = 3;
+  float recovery_lr_backoff = 0.5f;
+
+  // -- Crash-safe checkpointing --------------------------------------------
+
+  /// When non-empty, a v2 checkpoint (parameters + Adam moments + RNG
+  /// + epoch counters) is written here every `checkpoint_interval`
+  /// epochs via an atomic temp-file+rename, so a killed run can resume.
+  std::string checkpoint_path;
+  size_t checkpoint_interval = 1;
+  /// Load `checkpoint_path` before training and continue from its
+  /// saved epoch (bitwise-identical Adam/RNG state). A missing file is
+  /// not an error — the run simply starts fresh — but a corrupt or
+  /// mismatched checkpoint is reported in `TrainResult::resume_status`
+  /// and the run starts fresh from epoch 0.
+  bool resume = false;
+};
+
+/// One divergence-recovery incident during training.
+struct RecoveryEvent {
+  size_t epoch = 0;           // epoch whose step was rolled back
+  std::string reason;         // e.g. "non-finite gradient"
+  float new_learning_rate = 0.0f;
 };
 
 /// Outcome of one training run.
@@ -36,6 +70,19 @@ struct TrainResult {
   double mean_epoch_time_ms = 0.0;
   std::vector<double> loss_history;
   std::vector<double> val_accuracy_history;
+
+  /// Divergence-recovery log (empty for a healthy run).
+  std::vector<RecoveryEvent> recoveries;
+  /// True when the recovery budget was exhausted and training stopped
+  /// on a non-finite state.
+  bool diverged = false;
+  /// First epoch executed by this run (> 0 after a successful resume).
+  size_t resumed_from_epoch = 0;
+  /// Outcome of the --resume checkpoint load (OK when not resuming).
+  Status resume_status;
+  /// Periodic checkpoint writes that failed (the run continues; the
+  /// previous checkpoint on disk stays valid).
+  size_t checkpoint_write_failures = 0;
 };
 
 /// Argmax accuracy of `logits` over nodes with mask > 0.
@@ -47,7 +94,10 @@ double MaskedAccuracy(const Tensor& logits,
 double EvaluateAccuracy(Model& model, const std::vector<float>& mask,
                         Rng& rng);
 
-/// Full training loop: Adam + early stopping on validation accuracy.
+/// Full training loop: Adam + early stopping on validation accuracy,
+/// with per-epoch NaN/Inf health scans, bounded rollback-and-backoff
+/// divergence recovery, and optional crash-safe checkpointing (see
+/// TrainOptions).
 TrainResult TrainModel(Model& model, const TrainOptions& options);
 
 }  // namespace lasagne

@@ -223,7 +223,7 @@ TEST(RegistryTest, AllSpecsLoadable) {
     Dataset d = LoadDataset(spec.name, 0.25, 1);
     EXPECT_GT(d.num_nodes(), 0u) << spec.name;
     EXPECT_EQ(d.name, spec.name);
-    d.Validate();
+    EXPECT_TRUE(d.Validate().ok()) << spec.name;
     EXPECT_EQ(d.inductive, spec.inductive) << spec.name;
   }
 }

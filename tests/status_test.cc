@@ -1,0 +1,104 @@
+#include "common/status.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace lasagne {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = DataLossError("checksum mismatch");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(status.message(), "checksum mismatch");
+  EXPECT_EQ(status.ToString(), "DATA_LOSS: checksum mismatch");
+}
+
+TEST(StatusTest, HelperConstructorsMapToCodes) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, WithContextPrefixesMessageKeepsCode) {
+  Status status = IOError("disk full").WithContext("saving ckpt");
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(status.message(), "saving ckpt: disk full");
+  // Context on OK is a no-op.
+  EXPECT_TRUE(Status::OK().WithContext("anything").ok());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = NotFoundError("no such thing");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MovesValueOut) {
+  StatusOr<std::string> result = std::string("payload");
+  ASSERT_TRUE(result.ok());
+  std::string taken = std::move(result).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+Status FailsWhen(bool fail) {
+  if (fail) return InvalidArgumentError("asked to fail");
+  return Status::OK();
+}
+
+Status Propagates(bool fail) {
+  LASAGNE_RETURN_IF_ERROR(FailsWhen(fail));
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Propagates(false).ok());
+  Status status = Propagates(true);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+StatusOr<int> MaybeInt(bool fail) {
+  if (fail) return DataLossError("gone");
+  return 7;
+}
+
+Status UsesAssignOrReturn(bool fail, int* out) {
+  LASAGNE_ASSIGN_OR_RETURN(int v, MaybeInt(fail));
+  *out = v + 1;
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, AssignOrReturnUnwrapsAndPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(false, &out).ok());
+  EXPECT_EQ(out, 8);
+  EXPECT_EQ(UsesAssignOrReturn(true, &out).code(), StatusCode::kDataLoss);
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorAborts) {
+  StatusOr<int> result = InternalError("boom");
+  EXPECT_DEATH((void)result.value(), "StatusOr::value on error");
+}
+
+}  // namespace
+}  // namespace lasagne

@@ -1,12 +1,15 @@
 // Command-line driver: train any model in the zoo on any registered
 // dataset (or a dataset loaded from TSV files) and report accuracy,
-// macro-F1 and timing. Also supports checkpointing and dataset export.
+// macro-F1 and timing. Also supports crash-safe checkpointing with
+// mid-run resume, divergence recovery, and dataset export.
 //
 // Examples:
 //   lasagne_run --model lasagne-stochastic --dataset cora --depth 5
 //   lasagne_run --model gcn --dataset pubmed --repeats 5
-//   lasagne_run --model lasagne-maxpool --dataset flickr \
-//               --save /tmp/ckpt.txt
+//   lasagne_run --model lasagne-maxpool --dataset flickr
+//               --checkpoint /tmp/run.ckpt --checkpoint-interval 10
+//   lasagne_run --model lasagne-maxpool --dataset flickr
+//               --checkpoint /tmp/run.ckpt --resume
 //   lasagne_run --list-models
 //   lasagne_run --export-dataset /tmp/cora --dataset cora
 
@@ -30,8 +33,13 @@ struct Flags {
   std::string dataset = "cora";
   std::string load_prefix;      // --from-files: TSV prefix
   std::string export_prefix;    // --export-dataset
-  std::string save_checkpoint;  // --save
-  std::string load_checkpoint;  // --load
+  std::string save_checkpoint;  // --save: final parameters
+  std::string load_checkpoint;  // --load: skip training, evaluate
+  std::string checkpoint;       // --checkpoint: periodic trainer state
+  size_t checkpoint_interval = 1;
+  bool resume = false;
+  size_t max_recoveries = 3;
+  double grad_clip = 0.0;
   size_t depth = 4;
   size_t hidden = 32;
   double dropout = 0.5;
@@ -55,6 +63,8 @@ void PrintUsage() {
       "                   [--lr F] [--weight-decay F] [--epochs N]\n"
       "                   [--patience N] [--repeats N] [--scale F]\n"
       "                   [--seed N] [--save PATH] [--load PATH]\n"
+      "                   [--checkpoint PATH] [--checkpoint-interval N]\n"
+      "                   [--resume] [--max-recoveries N] [--grad-clip F]\n"
       "                   [--export-dataset PREFIX] [--verbose]\n"
       "                   [--list-models] [--list-datasets]\n");
 }
@@ -82,9 +92,11 @@ bool ParseFlags(int argc, char** argv, Flags& flags) {
     STRING_FLAG("--export-dataset", export_prefix)
     STRING_FLAG("--save", save_checkpoint)
     STRING_FLAG("--load", load_checkpoint)
+    STRING_FLAG("--checkpoint", checkpoint)
 #undef STRING_FLAG
     if (arg == "--depth" || arg == "--hidden" || arg == "--epochs" ||
-        arg == "--patience" || arg == "--repeats" || arg == "--seed") {
+        arg == "--patience" || arg == "--repeats" || arg == "--seed" ||
+        arg == "--checkpoint-interval" || arg == "--max-recoveries") {
       const char* v = next(arg.c_str());
       if (v == nullptr) return false;
       const size_t value = static_cast<size_t>(std::atoll(v));
@@ -94,10 +106,12 @@ bool ParseFlags(int argc, char** argv, Flags& flags) {
       if (arg == "--patience") flags.patience = value;
       if (arg == "--repeats") flags.repeats = value;
       if (arg == "--seed") flags.seed = value;
+      if (arg == "--checkpoint-interval") flags.checkpoint_interval = value;
+      if (arg == "--max-recoveries") flags.max_recoveries = value;
       continue;
     }
     if (arg == "--dropout" || arg == "--lr" || arg == "--weight-decay" ||
-        arg == "--scale") {
+        arg == "--scale" || arg == "--grad-clip") {
       const char* v = next(arg.c_str());
       if (v == nullptr) return false;
       const double value = std::atof(v);
@@ -105,10 +119,15 @@ bool ParseFlags(int argc, char** argv, Flags& flags) {
       if (arg == "--lr") flags.learning_rate = value;
       if (arg == "--weight-decay") flags.weight_decay = value;
       if (arg == "--scale") flags.scale = value;
+      if (arg == "--grad-clip") flags.grad_clip = value;
       continue;
     }
     if (arg == "--verbose") {
       flags.verbose = true;
+      continue;
+    }
+    if (arg == "--resume") {
+      flags.resume = true;
       continue;
     }
     if (arg == "--list-models") {
@@ -126,7 +145,30 @@ bool ParseFlags(int argc, char** argv, Flags& flags) {
     std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
     return false;
   }
+  if (flags.resume && flags.checkpoint.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint PATH\n");
+    return false;
+  }
   return true;
+}
+
+void ReportFaultEvents(const lasagne::TrainResult& result) {
+  if (!result.resume_status.ok()) {
+    std::fprintf(stderr, "warning: resume failed, trained from scratch: %s\n",
+                 result.resume_status.ToString().c_str());
+  }
+  if (result.resumed_from_epoch > 0) {
+    std::printf("resumed from epoch %zu\n", result.resumed_from_epoch);
+  }
+  for (const lasagne::RecoveryEvent& event : result.recoveries) {
+    std::printf("recovered at epoch %zu (%s), lr backed off to %g\n",
+                event.epoch, event.reason.c_str(),
+                event.new_learning_rate);
+  }
+  if (result.checkpoint_write_failures > 0) {
+    std::fprintf(stderr, "warning: %zu checkpoint write(s) failed\n",
+                 result.checkpoint_write_failures);
+  }
 }
 
 }  // namespace
@@ -154,12 +196,22 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  Dataset data = flags.load_prefix.empty()
-                     ? LoadDataset(flags.dataset, flags.scale, flags.seed)
-                     : LoadDatasetFromFiles(flags.load_prefix);
-  if (data.num_nodes() == 0) {
-    std::fprintf(stderr, "failed to load dataset\n");
-    return 1;
+  Dataset data;
+  if (flags.load_prefix.empty()) {
+    data = LoadDataset(flags.dataset, flags.scale, flags.seed);
+    if (data.num_nodes() == 0) {
+      std::fprintf(stderr, "failed to load dataset %s\n",
+                   flags.dataset.c_str());
+      return 1;
+    }
+  } else {
+    StatusOr<Dataset> loaded = TryLoadDatasetFromFiles(flags.load_prefix);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "failed to load dataset: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    data = std::move(loaded).value();
   }
   std::printf("dataset %s: %zu nodes, %zu edges, %zu classes, "
               "%zu/%zu/%zu split\n",
@@ -168,8 +220,10 @@ int main(int argc, char** argv) {
               data.ValNodes().size(), data.TestNodes().size());
 
   if (!flags.export_prefix.empty()) {
-    if (!SaveDatasetToFiles(data, flags.export_prefix)) {
-      std::fprintf(stderr, "export failed\n");
+    Status exported = ExportDatasetToFiles(data, flags.export_prefix);
+    if (!exported.ok()) {
+      std::fprintf(stderr, "export failed: %s\n",
+                   exported.ToString().c_str());
       return 1;
     }
     std::printf("exported dataset to %s.{graph,features,labels,splits}\n",
@@ -189,6 +243,11 @@ int main(int argc, char** argv) {
   options.weight_decay = static_cast<float>(flags.weight_decay);
   options.seed = flags.seed + 1;
   options.verbose = flags.verbose;
+  options.grad_clip_norm = static_cast<float>(flags.grad_clip);
+  options.max_recoveries = flags.max_recoveries;
+  options.checkpoint_path = flags.checkpoint;
+  options.checkpoint_interval = flags.checkpoint_interval;
+  options.resume = flags.resume;
 
   if (flags.repeats > 1) {
     ExperimentResult result = RunRepeatedExperiment(
@@ -199,18 +258,43 @@ int main(int argc, char** argv) {
                 result.test_accuracy.mean, result.test_accuracy.std_dev,
                 result.val_accuracy.mean, result.val_accuracy.std_dev,
                 result.epoch_time_ms.mean);
+    if (result.retried_trials > 0 || result.failed_trials > 0) {
+      std::printf("trial isolation: %zu retried, %zu failed of %zu\n",
+                  result.retried_trials, result.failed_trials,
+                  flags.repeats);
+      for (const std::string& note : result.trial_errors) {
+        std::fprintf(stderr, "  %s\n", note.c_str());
+      }
+    }
     return 0;
   }
 
-  std::unique_ptr<Model> model = MakeModel(flags.model, data, config);
+  StatusOr<std::unique_ptr<Model>> made =
+      TryMakeModel(flags.model, data, config);
+  if (!made.ok()) {
+    std::fprintf(stderr, "cannot build model: %s\n",
+                 made.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Model> model = std::move(made).value();
+
   if (!flags.load_checkpoint.empty()) {
-    if (!LoadModel(*model, flags.load_checkpoint)) {
-      std::fprintf(stderr, "failed to load checkpoint\n");
+    Status loaded = LoadModelCheckpoint(*model, flags.load_checkpoint);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "failed to load checkpoint: %s\n",
+                   loaded.ToString().c_str());
       return 1;
     }
     std::printf("loaded checkpoint %s\n", flags.load_checkpoint.c_str());
   } else {
     TrainResult result = TrainModel(*model, options);
+    ReportFaultEvents(result);
+    if (result.diverged) {
+      std::fprintf(stderr,
+                   "training diverged after %zu recoveries; results below "
+                   "reflect the last healthy parameters\n",
+                   result.recoveries.size());
+    }
     std::printf("trained %zu epochs, best val %.1f%%\n",
                 result.epochs_run, 100.0 * result.best_val_accuracy);
   }
@@ -228,8 +312,10 @@ int main(int argc, char** argv) {
   }
 
   if (!flags.save_checkpoint.empty()) {
-    if (!SaveModel(*model, flags.save_checkpoint)) {
-      std::fprintf(stderr, "failed to save checkpoint\n");
+    Status saved = SaveModelCheckpoint(*model, flags.save_checkpoint);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "failed to save checkpoint: %s\n",
+                   saved.ToString().c_str());
       return 1;
     }
     std::printf("saved checkpoint %s\n", flags.save_checkpoint.c_str());

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds the tree with ASan+UBSan (-DLASAGNE_SANITIZE=ON) and runs the
+# full ctest suite under the sanitizers. Intended for CI and for
+# shaking out the fault-tolerance / recovery paths locally:
+#
+#   tools/run_sanitized_tests.sh [extra ctest args...]
+#
+# Uses a separate build directory (build-sanitize by default; override
+# with BUILD_DIR=...) so the regular build stays untouched.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-sanitize}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
+  -DLASAGNE_SANITIZE=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error keeps CI signal crisp; detect_leaks stays on by default.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
