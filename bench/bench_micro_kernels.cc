@@ -3,11 +3,15 @@
 // aggregators, GC-FM, edge softmax (GAT) and the MI estimator.
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "autograd/fm_op.h"
 #include "autograd/ops.h"
+#include "common/bench_util.h"
+#include "common/thread_pool.h"
 #include "core/aggregators.h"
 #include "core/gcfm.h"
 #include "data/registry.h"
@@ -143,7 +147,91 @@ void BM_NormalizedAdjacency(benchmark::State& state) {
 }
 BENCHMARK(BM_NormalizedAdjacency);
 
+// -- Thread-count sweeps on a >= 10k-node graph ----------------------------
+//
+// The sweep drives the parallel compute layer (docs/THREADING.md); the
+// benchmark argument is the thread count. Outputs are
+// bitwise-identical across thread counts (asserted in
+// tests/parallel_determinism_test.cc); only wall clock should move, and
+// only on machines with that many physical cores.
+
+struct LargeFixture {
+  LargeFixture() : data(LoadDataset("pubmed", 1.0, 1)) {
+    a_hat = std::make_shared<CsrMatrix>(data.graph.NormalizedAdjacency());
+    Rng rng(11);
+    h = Tensor::Normal(data.num_nodes(), 64, 0.0f, 1.0f, rng);
+    w = Tensor::Normal(64, 64, 0.0f, 1.0f, rng);
+  }
+  Dataset data;
+  std::shared_ptr<CsrMatrix> a_hat;
+  Tensor h;
+  Tensor w;
+};
+
+LargeFixture& GetLargeFixture() {
+  static LargeFixture& fixture = *new LargeFixture();
+  return fixture;
+}
+
+void BM_DenseGemmLarge(benchmark::State& state) {
+  LargeFixture& f = GetLargeFixture();
+  SetNumThreads(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.h.MatMul(f.w));
+  }
+  state.SetItemsProcessed(state.iterations() * f.h.rows() * 64 * 64);
+  SetNumThreads(0);
+}
+BENCHMARK(BM_DenseGemmLarge)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SpMMLarge(benchmark::State& state) {
+  LargeFixture& f = GetLargeFixture();
+  SetNumThreads(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.a_hat->Multiply(f.h));
+  }
+  state.SetItemsProcessed(state.iterations() * f.a_hat->nnz() * 64);
+  SetNumThreads(0);
+}
+BENCHMARK(BM_SpMMLarge)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_TransposedSpMMLarge(benchmark::State& state) {
+  LargeFixture& f = GetLargeFixture();
+  SetNumThreads(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.a_hat->TransposedMultiply(f.h));
+  }
+  state.SetItemsProcessed(state.iterations() * f.a_hat->nnz() * 64);
+  SetNumThreads(0);
+}
+BENCHMARK(BM_TransposedSpMMLarge)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
+
 }  // namespace
 }  // namespace lasagne
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  lasagne::bench::ApplyThreadsFlag(argc, argv);
+  // Strip --threads N before handing argv to google-benchmark, which
+  // rejects flags it does not know.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (i + 1 < argc && std::string(argv[i]) == "--threads") {
+      ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
+
+#include "common/thread_pool.h"
 
 namespace lasagne::bench {
 
@@ -19,6 +22,16 @@ int BenchRepeats() {
   if (env == nullptr) return 3;
   int v = std::atoi(env);
   return v > 0 ? v : 3;
+}
+
+size_t ApplyThreadsFlag(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      const long v = std::atol(argv[i + 1]);
+      if (v > 0) lasagne::SetNumThreads(static_cast<size_t>(v));
+    }
+  }
+  return lasagne::GetNumThreads();
 }
 
 std::string FormatMeanStd(double mean, double std_dev, int precision) {
@@ -73,8 +86,9 @@ void PrintBanner(const std::string& title, const std::string& paper_ref) {
   std::printf("Reproduces: %s\n", paper_ref.c_str());
   std::printf("Data: synthetic stand-ins (see DESIGN.md §1); compare the\n");
   std::printf("SHAPE (ordering / trends) with the paper, not absolute values.\n");
-  std::printf("Scale=%.2f repeats=%d (env LASAGNE_BENCH_SCALE / _REPEATS)\n",
-              BenchScale(), BenchRepeats());
+  std::printf("Scale=%.2f repeats=%d threads=%zu (env LASAGNE_BENCH_SCALE /\n"
+              "_REPEATS, --threads or LASAGNE_NUM_THREADS)\n",
+              BenchScale(), BenchRepeats(), lasagne::GetNumThreads());
   std::printf("==============================================================\n");
 }
 

@@ -17,6 +17,12 @@ double BenchScale();
 /// LASAGNE_BENCH_REPEATS (default 3; the paper uses 10).
 int BenchRepeats();
 
+/// Scans argv for `--threads N` and applies it via lasagne::SetNumThreads
+/// (LASAGNE_NUM_THREADS still applies when the flag is absent). Returns
+/// the active thread count. Every bench main calls this so Fig. 7 and
+/// the micro-kernels can report thread-count sweeps.
+size_t ApplyThreadsFlag(int argc, char** argv);
+
 /// A "mean +- std" cell, formatted like the paper's tables.
 std::string FormatMeanStd(double mean, double std_dev, int precision = 1);
 

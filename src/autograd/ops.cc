@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace lasagne::ag {
 
@@ -753,12 +754,26 @@ Variable BinaryCrossEntropyWithLogits(const Variable& logits,
   LASAGNE_CHECK_GT(total, 0u);
   auto sig = std::make_shared<Tensor>(logits->value().Map(
       [](float v) { return 1.0f / (1.0f + std::exp(-v)); }));
-  double loss = 0.0;
-  for (size_t i = 0; i < total; ++i) {
-    const float p = std::clamp(sig->data()[i], 1e-7f, 1.0f - 1e-7f);
-    const float t = targets.data()[i];
-    loss -= t * std::log(p) + (1.0f - t) * std::log(1.0f - p);
-  }
+  // Numerically stable form: taking log of the sigmoid output produces
+  // NaN/-inf once |logit| pushes the sigmoid to exactly 0 or 1 (around
+  // |x| ~ 17 in float32). The algebraically equivalent
+  //   max(x, 0) - x*t + log1p(exp(-|x|))
+  // stays finite for every logit; the gradient is unchanged:
+  // sigmoid(x) - t.
+  const float* x_data = logits->value().data();
+  const float* t_data = targets.data();
+  const double loss =
+      ParallelReduce(0, total, 32768, [&](size_t begin, size_t end) {
+        double acc = 0.0;
+        for (size_t i = begin; i < end; ++i) {
+          const float x = x_data[i];
+          const float t = t_data[i];
+          acc += static_cast<double>(std::max(x, 0.0f)) -
+                 static_cast<double>(x) * t +
+                 std::log1p(std::exp(-std::fabs(static_cast<double>(x))));
+        }
+        return acc;
+      });
   Tensor y(1, 1);
   y(0, 0) = static_cast<float>(loss / static_cast<double>(total));
   Variable out =
@@ -768,9 +783,11 @@ Variable BinaryCrossEntropyWithLogits(const Variable& logits,
   out->set_backward_fn([pl, sig, targets_ptr, total](const Tensor& g) {
     const float scale = g(0, 0) / static_cast<float>(total);
     Tensor dx(pl->rows(), pl->cols());
-    for (size_t i = 0; i < total; ++i) {
-      dx.data()[i] = scale * (sig->data()[i] - targets_ptr->data()[i]);
-    }
+    ParallelFor(0, total, 32768, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        dx.data()[i] = scale * (sig->data()[i] - targets_ptr->data()[i]);
+      }
+    });
     pl->AccumulateGrad(dx);
   });
   return out;

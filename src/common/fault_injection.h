@@ -46,6 +46,14 @@ class FaultInjector {
   /// returns true when `epoch` matches the armed epoch.
   bool ConsumeNanGradient(size_t epoch);
 
+  /// True while any fault is armed. Coarse-grained parallelism (e.g.
+  /// concurrent experiment trials) falls back to serial execution when
+  /// faults are armed, since which trial consumes an armed count would
+  /// otherwise be a race.
+  bool AnyArmed() const {
+    return write_failures_armed_ > 0 || nan_gradients_armed_ > 0;
+  }
+
   // -- Observability -------------------------------------------------------
 
   size_t write_failures_injected() const { return write_failures_injected_; }

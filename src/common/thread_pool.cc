@@ -1,0 +1,197 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace lasagne {
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+
+// Resolved once: LASAGNE_NUM_THREADS wins, then the hardware count.
+size_t DefaultNumThreads() {
+  static const size_t cached = [] {
+    if (const char* env = std::getenv("LASAGNE_NUM_THREADS")) {
+      const long v = std::atol(env);
+      if (v > 0) return static_cast<size_t>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<size_t>(hw > 0 ? hw : 1);
+  }();
+  return cached;
+}
+
+}  // namespace
+
+namespace internal {
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool& pool = *new ThreadPool();
+  return pool;
+}
+
+ThreadPool::ThreadPool() = default;
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+size_t ThreadPool::num_threads() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return requested_threads_ > 0 ? requested_threads_ : DefaultNumThreads();
+}
+
+void ThreadPool::SetNumThreads(size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  requested_threads_ = n;
+}
+
+void ThreadPool::EnsureWorkers() {
+  // Called with region_mutex_ held (no region in flight), so joining
+  // idle workers cannot deadlock against task execution.
+  size_t target;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const size_t total =
+        requested_threads_ > 0 ? requested_threads_ : DefaultNumThreads();
+    target = total - 1;  // the caller is the extra participant
+    if (workers_.size() == target) return;
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = false;
+  }
+  workers_.reserve(target);
+  for (size_t i = 0; i < target; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::Run(size_t num_tasks,
+                     const std::function<void(size_t)>& task) {
+  if (num_tasks == 0) return;
+  std::lock_guard<std::mutex> region(region_mutex_);
+  EnsureWorkers();
+  if (workers_.empty()) {
+    ParallelRegionGuard guard;
+    for (size_t i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &task;
+    num_tasks_ = num_tasks;
+    next_task_ = 0;
+    remaining_ = num_tasks;
+  }
+  work_cv_.notify_all();
+  RunTasks();
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  task_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] {
+        return shutdown_ || (task_ != nullptr && next_task_ < num_tasks_);
+      });
+      if (shutdown_) return;
+    }
+    RunTasks();
+  }
+}
+
+void ThreadPool::RunTasks() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (task_ != nullptr && next_task_ < num_tasks_) {
+    const size_t index = next_task_++;
+    const std::function<void(size_t)>* task = task_;
+    lock.unlock();
+    {
+      ParallelRegionGuard guard;
+      (*task)(index);
+    }
+    lock.lock();
+    if (--remaining_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace internal
+
+void SetNumThreads(size_t n) { internal::ThreadPool::Global().SetNumThreads(n); }
+
+size_t GetNumThreads() { return internal::ThreadPool::Global().num_threads(); }
+
+bool InParallelRegion() { return t_in_parallel_region; }
+
+ParallelRegionGuard::ParallelRegionGuard()
+    : previous_(t_in_parallel_region) {
+  t_in_parallel_region = true;
+}
+
+ParallelRegionGuard::~ParallelRegionGuard() {
+  t_in_parallel_region = previous_;
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  const size_t range = end - begin;
+  if (grain == 0) grain = 1;
+  const size_t max_chunks = (range + grain - 1) / grain;
+  if (max_chunks <= 1 || t_in_parallel_region || GetNumThreads() <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const size_t num_chunks = std::min(GetNumThreads(), max_chunks);
+  const size_t base = range / num_chunks;
+  const size_t extra = range % num_chunks;
+  internal::ThreadPool::Global().Run(num_chunks, [&](size_t i) {
+    const size_t chunk_begin =
+        begin + i * base + std::min<size_t>(i, extra);
+    const size_t chunk_end = chunk_begin + base + (i < extra ? 1 : 0);
+    fn(chunk_begin, chunk_end);
+  });
+}
+
+double ParallelReduce(size_t begin, size_t end, size_t grain,
+                      const std::function<double(size_t, size_t)>& chunk_fn) {
+  if (end <= begin) return 0.0;
+  if (grain == 0) grain = 1;
+  const size_t range = end - begin;
+  const size_t num_chunks = (range + grain - 1) / grain;
+  auto chunk_bounds = [&](size_t i) {
+    const size_t b = begin + i * grain;
+    return std::pair<size_t, size_t>(b, std::min(b + grain, end));
+  };
+  if (num_chunks == 1 || t_in_parallel_region || GetNumThreads() <= 1) {
+    double total = 0.0;
+    for (size_t i = 0; i < num_chunks; ++i) {
+      const auto [b, e] = chunk_bounds(i);
+      total += chunk_fn(b, e);
+    }
+    return total;
+  }
+  std::vector<double> partials(num_chunks, 0.0);
+  internal::ThreadPool::Global().Run(num_chunks, [&](size_t i) {
+    const auto [b, e] = chunk_bounds(i);
+    partials[i] = chunk_fn(b, e);
+  });
+  double total = 0.0;
+  for (double p : partials) total += p;
+  return total;
+}
+
+}  // namespace lasagne

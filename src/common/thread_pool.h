@@ -1,0 +1,117 @@
+#ifndef LASAGNE_COMMON_THREAD_POOL_H_
+#define LASAGNE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lasagne {
+
+/// Sets the number of threads used by ParallelFor / ParallelReduce.
+/// `n == 0` restores the default (the LASAGNE_NUM_THREADS environment
+/// variable if set, otherwise std::thread::hardware_concurrency()).
+/// Safe to call at any time outside a parallel region; the global pool
+/// is resized lazily before the next parallel call.
+void SetNumThreads(size_t n);
+
+/// Number of threads parallel kernels will use (>= 1).
+size_t GetNumThreads();
+
+/// True when the calling thread is already inside a parallel region (a
+/// ParallelFor/ParallelReduce task, or a scope holding a
+/// ParallelRegionGuard). Nested parallel calls run inline and serial.
+bool InParallelRegion();
+
+/// RAII marker that makes every ParallelFor/ParallelReduce issued from
+/// the current thread run inline and serial for the guard's lifetime.
+/// Used by coarse-grained parallelism (e.g. concurrent experiment
+/// trials) so inner kernels do not oversubscribe the machine and each
+/// trial's arithmetic stays identical to a single-threaded run.
+class ParallelRegionGuard {
+ public:
+  ParallelRegionGuard();
+  ~ParallelRegionGuard();
+  ParallelRegionGuard(const ParallelRegionGuard&) = delete;
+  ParallelRegionGuard& operator=(const ParallelRegionGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Runs `fn(chunk_begin, chunk_end)` over a partition of [begin, end).
+///
+/// Determinism contract: the partition is a pure function of
+/// (begin, end, grain) and the thread count only decides which thread
+/// executes which chunk. A kernel whose chunks write disjoint outputs
+/// (each output element produced by exactly one chunk, inner loops in a
+/// fixed order) therefore produces results bitwise-identical to the
+/// serial loop at every thread count.
+///
+/// Ranges of `grain` elements or fewer, nested calls and 1-thread pools
+/// run `fn(begin, end)` inline on the caller. `fn` must be safe to
+/// invoke concurrently from multiple threads.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+/// Ordered parallel reduction: splits [begin, end) into fixed chunks of
+/// exactly `grain` elements (the last chunk may be short), evaluates
+/// `chunk_fn(chunk_begin, chunk_end) -> double` for each, and returns
+/// the chunk partials summed in ascending chunk order.
+///
+/// Because the chunk boundaries depend only on `grain` — never on the
+/// thread count — the float association is fixed and the result is
+/// bitwise-identical at 1, 2 or N threads.
+double ParallelReduce(size_t begin, size_t end, size_t grain,
+                      const std::function<double(size_t, size_t)>& chunk_fn);
+
+namespace internal {
+
+/// Lazily-initialized global worker pool behind ParallelFor. Exposed
+/// for tests; library code should use the free functions above.
+class ThreadPool {
+ public:
+  static ThreadPool& Global();
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Threads participating in a region (workers + the calling thread).
+  size_t num_threads();
+
+  /// Requests `n` total threads (0 = default). Applied lazily.
+  void SetNumThreads(size_t n);
+
+  /// Runs `task(i)` for i in [0, num_tasks), blocking until all tasks
+  /// finish. The calling thread participates. Regions are serialized:
+  /// concurrent callers take turns.
+  void Run(size_t num_tasks, const std::function<void(size_t)>& task);
+
+ private:
+  ThreadPool();
+
+  void EnsureWorkers();   // spawns/reaps workers to match the request
+  void WorkerLoop();
+  void RunTasks();        // claims and runs tasks until the region drains
+
+  std::mutex region_mutex_;  // one parallel region at a time
+
+  std::mutex mutex_;         // guards everything below
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  size_t requested_threads_ = 0;  // 0 = default
+  const std::function<void(size_t)>* task_ = nullptr;
+  size_t num_tasks_ = 0;
+  size_t next_task_ = 0;
+  size_t remaining_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace internal
+}  // namespace lasagne
+
+#endif  // LASAGNE_COMMON_THREAD_POOL_H_

@@ -5,8 +5,16 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace lasagne {
+
+namespace {
+
+// Elements of work per parallel chunk (see docs/THREADING.md).
+constexpr size_t kGrain = 32768;
+
+}  // namespace
 
 CsrMatrix CsrMatrix::FromTriplets(size_t rows, size_t cols,
                                   std::vector<Triplet> triplets) {
@@ -72,14 +80,22 @@ Tensor CsrMatrix::Multiply(const Tensor& dense) const {
   LASAGNE_CHECK_EQ(cols_, dense.rows());
   Tensor out(rows_, dense.cols());
   const size_t d = dense.cols();
-  for (size_t r = 0; r < rows_; ++r) {
-    float* out_row = out.RowPtr(r);
-    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const float v = values_[k];
-      const float* in_row = dense.RowPtr(col_idx_[k]);
-      for (size_t j = 0; j < d; ++j) out_row[j] += v * in_row[j];
+  // Row-partitioned SpMM: every output row keeps its serial
+  // accumulation order, so results are bitwise-identical to the serial
+  // loop at every thread count.
+  const size_t work_per_row =
+      (nnz() / std::max<size_t>(rows_, 1) + 1) * std::max<size_t>(d, 1);
+  const size_t grain = std::max<size_t>(1, kGrain / work_per_row);
+  ParallelFor(0, rows_, grain, [&](size_t row_begin, size_t row_end) {
+    for (size_t r = row_begin; r < row_end; ++r) {
+      float* out_row = out.RowPtr(r);
+      for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        const float v = values_[k];
+        const float* in_row = dense.RowPtr(col_idx_[k]);
+        for (size_t j = 0; j < d; ++j) out_row[j] += v * in_row[j];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -87,14 +103,26 @@ Tensor CsrMatrix::TransposedMultiply(const Tensor& dense) const {
   LASAGNE_CHECK_EQ(rows_, dense.rows());
   Tensor out(cols_, dense.cols());
   const size_t d = dense.cols();
-  for (size_t r = 0; r < rows_; ++r) {
-    const float* in_row = dense.RowPtr(r);
-    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const float v = values_[k];
-      float* out_row = out.RowPtr(col_idx_[k]);
-      for (size_t j = 0; j < d; ++j) out_row[j] += v * in_row[j];
+  // The scatter pattern (out[col_idx] += ...) races under a row
+  // partition, so partition the dense columns instead: each chunk owns
+  // the output column slice [col_begin, col_end) of every output row,
+  // writes are disjoint, and each output element accumulates in the
+  // serial ascending-r order — bitwise-identical at every thread count
+  // with no per-thread buffers or merge step.
+  const size_t col_grain =
+      std::max<size_t>(1, kGrain / std::max<size_t>(nnz(), 1));
+  ParallelFor(0, d, col_grain, [&](size_t col_begin, size_t col_end) {
+    for (size_t r = 0; r < rows_; ++r) {
+      const float* in_row = dense.RowPtr(r);
+      for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        const float v = values_[k];
+        float* out_row = out.RowPtr(col_idx_[k]);
+        for (size_t j = col_begin; j < col_end; ++j) {
+          out_row[j] += v * in_row[j];
+        }
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -118,8 +146,13 @@ CsrMatrix CsrMatrix::Multiply(const CsrMatrix& other, float prune_tolerance,
                               size_t row_cap) const {
   LASAGNE_CHECK_EQ(cols_, other.rows_);
   std::vector<Triplet> triplets;
-  // Gustavson's algorithm with a dense accumulator per row.
+  // Gustavson's algorithm with a dense accumulator per row. A column is
+  // "touched" when it is tracked explicitly — testing accumulator[c] ==
+  // 0.0f would re-add a column whose partial sums cancel to exactly
+  // zero mid-row, inflating the count toward row_cap (pruning real
+  // entries) and emitting duplicate triplets.
   std::vector<float> accumulator(other.cols_, 0.0f);
+  std::vector<uint8_t> is_touched(other.cols_, 0);
   std::vector<uint32_t> touched;
   for (size_t r = 0; r < rows_; ++r) {
     touched.clear();
@@ -129,7 +162,10 @@ CsrMatrix CsrMatrix::Multiply(const CsrMatrix& other, float prune_tolerance,
       for (size_t k2 = other.row_ptr_[mid]; k2 < other.row_ptr_[mid + 1];
            ++k2) {
         const uint32_t c = other.col_idx_[k2];
-        if (accumulator[c] == 0.0f) touched.push_back(c);
+        if (!is_touched[c]) {
+          is_touched[c] = 1;
+          touched.push_back(c);
+        }
         accumulator[c] += v * other.values_[k2];
       }
     }
@@ -142,12 +178,14 @@ CsrMatrix CsrMatrix::Multiply(const CsrMatrix& other, float prune_tolerance,
                        });
       for (size_t i = row_cap; i < touched.size(); ++i) {
         accumulator[touched[i]] = 0.0f;
+        is_touched[touched[i]] = 0;
       }
       touched.resize(row_cap);
     }
     for (uint32_t c : touched) {
       const float v = accumulator[c];
       accumulator[c] = 0.0f;
+      is_touched[c] = 0;
       if (std::fabs(v) > prune_tolerance) {
         triplets.push_back({static_cast<uint32_t>(r), c, v});
       }

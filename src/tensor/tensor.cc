@@ -6,8 +6,22 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace lasagne {
+
+namespace {
+
+// Elements of work per parallel chunk. Loops cheaper than this run
+// inline; see docs/THREADING.md for the grain-size heuristics.
+constexpr size_t kGrain = 32768;
+
+// Row grain for kernels whose per-row cost is `work_per_row` elements.
+size_t RowGrain(size_t work_per_row) {
+  return std::max<size_t>(1, kGrain / std::max<size_t>(1, work_per_row));
+}
+
+}  // namespace
 
 Tensor::Tensor(size_t rows, size_t cols, std::vector<float> data)
     : rows_(rows), cols_(cols), data_(std::move(data)) {
@@ -86,7 +100,9 @@ Tensor Tensor::operator-(const Tensor& other) const {
 Tensor Tensor::operator*(const Tensor& other) const {
   LASAGNE_CHECK(SameShape(other));
   Tensor out = *this;
-  for (size_t i = 0; i < out.size(); ++i) out.data_[i] *= other.data_[i];
+  ParallelFor(0, out.size(), kGrain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) out.data_[i] *= other.data_[i];
+  });
   return out;
 }
 
@@ -103,29 +119,41 @@ Tensor Tensor::operator/(float scalar) const {
 
 Tensor& Tensor::operator+=(const Tensor& other) {
   LASAGNE_CHECK(SameShape(other));
-  for (size_t i = 0; i < size(); ++i) data_[i] += other.data_[i];
+  ParallelFor(0, size(), kGrain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) data_[i] += other.data_[i];
+  });
   return *this;
 }
 
 Tensor& Tensor::operator-=(const Tensor& other) {
   LASAGNE_CHECK(SameShape(other));
-  for (size_t i = 0; i < size(); ++i) data_[i] -= other.data_[i];
+  ParallelFor(0, size(), kGrain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) data_[i] -= other.data_[i];
+  });
   return *this;
 }
 
 Tensor& Tensor::operator*=(float scalar) {
-  for (float& v : data_) v *= scalar;
+  ParallelFor(0, size(), kGrain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) data_[i] *= scalar;
+  });
   return *this;
 }
 
 void Tensor::Axpy(float alpha, const Tensor& other) {
   LASAGNE_CHECK(SameShape(other));
-  for (size_t i = 0; i < size(); ++i) data_[i] += alpha * other.data_[i];
+  ParallelFor(0, size(), kGrain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) data_[i] += alpha * other.data_[i];
+  });
 }
 
 Tensor Tensor::Map(const std::function<float(float)>& fn) const {
+  // `fn` may run concurrently from several threads; it must be
+  // re-entrant (every caller in the library passes a pure function).
   Tensor out = *this;
-  for (float& v : out.data_) v = fn(v);
+  ParallelFor(0, out.size(), kGrain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) out.data_[i] = fn(out.data_[i]);
+  });
   return out;
 }
 
@@ -135,16 +163,22 @@ Tensor Tensor::MatMul(const Tensor& other) const {
   const size_t k_dim = cols_;
   const size_t n_dim = other.cols_;
   // i-k-j loop order keeps the inner loop streaming over contiguous rows.
-  for (size_t i = 0; i < rows_; ++i) {
-    const float* a_row = RowPtr(i);
-    float* out_row = out.RowPtr(i);
-    for (size_t k = 0; k < k_dim; ++k) {
-      const float a_ik = a_row[k];
-      if (a_ik == 0.0f) continue;
-      const float* b_row = other.RowPtr(k);
-      for (size_t j = 0; j < n_dim; ++j) out_row[j] += a_ik * b_row[j];
+  // Row-partitioned: each output row is produced by exactly one chunk
+  // with the serial k-j order, so results are bitwise-identical to the
+  // serial loop at every thread count.
+  ParallelFor(0, rows_, RowGrain(k_dim * n_dim), [&](size_t row_begin,
+                                                     size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      const float* a_row = RowPtr(i);
+      float* out_row = out.RowPtr(i);
+      for (size_t k = 0; k < k_dim; ++k) {
+        const float a_ik = a_row[k];
+        if (a_ik == 0.0f) continue;
+        const float* b_row = other.RowPtr(k);
+        for (size_t j = 0; j < n_dim; ++j) out_row[j] += a_ik * b_row[j];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -152,47 +186,64 @@ Tensor Tensor::TransposedMatMul(const Tensor& other) const {
   LASAGNE_CHECK_EQ(rows_, other.rows_);
   Tensor out(cols_, other.cols_);
   const size_t n_dim = other.cols_;
-  for (size_t r = 0; r < rows_; ++r) {
-    const float* a_row = RowPtr(r);
-    const float* b_row = other.RowPtr(r);
-    for (size_t i = 0; i < cols_; ++i) {
-      const float a_ri = a_row[i];
-      if (a_ri == 0.0f) continue;
-      float* out_row = out.RowPtr(i);
-      for (size_t j = 0; j < n_dim; ++j) out_row[j] += a_ri * b_row[j];
+  // Partitioned over output rows (columns of `this`); the inner r loop
+  // keeps the serial ascending accumulation order per output element,
+  // so any thread count reproduces the serial result bitwise.
+  ParallelFor(0, cols_, RowGrain(rows_ * n_dim), [&](size_t col_begin,
+                                                     size_t col_end) {
+    for (size_t r = 0; r < rows_; ++r) {
+      const float* a_row = RowPtr(r);
+      const float* b_row = other.RowPtr(r);
+      for (size_t i = col_begin; i < col_end; ++i) {
+        const float a_ri = a_row[i];
+        if (a_ri == 0.0f) continue;
+        float* out_row = out.RowPtr(i);
+        for (size_t j = 0; j < n_dim; ++j) out_row[j] += a_ri * b_row[j];
+      }
     }
-  }
+  });
   return out;
 }
 
 Tensor Tensor::MatMulTransposed(const Tensor& other) const {
   LASAGNE_CHECK_EQ(cols_, other.cols_);
   Tensor out(rows_, other.rows_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const float* a_row = RowPtr(i);
-    float* out_row = out.RowPtr(i);
-    for (size_t j = 0; j < other.rows_; ++j) {
-      const float* b_row = other.RowPtr(j);
-      float acc = 0.0f;
-      for (size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
-      out_row[j] = acc;
+  ParallelFor(0, rows_, RowGrain(other.rows_ * cols_), [&](size_t row_begin,
+                                                           size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      const float* a_row = RowPtr(i);
+      float* out_row = out.RowPtr(i);
+      for (size_t j = 0; j < other.rows_; ++j) {
+        const float* b_row = other.RowPtr(j);
+        float acc = 0.0f;
+        for (size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
+        out_row[j] = acc;
+      }
     }
-  }
+  });
   return out;
 }
 
 Tensor Tensor::Transpose() const {
   Tensor out(cols_, rows_);
-  for (size_t i = 0; i < rows_; ++i) {
-    for (size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
-  }
+  ParallelFor(0, rows_, RowGrain(cols_), [&](size_t row_begin,
+                                             size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      for (size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+    }
+  });
   return out;
 }
 
 float Tensor::Sum() const {
-  double acc = 0.0;
-  for (float v : data_) acc += v;
-  return static_cast<float>(acc);
+  // Grain-sized chunks summed in ascending order: the association is a
+  // function of the size only, never of the thread count.
+  return static_cast<float>(
+      ParallelReduce(0, size(), kGrain, [&](size_t begin, size_t end) {
+        double acc = 0.0;
+        for (size_t i = begin; i < end; ++i) acc += data_[i];
+        return acc;
+      }));
 }
 
 float Tensor::Mean() const {
@@ -213,19 +264,27 @@ float Tensor::Max() const {
 float Tensor::Norm() const { return std::sqrt(SquaredNorm()); }
 
 float Tensor::SquaredNorm() const {
-  double acc = 0.0;
-  for (float v : data_) acc += static_cast<double>(v) * v;
-  return static_cast<float>(acc);
+  return static_cast<float>(
+      ParallelReduce(0, size(), kGrain, [&](size_t begin, size_t end) {
+        double acc = 0.0;
+        for (size_t i = begin; i < end; ++i) {
+          acc += static_cast<double>(data_[i]) * data_[i];
+        }
+        return acc;
+      }));
 }
 
 Tensor Tensor::RowSum() const {
   Tensor out(rows_, 1);
-  for (size_t i = 0; i < rows_; ++i) {
-    const float* row = RowPtr(i);
-    double acc = 0.0;
-    for (size_t j = 0; j < cols_; ++j) acc += row[j];
-    out(i, 0) = static_cast<float>(acc);
-  }
+  ParallelFor(0, rows_, RowGrain(cols_), [&](size_t row_begin,
+                                             size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      const float* row = RowPtr(i);
+      double acc = 0.0;
+      for (size_t j = 0; j < cols_; ++j) acc += row[j];
+      out(i, 0) = static_cast<float>(acc);
+    }
+  });
   return out;
 }
 

@@ -1,10 +1,28 @@
 #include "train/experiment.h"
 
 #include <cmath>
+#include <thread>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
+#include "common/thread_pool.h"
 
 namespace lasagne {
+
+namespace {
+
+// Everything one trial produces, merged into the ExperimentResult in
+// trial order so the summaries are independent of execution order.
+struct TrialOutcome {
+  bool done = false;
+  bool retried = false;
+  double test_acc = 0.0;
+  double val_acc = 0.0;
+  double epoch_ms = 0.0;
+  std::vector<std::string> errors;  // one note per failed attempt
+};
+
+}  // namespace
 
 Summary MeanStd(const std::vector<double>& values) {
   Summary s;
@@ -28,13 +46,11 @@ ExperimentResult RunRepeatedExperiment(const std::string& model_name,
   // Extra attempts granted to a trial whose run failed (diverged or
   // could not be constructed) before it counts as a failed trial.
   constexpr size_t kMaxRetriesPerTrial = 2;
-  ExperimentResult result;
-  std::vector<double> test_accs;
-  std::vector<double> val_accs;
-  std::vector<double> epoch_times;
-  for (size_t r = 0; r < repeats; ++r) {
-    bool trial_done = false;
-    for (size_t attempt = 0; attempt <= kMaxRetriesPerTrial && !trial_done;
+
+  std::vector<TrialOutcome> outcomes(repeats);
+  auto run_trial = [&](size_t r) {
+    TrialOutcome& outcome = outcomes[r];
+    for (size_t attempt = 0; attempt <= kMaxRetriesPerTrial && !outcome.done;
          ++attempt) {
       // Retries perturb both seeds so the re-run draws fresh
       // initialization and dropout/sampling streams.
@@ -46,26 +62,70 @@ ExperimentResult RunRepeatedExperiment(const std::string& model_name,
       StatusOr<std::unique_ptr<Model>> model =
           TryMakeModel(model_name, data, run_config);
       if (!model.ok()) {
-        result.trial_errors.push_back(
+        outcome.errors.push_back(
             "trial " + std::to_string(r) + " attempt " +
             std::to_string(attempt) + ": " + model.status().ToString());
         continue;
       }
       TrainResult train = TrainModel(**model, run_options);
       if (train.diverged) {
-        result.trial_errors.push_back(
+        outcome.errors.push_back(
             "trial " + std::to_string(r) + " attempt " +
             std::to_string(attempt) + ": diverged after " +
             std::to_string(train.recoveries.size()) + " recoveries");
         continue;
       }
-      if (attempt > 0) ++result.retried_trials;
-      test_accs.push_back(train.test_accuracy * 100.0);
-      val_accs.push_back(train.best_val_accuracy * 100.0);
-      epoch_times.push_back(train.mean_epoch_time_ms);
-      trial_done = true;
+      outcome.retried = attempt > 0;
+      outcome.test_acc = train.test_accuracy * 100.0;
+      outcome.val_acc = train.best_val_accuracy * 100.0;
+      outcome.epoch_ms = train.mean_epoch_time_ms;
+      outcome.done = true;
     }
-    if (!trial_done) ++result.failed_trials;
+  };
+
+  // Each trial owns an independent seeded RNG, so trials can run
+  // concurrently on their own threads. Kernels inside a trial worker
+  // run serially (ParallelRegionGuard), which keeps the machine at one
+  // trial per core and every trial's arithmetic identical to a
+  // single-threaded run — the summaries are bitwise-identical at any
+  // thread count. Serial fallbacks: a shared checkpoint path (trials
+  // would clobber one file) and armed fault injection (which trial
+  // consumes an armed fault would be a race).
+  const size_t trial_threads =
+      std::min<size_t>(GetNumThreads(), repeats);
+  const bool parallel_trials = trial_threads > 1 &&
+                               options.checkpoint_path.empty() &&
+                               !FaultInjector::Global().AnyArmed();
+  if (parallel_trials) {
+    std::vector<std::thread> workers;
+    workers.reserve(trial_threads);
+    for (size_t tid = 0; tid < trial_threads; ++tid) {
+      workers.emplace_back([&, tid] {
+        ParallelRegionGuard guard;
+        for (size_t r = tid; r < repeats; r += trial_threads) run_trial(r);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  } else {
+    for (size_t r = 0; r < repeats; ++r) run_trial(r);
+  }
+
+  ExperimentResult result;
+  std::vector<double> test_accs;
+  std::vector<double> val_accs;
+  std::vector<double> epoch_times;
+  for (size_t r = 0; r < repeats; ++r) {
+    const TrialOutcome& outcome = outcomes[r];
+    result.trial_errors.insert(result.trial_errors.end(),
+                               outcome.errors.begin(), outcome.errors.end());
+    if (!outcome.done) {
+      ++result.failed_trials;
+      continue;
+    }
+    if (outcome.retried) ++result.retried_trials;
+    test_accs.push_back(outcome.test_acc);
+    val_accs.push_back(outcome.val_acc);
+    epoch_times.push_back(outcome.epoch_ms);
   }
   result.runs = test_accs;
   result.test_accuracy = MeanStd(test_accs);

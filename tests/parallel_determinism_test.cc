@@ -1,0 +1,330 @@
+// Determinism suite for the parallel compute layer (docs/THREADING.md)
+// plus regression tests for the two numerical bugfixes that rode along
+// with it (saturated-logit BCE, SpGEMM row_cap with cancelling
+// entries). The contract under test: every parallel kernel produces
+// results bitwise-identical to its serial loop at 1, 2 and 8 threads.
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "common/thread_pool.h"
+#include "data/registry.h"
+#include "models/model.h"
+#include "sparse/csr_matrix.h"
+#include "tensor/tensor.h"
+#include "train/experiment.h"
+#include "train/trainer.h"
+
+namespace lasagne {
+namespace {
+
+// Restores the default thread count when a test exits, so tests stay
+// order-independent.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() = default;
+  ~ThreadCountGuard() { SetNumThreads(0); }
+};
+
+void ExpectBitwiseEqual(const Tensor& a, const Tensor& b,
+                        const char* what) {
+  ASSERT_TRUE(a.SameShape(b)) << what;
+  ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)))
+      << what << ": results differ across thread counts";
+}
+
+// Runs `fn` under each thread count and asserts every result is
+// bitwise-identical to the 1-thread result.
+template <typename Fn>
+void ExpectSameAcrossThreadCounts(Fn fn, const char* what) {
+  ThreadCountGuard guard;
+  SetNumThreads(1);
+  const Tensor reference = fn();
+  for (size_t threads : {2u, 8u}) {
+    SetNumThreads(threads);
+    ExpectBitwiseEqual(reference, fn(), what);
+  }
+}
+
+// -- Thread pool primitives ------------------------------------------------
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> counts(kN);
+  for (auto& c : counts) c.store(0);
+  ParallelFor(0, kN, 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) counts[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  EXPECT_FALSE(InParallelRegion());
+  std::atomic<int> outer_chunks{0};
+  std::atomic<int> inner_chunks{0};
+  ParallelFor(0, 8, 1, [&](size_t begin, size_t end) {
+    outer_chunks.fetch_add(1);
+    EXPECT_TRUE(InParallelRegion());
+    // The nested call must not re-enter the pool: one chunk, inline.
+    ParallelFor(0, 100, 1, [&](size_t b, size_t e) {
+      inner_chunks.fetch_add(1);
+      EXPECT_EQ(b, 0u);
+      EXPECT_EQ(e, 100u);
+    });
+    (void)begin;
+    (void)end;
+  });
+  EXPECT_FALSE(InParallelRegion());
+  EXPECT_GT(outer_chunks.load(), 1);
+  EXPECT_EQ(inner_chunks.load(), outer_chunks.load());
+}
+
+TEST(ThreadPoolTest, SetNumThreadsRoundTrips) {
+  ThreadCountGuard guard;
+  SetNumThreads(3);
+  EXPECT_EQ(GetNumThreads(), 3u);
+  SetNumThreads(0);
+  EXPECT_GE(GetNumThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelReduceIsThreadCountInvariant) {
+  ThreadCountGuard guard;
+  Rng rng(7);
+  // Big enough for several grain-sized chunks.
+  std::vector<double> values(100000);
+  for (double& v : values) v = rng.Uniform(-1.0, 1.0);
+  auto reduce = [&] {
+    return ParallelReduce(0, values.size(), 1024,
+                          [&](size_t begin, size_t end) {
+                            double acc = 0.0;
+                            for (size_t i = begin; i < end; ++i) {
+                              acc += values[i];
+                            }
+                            return acc;
+                          });
+  };
+  SetNumThreads(1);
+  const double reference = reduce();
+  for (size_t threads : {2u, 8u}) {
+    SetNumThreads(threads);
+    EXPECT_EQ(reduce(), reference) << threads << " threads";
+  }
+}
+
+// -- Kernel determinism across thread counts -------------------------------
+
+TEST(ParallelDeterminismTest, DenseMatMulVariants) {
+  Rng rng(11);
+  const Tensor a = Tensor::Normal(311, 70, 0.0f, 1.0f, rng);
+  const Tensor b = Tensor::Normal(70, 53, 0.0f, 1.0f, rng);
+  const Tensor c = Tensor::Normal(311, 53, 0.0f, 1.0f, rng);
+  const Tensor d = Tensor::Normal(41, 70, 0.0f, 1.0f, rng);
+  ExpectSameAcrossThreadCounts([&] { return a.MatMul(b); }, "MatMul");
+  ExpectSameAcrossThreadCounts([&] { return a.TransposedMatMul(c); },
+                               "TransposedMatMul");
+  ExpectSameAcrossThreadCounts([&] { return a.MatMulTransposed(d); },
+                               "MatMulTransposed");
+}
+
+TEST(ParallelDeterminismTest, ElementwiseAndReductions) {
+  Rng rng(13);
+  const Tensor a = Tensor::Normal(217, 401, 0.0f, 1.0f, rng);
+  const Tensor b = Tensor::Normal(217, 401, 0.0f, 1.0f, rng);
+  ExpectSameAcrossThreadCounts([&] { return a + b; }, "Add");
+  ExpectSameAcrossThreadCounts([&] { return a * b; }, "Hadamard");
+  ExpectSameAcrossThreadCounts(
+      [&] { return a.Map([](float v) { return std::tanh(v); }); }, "Map");
+  ExpectSameAcrossThreadCounts([&] { return a.Transpose(); }, "Transpose");
+  ExpectSameAcrossThreadCounts([&] { return a.RowSum(); }, "RowSum");
+  ThreadCountGuard guard;
+  SetNumThreads(1);
+  const float sum = a.Sum();
+  const float sq = a.SquaredNorm();
+  for (size_t threads : {2u, 8u}) {
+    SetNumThreads(threads);
+    EXPECT_EQ(a.Sum(), sum) << threads << " threads";
+    EXPECT_EQ(a.SquaredNorm(), sq) << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminismTest, SparseMultiplyKernels) {
+  Rng rng(17);
+  Tensor dense_matrix = Tensor::Normal(509, 367, 0.0f, 1.0f, rng);
+  // Sparsify to ~8% so rows have uneven nnz.
+  for (size_t i = 0; i < dense_matrix.size(); ++i) {
+    if (rng.Uniform() > 0.08) dense_matrix.data()[i] = 0.0f;
+  }
+  const CsrMatrix m = CsrMatrix::FromDense(dense_matrix);
+  ASSERT_GT(m.nnz(), 0u);
+  const Tensor x = Tensor::Normal(367, 61, 0.0f, 1.0f, rng);
+  const Tensor y = Tensor::Normal(509, 61, 0.0f, 1.0f, rng);
+  ExpectSameAcrossThreadCounts([&] { return m.Multiply(x); }, "SpMM");
+  ExpectSameAcrossThreadCounts([&] { return m.TransposedMultiply(y); },
+                               "TransposedSpMM");
+}
+
+TEST(ParallelDeterminismTest, SpmmMatchesDenseReference) {
+  ThreadCountGuard guard;
+  SetNumThreads(8);
+  Rng rng(19);
+  Tensor dense_matrix = Tensor::Normal(101, 83, 0.0f, 1.0f, rng);
+  for (size_t i = 0; i < dense_matrix.size(); ++i) {
+    if (i % 5 != 0) dense_matrix.data()[i] = 0.0f;
+  }
+  const CsrMatrix m = CsrMatrix::FromDense(dense_matrix);
+  const Tensor x = Tensor::Normal(83, 37, 0.0f, 1.0f, rng);
+  EXPECT_LT(m.Multiply(x).MaxAbsDiff(dense_matrix.MatMul(x)), 1e-4f);
+  const Tensor y = Tensor::Normal(101, 37, 0.0f, 1.0f, rng);
+  EXPECT_LT(m.TransposedMultiply(y).MaxAbsDiff(
+                dense_matrix.Transpose().MatMul(y)),
+            1e-4f);
+}
+
+TEST(ParallelDeterminismTest, FullTrainedRunBitwiseIdentical) {
+  ThreadCountGuard guard;
+  Dataset data = LoadDataset("cora", 0.3, 21);
+  auto train_params = [&](size_t threads) {
+    SetNumThreads(threads);
+    ModelConfig config;
+    config.depth = 3;
+    config.hidden_dim = 16;
+    config.dropout = 0.4f;
+    config.seed = 5;
+    std::unique_ptr<Model> model = MakeModel("gcn", data, config);
+    TrainOptions options;
+    options.max_epochs = 25;
+    options.patience = 25;
+    options.seed = 6;
+    TrainResult result = TrainModel(*model, options);
+    std::vector<Tensor> params;
+    for (const ag::Variable& p : model->Parameters()) {
+      params.push_back(p->value());
+    }
+    params.push_back(Tensor(1, 1, {static_cast<float>(
+                                      result.test_accuracy)}));
+    return params;
+  };
+  const std::vector<Tensor> reference = train_params(1);
+  for (size_t threads : {2u, 8u}) {
+    const std::vector<Tensor> got = train_params(threads);
+    ASSERT_EQ(got.size(), reference.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ExpectBitwiseEqual(reference[i], got[i], "trained parameter");
+    }
+  }
+}
+
+TEST(ParallelTrialsTest, RepeatedExperimentMatchesSerial) {
+  ThreadCountGuard guard;
+  Dataset data = LoadDataset("cora", 0.25, 31);
+  ModelConfig config;
+  config.depth = 2;
+  config.hidden_dim = 8;
+  config.seed = 3;
+  TrainOptions options;
+  options.max_epochs = 12;
+  options.patience = 12;
+  options.seed = 4;
+  SetNumThreads(1);
+  ExperimentResult serial =
+      RunRepeatedExperiment("gcn", data, config, options, 3);
+  SetNumThreads(4);
+  ExperimentResult parallel =
+      RunRepeatedExperiment("gcn", data, config, options, 3);
+  ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+  for (size_t i = 0; i < serial.runs.size(); ++i) {
+    EXPECT_EQ(serial.runs[i], parallel.runs[i]) << "trial " << i;
+  }
+  EXPECT_EQ(serial.test_accuracy.mean, parallel.test_accuracy.mean);
+  EXPECT_EQ(serial.val_accuracy.mean, parallel.val_accuracy.mean);
+  EXPECT_EQ(serial.failed_trials, parallel.failed_trials);
+}
+
+// -- Bugfix regressions ----------------------------------------------------
+
+TEST(BceStableLossTest, SaturatedLogitsStayFinite) {
+  // Pre-fix, |logit| >~ 17 pushed sigmoid to exactly 0/1 and log(p)
+  // to NaN/-inf, spuriously tripping divergence recovery.
+  const Tensor logits_val(2, 2, {50.0f, -50.0f, 1000.0f, -1000.0f});
+  const Tensor targets(2, 2, {1.0f, 0.0f, 0.0f, 1.0f});
+  ag::Variable logits = ag::MakeParameter(logits_val);
+  ag::Variable loss = ag::BinaryCrossEntropyWithLogits(logits, targets);
+  ASSERT_TRUE(loss->value().AllFinite());
+  // Per-element stable losses: ~0, ~0, 1000, 1000 -> mean 500.
+  EXPECT_NEAR(loss->value()(0, 0), 500.0f, 0.5f);
+  ag::Backward(loss);
+  const Tensor& grad = logits->grad();
+  ASSERT_TRUE(grad.AllFinite());
+  // d/dx = (sigmoid(x) - t) / n: saturated-correct entries ~0,
+  // saturated-wrong entries +-1/4.
+  EXPECT_NEAR(grad(0, 0), 0.0f, 1e-6f);
+  EXPECT_NEAR(grad(0, 1), 0.0f, 1e-6f);
+  EXPECT_NEAR(grad(1, 0), 0.25f, 1e-6f);
+  EXPECT_NEAR(grad(1, 1), -0.25f, 1e-6f);
+}
+
+TEST(BceStableLossTest, MatchesNaiveFormOnModerateLogits) {
+  Rng rng(23);
+  const Tensor logits_val = Tensor::Uniform(4, 5, -5.0f, 5.0f, rng);
+  Tensor targets(4, 5);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    targets.data()[i] = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
+  }
+  ag::Variable logits = ag::MakeParameter(logits_val);
+  ag::Variable loss = ag::BinaryCrossEntropyWithLogits(logits, targets);
+  double naive = 0.0;
+  for (size_t i = 0; i < logits_val.size(); ++i) {
+    const double p = 1.0 / (1.0 + std::exp(-logits_val.data()[i]));
+    const double t = targets.data()[i];
+    naive -= t * std::log(p) + (1.0 - t) * std::log(1.0 - p);
+  }
+  naive /= static_cast<double>(logits_val.size());
+  EXPECT_NEAR(loss->value()(0, 0), static_cast<float>(naive), 1e-5f);
+}
+
+TEST(SpGemmRowCapTest, CancellingEntriesDoNotEvictTrueTopK) {
+  // Row 0 of A hits column 0 of the product three times: +1, -1
+  // (cancelling to exactly 0.0f mid-row), then +1. The old sentinel-zero
+  // accumulator re-pushed column 0 into `touched`, inflating the count
+  // toward row_cap and zeroing the real entry during eviction.
+  const CsrMatrix a = CsrMatrix::FromTriplets(
+      1, 3, {{0, 0, 1.0f}, {0, 1, -1.0f}, {0, 2, 1.0f}});
+  const CsrMatrix b = CsrMatrix::FromTriplets(
+      3, 6, {{0, 0, 1.0f}, {0, 5, 10.0f}, {1, 0, 1.0f}, {2, 0, 1.0f}});
+  // Only two distinct columns are touched, so row_cap=2 must keep both.
+  const CsrMatrix capped = a.Multiply(b, /*prune_tolerance=*/0.0f,
+                                      /*row_cap=*/2);
+  EXPECT_EQ(capped.nnz(), 2u);
+  EXPECT_FLOAT_EQ(capped.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(capped.At(0, 5), 10.0f);
+  // Uncapped: no duplicate triplets for the re-touched column.
+  const CsrMatrix full = a.Multiply(b);
+  EXPECT_EQ(full.nnz(), 2u);
+  EXPECT_FLOAT_EQ(full.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(full.At(0, 5), 10.0f);
+}
+
+TEST(SpGemmRowCapTest, RowCapStillPrunesSmallestMagnitude) {
+  // Sanity: the fix must not change legitimate row_cap pruning.
+  const CsrMatrix a = CsrMatrix::FromTriplets(1, 1, {{0, 0, 1.0f}});
+  const CsrMatrix b = CsrMatrix::FromTriplets(
+      1, 4, {{0, 0, 5.0f}, {0, 1, -7.0f}, {0, 2, 1.0f}, {0, 3, 3.0f}});
+  const CsrMatrix capped = a.Multiply(b, 0.0f, /*row_cap=*/2);
+  EXPECT_EQ(capped.nnz(), 2u);
+  EXPECT_FLOAT_EQ(capped.At(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(capped.At(0, 1), -7.0f);
+}
+
+}  // namespace
+}  // namespace lasagne

@@ -18,6 +18,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "data/io.h"
 #include "data/registry.h"
 #include "metrics/classification.h"
@@ -48,6 +49,7 @@ struct Flags {
   size_t epochs = 200;
   size_t patience = 20;
   size_t repeats = 1;
+  size_t threads = 0;  // 0 = default (LASAGNE_NUM_THREADS or hardware)
   double scale = 1.0;
   uint64_t seed = 1;
   bool verbose = false;
@@ -62,7 +64,8 @@ void PrintUsage() {
       "                   [--depth N] [--hidden N] [--dropout F]\n"
       "                   [--lr F] [--weight-decay F] [--epochs N]\n"
       "                   [--patience N] [--repeats N] [--scale F]\n"
-      "                   [--seed N] [--save PATH] [--load PATH]\n"
+      "                   [--seed N] [--threads N] [--save PATH] [--load "
+      "PATH]\n"
       "                   [--checkpoint PATH] [--checkpoint-interval N]\n"
       "                   [--resume] [--max-recoveries N] [--grad-clip F]\n"
       "                   [--export-dataset PREFIX] [--verbose]\n"
@@ -96,7 +99,8 @@ bool ParseFlags(int argc, char** argv, Flags& flags) {
 #undef STRING_FLAG
     if (arg == "--depth" || arg == "--hidden" || arg == "--epochs" ||
         arg == "--patience" || arg == "--repeats" || arg == "--seed" ||
-        arg == "--checkpoint-interval" || arg == "--max-recoveries") {
+        arg == "--threads" || arg == "--checkpoint-interval" ||
+        arg == "--max-recoveries") {
       const char* v = next(arg.c_str());
       if (v == nullptr) return false;
       const size_t value = static_cast<size_t>(std::atoll(v));
@@ -106,6 +110,7 @@ bool ParseFlags(int argc, char** argv, Flags& flags) {
       if (arg == "--patience") flags.patience = value;
       if (arg == "--repeats") flags.repeats = value;
       if (arg == "--seed") flags.seed = value;
+      if (arg == "--threads") flags.threads = value;
       if (arg == "--checkpoint-interval") flags.checkpoint_interval = value;
       if (arg == "--max-recoveries") flags.max_recoveries = value;
       continue;
@@ -180,6 +185,7 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 1;
   }
+  if (flags.threads > 0) SetNumThreads(flags.threads);
   if (flags.list_models) {
     for (const std::string& name : KnownModelNames()) {
       std::printf("%s\n", name.c_str());
