@@ -187,7 +187,9 @@ void Run() {
 }  // namespace
 }  // namespace lasagne
 
-int main() {
+int main(int argc, char** argv) {
+  lasagne::bench::ApplyThreadsFlag(argc, argv);
+  lasagne::bench::ApplyObservabilityFlags(argc, argv);
   lasagne::Run();
   return 0;
 }

@@ -165,6 +165,7 @@ void Run() {
 
 int main(int argc, char** argv) {
   lasagne::bench::ApplyThreadsFlag(argc, argv);
+  lasagne::bench::ApplyObservabilityFlags(argc, argv);
   lasagne::Run();
   return 0;
 }

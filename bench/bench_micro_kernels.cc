@@ -216,11 +216,14 @@ BENCHMARK(BM_TransposedSpMMLarge)
 
 int main(int argc, char** argv) {
   lasagne::bench::ApplyThreadsFlag(argc, argv);
-  // Strip --threads N before handing argv to google-benchmark, which
+  lasagne::bench::ApplyObservabilityFlags(argc, argv);
+  // Strip our own flags before handing argv to google-benchmark, which
   // rejects flags it does not know.
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
-    if (i + 1 < argc && std::string(argv[i]) == "--threads") {
+    const std::string arg = argv[i];
+    if (i + 1 < argc && (arg == "--threads" || arg == "--trace-out" ||
+                         arg == "--metrics-out")) {
       ++i;
       continue;
     }

@@ -60,7 +60,9 @@ void Run() {
 }  // namespace
 }  // namespace lasagne
 
-int main() {
+int main(int argc, char** argv) {
+  lasagne::bench::ApplyThreadsFlag(argc, argv);
+  lasagne::bench::ApplyObservabilityFlags(argc, argv);
   lasagne::Run();
   return 0;
 }

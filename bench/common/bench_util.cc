@@ -4,11 +4,54 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <sstream>
+#include <string>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lasagne::bench {
+
+namespace {
+
+// atexit targets for ApplyObservabilityFlags (set at most once).
+std::string& TraceOutPath() {
+  static std::string& path = *new std::string();
+  return path;
+}
+
+std::string& MetricsOutPath() {
+  static std::string& path = *new std::string();
+  return path;
+}
+
+void ExportObservabilityAtExit() {
+  if (!TraceOutPath().empty()) {
+    Status written = obs::WriteTraceJson(TraceOutPath());
+    if (written.ok()) {
+      std::fprintf(stderr, "wrote trace to %s\n", TraceOutPath().c_str());
+    } else {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   written.ToString().c_str());
+    }
+  }
+  if (!MetricsOutPath().empty()) {
+    std::ofstream out(MetricsOutPath(),
+                      std::ios::binary | std::ios::trunc);
+    if (out) {
+      out << obs::MetricsRegistry::Global().ScrapeText();
+      std::fprintf(stderr, "wrote metrics to %s\n",
+                   MetricsOutPath().c_str());
+    } else {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   MetricsOutPath().c_str());
+    }
+  }
+}
+
+}  // namespace
 
 double BenchScale() {
   const char* env = std::getenv("LASAGNE_BENCH_SCALE");
@@ -32,6 +75,22 @@ size_t ApplyThreadsFlag(int argc, char** argv) {
     }
   }
   return lasagne::GetNumThreads();
+}
+
+void ApplyObservabilityFlags(int argc, char** argv) {
+  bool hooked = false;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0) {
+      TraceOutPath() = argv[i + 1];
+      obs::EnableTracing();
+      hooked = true;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      MetricsOutPath() = argv[i + 1];
+      obs::EnableMetrics();
+      hooked = true;
+    }
+  }
+  if (hooked) std::atexit(ExportObservabilityAtExit);
 }
 
 std::string FormatMeanStd(double mean, double std_dev, int precision) {

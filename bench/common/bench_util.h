@@ -23,6 +23,12 @@ int BenchRepeats();
 /// the micro-kernels can report thread-count sweeps.
 size_t ApplyThreadsFlag(int argc, char** argv);
 
+/// Scans argv for `--trace-out PATH` / `--metrics-out PATH`, enables
+/// the corresponding observability subsystem, and registers an atexit
+/// hook that writes the trace JSON / metrics scrape when the bench
+/// exits. Every bench main calls this right after ApplyThreadsFlag.
+void ApplyObservabilityFlags(int argc, char** argv);
+
 /// A "mean +- std" cell, formatted like the paper's tables.
 std::string FormatMeanStd(double mean, double std_dev, int precision = 1);
 

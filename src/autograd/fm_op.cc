@@ -4,12 +4,14 @@
 
 #include "autograd/ops.h"
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace lasagne::ag {
 
 Variable FmInteraction(const Variable& x, const Variable& w,
                        const Variable& v,
                        std::vector<size_t> field_offsets, size_t k) {
+  LASAGNE_TRACE_SCOPE("fm.forward");
   const size_t n = x->rows();
   const size_t m = x->cols();
   const size_t f = w->cols();
@@ -65,6 +67,7 @@ Variable FmInteraction(const Variable& x, const Variable& w,
       std::make_shared<std::vector<size_t>>(std::move(field_offsets));
   out->set_backward_fn([px, pw, pv, t_cache, offsets, n, m, f, k,
                         p_fields](const Tensor& g) {
+    LASAGNE_TRACE_SCOPE("fm.backward");
     const Tensor& xv = px->value();
     const Tensor& vv = pv->value();
     if (pw->requires_grad()) {

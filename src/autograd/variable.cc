@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace lasagne::ag {
 
@@ -56,6 +57,7 @@ void TopologicalOrder(const Variable& root, std::vector<Node*>& order) {
 }  // namespace
 
 void BackwardWithGrad(const Variable& root, const Tensor& seed) {
+  LASAGNE_TRACE_SCOPE("backward");
   LASAGNE_CHECK(root != nullptr);
   LASAGNE_CHECK_EQ(seed.rows(), root->value().rows());
   LASAGNE_CHECK_EQ(seed.cols(), root->value().cols());

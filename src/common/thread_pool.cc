@@ -3,10 +3,24 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace lasagne {
 namespace {
 
 thread_local bool t_in_parallel_region = false;
+
+inline void CountPoolRegion(size_t num_tasks) {
+  if (obs::MetricsEnabled()) {
+    static obs::Counter& regions =
+        obs::MetricsRegistry::Global().GetCounter("threadpool.regions");
+    static obs::Counter& tasks =
+        obs::MetricsRegistry::Global().GetCounter("threadpool.tasks");
+    regions.Increment();
+    tasks.Increment(num_tasks);
+  }
+}
 
 // Resolved once: LASAGNE_NUM_THREADS wins, then the hardware count.
 size_t DefaultNumThreads() {
@@ -79,8 +93,15 @@ void ThreadPool::EnsureWorkers() {
 void ThreadPool::Run(size_t num_tasks,
                      const std::function<void(size_t)>& task) {
   if (num_tasks == 0) return;
+  LASAGNE_TRACE_SCOPE("pool.region");
+  CountPoolRegion(num_tasks);
   std::lock_guard<std::mutex> region(region_mutex_);
   EnsureWorkers();
+  if (obs::MetricsEnabled()) {
+    static obs::Gauge& threads =
+        obs::MetricsRegistry::Global().GetGauge("threadpool.threads");
+    threads.Set(static_cast<double>(workers_.size() + 1));
+  }
   if (workers_.empty()) {
     ParallelRegionGuard guard;
     for (size_t i = 0; i < num_tasks; ++i) task(i);
@@ -121,6 +142,7 @@ void ThreadPool::RunTasks() {
     lock.unlock();
     {
       ParallelRegionGuard guard;
+      LASAGNE_TRACE_SCOPE("pool.task");
       (*task)(index);
     }
     lock.lock();

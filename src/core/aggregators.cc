@@ -3,6 +3,7 @@
 #include "core/lstm_aggregator.h"
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace lasagne {
 
@@ -61,6 +62,7 @@ ag::Variable WeightedAggregator::Aggregate(
     const std::shared_ptr<const CsrMatrix>& a_hat,
     const std::vector<ag::Variable>& history,
     const nn::ForwardContext& ctx) {
+  LASAGNE_TRACE_SCOPE("aggregate.weighted");
   (void)ctx;
   LASAGNE_CHECK_EQ(history.size(), layer_dims_.size());
   const size_t l = history.size();
@@ -97,6 +99,7 @@ ag::Variable MaxPoolingAggregator::Aggregate(
     const std::shared_ptr<const CsrMatrix>& a_hat,
     const std::vector<ag::Variable>& history,
     const nn::ForwardContext& ctx) {
+  LASAGNE_TRACE_SCOPE("aggregate.maxpool");
   (void)ctx;
   LASAGNE_CHECK_EQ(history.size(), layer_dims_.size());
   const size_t l = history.size();
@@ -135,6 +138,7 @@ ag::Variable StochasticAggregator::Aggregate(
     const std::shared_ptr<const CsrMatrix>& a_hat,
     const std::vector<ag::Variable>& history,
     const nn::ForwardContext& ctx) {
+  LASAGNE_TRACE_SCOPE("aggregate.stochastic");
   LASAGNE_CHECK(ctx.rng != nullptr);
   LASAGNE_CHECK_EQ(history.size(), layer_dims_.size());
   const size_t l = history.size();
@@ -178,6 +182,7 @@ ag::Variable MeanAggregator::Aggregate(
     const std::shared_ptr<const CsrMatrix>& a_hat,
     const std::vector<ag::Variable>& history,
     const nn::ForwardContext& ctx) {
+  LASAGNE_TRACE_SCOPE("aggregate.mean");
   (void)ctx;
   LASAGNE_CHECK_EQ(history.size(), layer_dims_.size());
   const size_t l = history.size();

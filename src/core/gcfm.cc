@@ -1,6 +1,7 @@
 #include "core/gcfm.h"
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace lasagne {
 
@@ -26,6 +27,7 @@ GcFmLayer::GcFmLayer(std::vector<size_t> layer_dims, size_t num_classes,
 ag::Variable GcFmLayer::Forward(
     const std::shared_ptr<const CsrMatrix>& a_hat,
     const std::vector<ag::Variable>& hidden) const {
+  LASAGNE_TRACE_SCOPE("gcfm.forward");
   LASAGNE_CHECK_EQ(hidden.size() + 1, field_offsets_.size());
   for (size_t i = 0; i < hidden.size(); ++i) {
     LASAGNE_CHECK_EQ(hidden[i]->cols(),

@@ -1,6 +1,7 @@
 #include "core/lstm_aggregator.h"
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace lasagne {
 
@@ -63,6 +64,7 @@ ag::Variable LstmAggregator::Aggregate(
     const std::shared_ptr<const CsrMatrix>& a_hat,
     const std::vector<ag::Variable>& history,
     const nn::ForwardContext& ctx) {
+  LASAGNE_TRACE_SCOPE("aggregate.lstm");
   (void)ctx;
   LASAGNE_CHECK_EQ(history.size(), layer_dims_.size());
   const size_t l = history.size();

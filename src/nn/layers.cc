@@ -1,6 +1,7 @@
 #include "nn/layers.h"
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace lasagne::nn {
 
@@ -35,6 +36,7 @@ GraphConvolution::GraphConvolution(size_t in_dim, size_t out_dim, Rng& rng)
 ag::Variable GraphConvolution::Forward(
     const std::shared_ptr<const CsrMatrix>& a_hat, const ag::Variable& x,
     const ForwardContext& ctx, float dropout, bool relu) const {
+  LASAGNE_TRACE_SCOPE("graph_conv");
   LASAGNE_CHECK(ctx.rng != nullptr);
   ag::Variable h = x;
   if (dropout > 0.0f) h = ag::Dropout(h, dropout, *ctx.rng, ctx.training);
@@ -53,6 +55,7 @@ ag::Variable GatHead::Forward(
     const std::shared_ptr<const ag::EdgeStructure>& edges,
     const ag::Variable& x, const ForwardContext& ctx, float dropout,
     std::shared_ptr<const std::vector<float>> edge_bias) const {
+  LASAGNE_TRACE_SCOPE("gat_head");
   LASAGNE_CHECK(ctx.rng != nullptr);
   ag::Variable h = x;
   if (dropout > 0.0f) h = ag::Dropout(h, dropout, *ctx.rng, ctx.training);

@@ -1,0 +1,386 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace lasagne::obs {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double value) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+bool JsonValue::AsBool() const {
+  LASAGNE_CHECK(is_bool());
+  return bool_;
+}
+
+double JsonValue::AsDouble() const {
+  LASAGNE_CHECK(is_number());
+  return number_;
+}
+
+const std::string& JsonValue::AsString() const {
+  LASAGNE_CHECK(is_string());
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::AsArray() const {
+  LASAGNE_CHECK(is_array());
+  return array_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::AsObject() const {
+  LASAGNE_CHECK(is_object());
+  return object_;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+void JsonValue::Append(JsonValue v) {
+  LASAGNE_CHECK(is_array());
+  array_.push_back(std::move(v));
+}
+
+void JsonValue::Set(const std::string& key, JsonValue v) {
+  LASAGNE_CHECK(is_object());
+  object_[key] = std::move(v);
+}
+
+std::string JsonQuote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Integers within the exact double range print without a fraction.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Shorten when a lower precision already round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+    if (std::strtod(shorter, nullptr) == v) return shorter;
+  }
+  return buf;
+}
+
+std::string JsonValue::Dump() const {
+  switch (type_) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return bool_ ? "true" : "false";
+    case Type::kNumber:
+      return JsonNumber(number_);
+    case Type::kString:
+      return JsonQuote(string_);
+    case Type::kArray: {
+      std::string out = "[";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out += array_[i].Dump();
+      }
+      out.push_back(']');
+      return out;
+    }
+    case Type::kObject: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out.push_back(',');
+        first = false;
+        out += JsonQuote(key);
+        out.push_back(':');
+        out += value.Dump();
+      }
+      out.push_back('}');
+      return out;
+    }
+  }
+  return "null";
+}
+
+namespace {
+
+/// Recursive-descent parser over a raw character range.
+class Parser {
+ public:
+  Parser(const char* p, const char* end) : p_(p), end_(end) {}
+
+  StatusOr<JsonValue> ParseDocument() {
+    StatusOr<JsonValue> v = ParseValue();
+    if (!v.ok()) return v;
+    SkipWhitespace();
+    if (p_ != end_) return Error("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return DataLossError("JSON parse error at offset " +
+                         std::to_string(offset_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (p_ != end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      Advance();
+    }
+  }
+
+  void Advance() {
+    ++p_;
+    ++offset_;
+  }
+
+  bool Consume(char c) {
+    if (p_ != end_ && *p_ == c) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    const size_t n = std::strlen(literal);
+    if (static_cast<size_t>(end_ - p_) < n) return false;
+    if (std::strncmp(p_, literal, n) != 0) return false;
+    p_ += n;
+    offset_ += n;
+    return true;
+  }
+
+  StatusOr<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (p_ == end_) return Error("unexpected end of input");
+    switch (*p_) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        StatusOr<std::string> s = ParseString();
+        if (!s.ok()) return s.status();
+        return JsonValue::String(std::move(s).value());
+      }
+      case 't':
+        if (ConsumeLiteral("true")) return JsonValue::Bool(true);
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return JsonValue::Bool(false);
+        return Error("invalid literal");
+      case 'n':
+        if (ConsumeLiteral("null")) return JsonValue::Null();
+        return Error("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  StatusOr<JsonValue> ParseObject() {
+    Advance();  // '{'
+    JsonValue obj = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return obj;
+    while (true) {
+      SkipWhitespace();
+      if (p_ == end_ || *p_ != '"') return Error("expected object key");
+      StatusOr<std::string> key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      StatusOr<JsonValue> value = ParseValue();
+      if (!value.ok()) return value;
+      obj.Set(key.value(), std::move(value).value());
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return obj;
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  StatusOr<JsonValue> ParseArray() {
+    Advance();  // '['
+    JsonValue arr = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return arr;
+    while (true) {
+      StatusOr<JsonValue> value = ParseValue();
+      if (!value.ok()) return value;
+      arr.Append(std::move(value).value());
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return arr;
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  StatusOr<std::string> ParseString() {
+    Advance();  // '"'
+    std::string out;
+    while (p_ != end_ && *p_ != '"') {
+      char c = *p_;
+      Advance();
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (p_ == end_) return Error("unterminated escape");
+      char esc = *p_;
+      Advance();
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (end_ - p_ < 4) return Error("truncated \\u escape");
+          char hex[5] = {p_[0], p_[1], p_[2], p_[3], '\0'};
+          char* hex_end = nullptr;
+          long code = std::strtol(hex, &hex_end, 16);
+          if (hex_end != hex + 4) return Error("invalid \\u escape");
+          p_ += 4;
+          offset_ += 4;
+          if (code > 0x7f) return Error("non-ASCII \\u escape unsupported");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+    if (!Consume('"')) return Error("unterminated string");
+    return out;
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    const char* start = p_;
+    if (p_ != end_ && (*p_ == '-' || *p_ == '+')) Advance();
+    bool any_digit = false;
+    auto eat_digits = [&] {
+      while (p_ != end_ && *p_ >= '0' && *p_ <= '9') {
+        any_digit = true;
+        Advance();
+      }
+    };
+    eat_digits();
+    if (p_ != end_ && *p_ == '.') {
+      Advance();
+      eat_digits();
+    }
+    if (p_ != end_ && (*p_ == 'e' || *p_ == 'E')) {
+      Advance();
+      if (p_ != end_ && (*p_ == '-' || *p_ == '+')) Advance();
+      eat_digits();
+    }
+    if (!any_digit) return Error("invalid number");
+    return JsonValue::Number(std::strtod(std::string(start, p_).c_str(),
+                                         nullptr));
+  }
+
+  const char* p_;
+  const char* end_;
+  size_t offset_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> JsonValue::Parse(const std::string& text) {
+  Parser parser(text.data(), text.data() + text.size());
+  return parser.ParseDocument();
+}
+
+}  // namespace lasagne::obs

@@ -1,0 +1,77 @@
+#ifndef LASAGNE_OBS_JSON_H_
+#define LASAGNE_OBS_JSON_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lasagne::obs {
+
+/// Minimal zero-dependency JSON document: parse, inspect, serialize.
+///
+/// This exists so the observability layer can *validate its own output*
+/// (trace files, metric scrapes, telemetry lines) and so tests can read
+/// golden files without an external JSON library. It supports the full
+/// JSON grammar except `\u` escapes beyond the ASCII range (which the
+/// library never emits); numbers are stored as double.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double v);
+  static JsonValue String(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  /// Parses `text` into a document. Trailing garbage is an error.
+  static StatusOr<JsonValue> Parse(const std::string& text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; abort on type mismatch (test/tool usage).
+  bool AsBool() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+  const std::map<std::string, JsonValue>& AsObject() const;
+
+  /// Object lookup; returns nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Mutators for building documents programmatically.
+  void Append(JsonValue v);                       // arrays
+  void Set(const std::string& key, JsonValue v);  // objects
+
+  /// Compact serialization (no whitespace). Numbers use shortest
+  /// round-trip formatting (%.17g trimmed), strings are escaped.
+  std::string Dump() const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Escapes a string for embedding in JSON output (adds quotes).
+std::string JsonQuote(const std::string& s);
+
+/// Formats a double as a JSON number (finite; NaN/Inf become null).
+std::string JsonNumber(double v);
+
+}  // namespace lasagne::obs
+
+#endif  // LASAGNE_OBS_JSON_H_

@@ -1,0 +1,96 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace lasagne::obs {
+
+TelemetryWriter::~TelemetryWriter() { Close(); }
+
+Status TelemetryWriter::Open(const std::string& path) {
+  Close();
+  if (path.empty()) return Status::OK();
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return IOError("cannot open telemetry output file: " + path);
+  }
+  return Status::OK();
+}
+
+void TelemetryWriter::RecordEpoch(const EpochTelemetry& record) {
+  epochs_.push_back(record);
+  if (file_ == nullptr) return;
+  std::string line = "{\"type\":\"epoch\",\"epoch\":" +
+                     std::to_string(record.epoch) +
+                     ",\"loss\":" + JsonNumber(record.loss) +
+                     ",\"val_accuracy\":" + JsonNumber(record.val_accuracy) +
+                     ",\"grad_norm\":" + JsonNumber(record.grad_norm) +
+                     ",\"learning_rate\":" + JsonNumber(record.learning_rate) +
+                     ",\"epoch_time_ms\":" + JsonNumber(record.epoch_time_ms) +
+                     "}\n";
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+}
+
+void TelemetryWriter::RecordRecovery(const RecoveryTelemetry& record) {
+  recoveries_.push_back(record);
+  if (file_ == nullptr) return;
+  std::string line =
+      "{\"type\":\"recovery\",\"epoch\":" + std::to_string(record.epoch) +
+      ",\"reason\":" + JsonQuote(record.reason) + ",\"new_learning_rate\":" +
+      JsonNumber(record.new_learning_rate) + "}\n";
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+}
+
+std::string TelemetryWriter::SummaryTable() const {
+  std::ostringstream os;
+  os << "-- training telemetry ------------------------------------\n";
+  if (epochs_.empty()) {
+    os << "  no epochs recorded\n";
+  } else {
+    double best_val = 0.0;
+    double mean_ms = 0.0;
+    double mean_grad = 0.0;
+    for (const EpochTelemetry& e : epochs_) {
+      best_val = std::max(best_val, e.val_accuracy);
+      mean_ms += e.epoch_time_ms;
+      mean_grad += e.grad_norm;
+    }
+    mean_ms /= static_cast<double>(epochs_.size());
+    mean_grad /= static_cast<double>(epochs_.size());
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "  %-18s %zu\n", "epochs",
+                  epochs_.size());
+    os << buf;
+    std::snprintf(buf, sizeof(buf), "  %-18s %.6g -> %.6g\n", "loss",
+                  epochs_.front().loss, epochs_.back().loss);
+    os << buf;
+    std::snprintf(buf, sizeof(buf), "  %-18s %.4f\n", "best val acc",
+                  best_val);
+    os << buf;
+    std::snprintf(buf, sizeof(buf), "  %-18s %.3f\n", "mean epoch ms",
+                  mean_ms);
+    os << buf;
+    std::snprintf(buf, sizeof(buf), "  %-18s %.6g\n", "mean grad norm",
+                  mean_grad);
+    os << buf;
+    std::snprintf(buf, sizeof(buf), "  %-18s %.6g\n", "final lr",
+                  epochs_.back().learning_rate);
+    os << buf;
+  }
+  os << "  recoveries         " << recoveries_.size() << "\n";
+  os << "----------------------------------------------------------\n";
+  return os.str();
+}
+
+void TelemetryWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace lasagne::obs

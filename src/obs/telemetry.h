@@ -1,0 +1,74 @@
+#ifndef LASAGNE_OBS_TELEMETRY_H_
+#define LASAGNE_OBS_TELEMETRY_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lasagne::obs {
+
+/// One per-epoch training record (the trainer fills one in after every
+/// healthy epoch and streams it as a JSONL line).
+struct EpochTelemetry {
+  size_t epoch = 0;
+  double loss = 0.0;
+  double val_accuracy = 0.0;
+  double grad_norm = 0.0;       // global L2 norm, pre-clipping
+  double learning_rate = 0.0;
+  double epoch_time_ms = 0.0;
+};
+
+/// One divergence-recovery incident record.
+struct RecoveryTelemetry {
+  size_t epoch = 0;
+  std::string reason;
+  double new_learning_rate = 0.0;
+};
+
+/// Streams training telemetry to a JSONL file (one JSON object per
+/// line, flushed per record so a killed run keeps its history) and
+/// keeps the records in memory for the end-of-run summary table.
+///
+/// Purely an observer: it never touches model state or RNG streams, so
+/// attaching it cannot perturb training results. Not thread-safe — one
+/// writer per training run (the repeated-experiment driver gives
+/// concurrent trials no writer).
+class TelemetryWriter {
+ public:
+  TelemetryWriter() = default;
+  ~TelemetryWriter();
+  TelemetryWriter(const TelemetryWriter&) = delete;
+  TelemetryWriter& operator=(const TelemetryWriter&) = delete;
+
+  /// Opens (truncates) the JSONL stream. Empty path = in-memory only.
+  Status Open(const std::string& path);
+
+  /// Appends one epoch record ({"type":"epoch",...}).
+  void RecordEpoch(const EpochTelemetry& record);
+
+  /// Appends one recovery record ({"type":"recovery",...}).
+  void RecordRecovery(const RecoveryTelemetry& record);
+
+  const std::vector<EpochTelemetry>& epochs() const { return epochs_; }
+  const std::vector<RecoveryTelemetry>& recoveries() const {
+    return recoveries_;
+  }
+
+  /// End-of-run summary: epochs run, first/final loss, best val
+  /// accuracy, mean epoch time, mean grad norm, recovery count.
+  std::string SummaryTable() const;
+
+  /// Flushes and closes the stream (idempotent; destructor calls it).
+  void Close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::vector<EpochTelemetry> epochs_;
+  std::vector<RecoveryTelemetry> recoveries_;
+};
+
+}  // namespace lasagne::obs
+
+#endif  // LASAGNE_OBS_TELEMETRY_H_

@@ -1,0 +1,178 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "obs/json.h"
+
+namespace lasagne::obs {
+
+namespace {
+
+/// One thread's private span storage. Only the owning thread writes;
+/// collectors read `count` with acquire ordering, which publishes every
+/// slot written before the matching release store. Buffers are kept
+/// alive by the registry (shared_ptr) so spans survive thread exit.
+struct ThreadTraceBuffer {
+  ThreadTraceBuffer(size_t capacity, uint32_t thread_id)
+      : ring(capacity), tid(thread_id) {}
+
+  std::vector<TraceEvent> ring;
+  std::atomic<uint64_t> count{0};  // total spans ever written
+  uint32_t tid;
+  uint32_t depth = 0;  // owner-thread-only nesting depth
+};
+
+struct TraceRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
+  std::atomic<size_t> capacity{1 << 16};
+  std::atomic<uint32_t> next_tid{0};
+};
+
+TraceRegistry& Registry() {
+  // Leaked intentionally: worker threads may record during shutdown.
+  static TraceRegistry& registry = *new TraceRegistry();
+  return registry;
+}
+
+ThreadTraceBuffer& GetThreadBuffer() {
+  thread_local const std::shared_ptr<ThreadTraceBuffer> buffer = [] {
+    TraceRegistry& registry = Registry();
+    auto buf = std::make_shared<ThreadTraceBuffer>(
+        std::max<size_t>(1, registry.capacity.load(std::memory_order_relaxed)),
+        registry.next_tid.fetch_add(1, std::memory_order_relaxed));
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    registry.buffers.push_back(buf);
+    return buf;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<bool> g_trace_enabled{false};
+
+int64_t TraceNowNs() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+uint32_t EnterSpan() { return GetThreadBuffer().depth++; }
+
+void RecordSpan(const char* name, int64_t start_ns) {
+  const int64_t end_ns = TraceNowNs();
+  ThreadTraceBuffer& buf = GetThreadBuffer();
+  --buf.depth;
+  const uint64_t n = buf.count.load(std::memory_order_relaxed);
+  TraceEvent& slot = buf.ring[n % buf.ring.size()];
+  slot.name = name;
+  slot.start_ns = start_ns;
+  slot.duration_ns = end_ns - start_ns;
+  slot.tid = buf.tid;
+  slot.depth = buf.depth;
+  buf.count.store(n + 1, std::memory_order_release);
+}
+
+}  // namespace internal
+
+void EnableTracing(size_t events_per_thread) {
+  Registry().capacity.store(std::max<size_t>(1, events_per_thread),
+                            std::memory_order_relaxed);
+  internal::TraceNowNs();  // pin the epoch before the first span
+  internal::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void DisableTracing() {
+  internal::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void ClearTrace() {
+  TraceRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (auto& buf : registry.buffers) {
+    buf->count.store(0, std::memory_order_release);
+  }
+}
+
+std::vector<TraceEvent> CollectTrace() {
+  std::vector<TraceEvent> events;
+  TraceRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (const auto& buf : registry.buffers) {
+    const uint64_t n = buf->count.load(std::memory_order_acquire);
+    const uint64_t cap = buf->ring.size();
+    const uint64_t kept = std::min(n, cap);
+    for (uint64_t i = 0; i < kept; ++i) {
+      // Oldest surviving span first; ring order when wrapped.
+      const uint64_t index = n <= cap ? i : (n + i) % cap;
+      events.push_back(buf->ring[index]);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.tid < b.tid;
+            });
+  return events;
+}
+
+uint64_t TraceDroppedEvents() {
+  uint64_t dropped = 0;
+  TraceRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (const auto& buf : registry.buffers) {
+    const uint64_t n = buf->count.load(std::memory_order_acquire);
+    const uint64_t cap = buf->ring.size();
+    if (n > cap) dropped += n - cap;
+  }
+  return dropped;
+}
+
+std::string TraceToJson() {
+  const std::vector<TraceEvent> events = CollectTrace();
+  std::string out;
+  out.reserve(events.size() * 96 + 64);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) out.push_back(',');
+    out += "{\"name\":";
+    out += JsonQuote(e.name != nullptr ? e.name : "?");
+    out += ",\"cat\":\"lasagne\",\"ph\":\"X\",\"pid\":0,\"tid\":";
+    out += std::to_string(e.tid);
+    out += ",\"ts\":";
+    out += JsonNumber(static_cast<double>(e.start_ns) / 1000.0);
+    out += ",\"dur\":";
+    out += JsonNumber(static_cast<double>(e.duration_ns) / 1000.0);
+    out += ",\"args\":{\"depth\":";
+    out += std::to_string(e.depth);
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status WriteTraceJson(const std::string& path) {
+  const std::string json = TraceToJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return IOError("cannot open trace output file: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return IOError("short write to trace output file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace lasagne::obs

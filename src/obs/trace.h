@@ -1,0 +1,108 @@
+#ifndef LASAGNE_OBS_TRACE_H_
+#define LASAGNE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lasagne::obs {
+
+namespace internal {
+
+extern std::atomic<bool> g_trace_enabled;
+
+/// Wall-clock nanoseconds since the process trace epoch (steady clock).
+int64_t TraceNowNs();
+
+/// Records one completed span for the calling thread. Handles the
+/// nesting-depth bookkeeping started by TraceScope's constructor.
+void RecordSpan(const char* name, int64_t start_ns);
+
+/// Increments the calling thread's span-nesting depth (called by
+/// TraceScope when tracing is on) and returns the depth of the new
+/// span (0 = top level).
+uint32_t EnterSpan();
+
+}  // namespace internal
+
+/// One completed span, collected from the per-thread ring buffers.
+struct TraceEvent {
+  const char* name = nullptr;  // static-lifetime string (span label)
+  int64_t start_ns = 0;        // since the trace epoch
+  int64_t duration_ns = 0;
+  uint32_t tid = 0;    // small dense thread id
+  uint32_t depth = 0;  // span nesting depth on that thread (0 = top)
+};
+
+/// True while span recording is on. One relaxed atomic load — the whole
+/// cost of a LASAGNE_TRACE_SCOPE while tracing is off.
+inline bool TracingEnabled() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns span recording on. Threads record into private ring buffers of
+/// `events_per_thread` slots (oldest spans overwritten on overflow).
+/// Buffers already created keep their capacity.
+void EnableTracing(size_t events_per_thread = 1 << 16);
+
+/// Stops recording. Already-recorded spans remain collectable.
+void DisableTracing();
+
+/// Drops every recorded span (buffers stay allocated).
+void ClearTrace();
+
+/// Snapshot of all recorded spans, merged across threads and sorted by
+/// start time. Spans recorded concurrently with the collection may be
+/// missed; call after the traced work has finished.
+std::vector<TraceEvent> CollectTrace();
+
+/// Number of spans dropped to ring-buffer overflow so far.
+uint64_t TraceDroppedEvents();
+
+/// Serializes the recorded spans in Chrome trace / Perfetto JSON
+/// ("traceEvents" array of "ph":"X" complete events, microsecond
+/// timestamps). Open in chrome://tracing or https://ui.perfetto.dev.
+std::string TraceToJson();
+
+/// Writes TraceToJson() to `path`.
+Status WriteTraceJson(const std::string& path);
+
+/// RAII span: records [construction, destruction) of the enclosing
+/// scope under `name` when tracing is enabled; a single relaxed atomic
+/// load otherwise. `name` must have static lifetime (string literal).
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name) {
+    if (!TracingEnabled()) return;
+    name_ = name;
+    depth_plus_one_ = internal::EnterSpan() + 1;
+    start_ns_ = internal::TraceNowNs();
+  }
+
+  ~TraceScope() {
+    if (depth_plus_one_ != 0) internal::RecordSpan(name_, start_ns_);
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  int64_t start_ns_ = 0;
+  uint32_t depth_plus_one_ = 0;  // 0 = inactive (tracing was off)
+};
+
+#define LASAGNE_TRACE_CONCAT_INNER_(a, b) a##b
+#define LASAGNE_TRACE_CONCAT_(a, b) LASAGNE_TRACE_CONCAT_INNER_(a, b)
+
+/// Instruments the enclosing scope as a named trace span.
+#define LASAGNE_TRACE_SCOPE(name)                                     \
+  ::lasagne::obs::TraceScope LASAGNE_TRACE_CONCAT_(lasagne_trace_at_, \
+                                                   __LINE__)(name)
+
+}  // namespace lasagne::obs
+
+#endif  // LASAGNE_OBS_TRACE_H_

@@ -6,6 +6,8 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lasagne {
 
@@ -13,6 +15,32 @@ namespace {
 
 // Elements of work per parallel chunk (see docs/THREADING.md).
 constexpr size_t kGrain = 32768;
+
+// Per-kernel call counters (function-local statics are thread-safe;
+// the steady-state path is one relaxed load + one relaxed fetch_add).
+inline void CountSpmm() {
+  if (obs::MetricsEnabled()) {
+    static obs::Counter& calls =
+        obs::MetricsRegistry::Global().GetCounter("sparse.spmm.calls");
+    calls.Increment();
+  }
+}
+
+inline void CountSpmmTransposed() {
+  if (obs::MetricsEnabled()) {
+    static obs::Counter& calls =
+        obs::MetricsRegistry::Global().GetCounter("sparse.spmm_t.calls");
+    calls.Increment();
+  }
+}
+
+inline void CountSpGemm() {
+  if (obs::MetricsEnabled()) {
+    static obs::Counter& calls =
+        obs::MetricsRegistry::Global().GetCounter("sparse.spgemm.calls");
+    calls.Increment();
+  }
+}
 
 }  // namespace
 
@@ -77,6 +105,8 @@ CsrMatrix CsrMatrix::Identity(size_t n) {
 }
 
 Tensor CsrMatrix::Multiply(const Tensor& dense) const {
+  LASAGNE_TRACE_SCOPE("spmm");
+  CountSpmm();
   LASAGNE_CHECK_EQ(cols_, dense.rows());
   Tensor out(rows_, dense.cols());
   const size_t d = dense.cols();
@@ -100,6 +130,8 @@ Tensor CsrMatrix::Multiply(const Tensor& dense) const {
 }
 
 Tensor CsrMatrix::TransposedMultiply(const Tensor& dense) const {
+  LASAGNE_TRACE_SCOPE("spmm_t");
+  CountSpmmTransposed();
   LASAGNE_CHECK_EQ(rows_, dense.rows());
   Tensor out(cols_, dense.cols());
   const size_t d = dense.cols();
@@ -144,6 +176,8 @@ CsrMatrix CsrMatrix::Transpose() const {
 
 CsrMatrix CsrMatrix::Multiply(const CsrMatrix& other, float prune_tolerance,
                               size_t row_cap) const {
+  LASAGNE_TRACE_SCOPE("spgemm");
+  CountSpGemm();
   LASAGNE_CHECK_EQ(cols_, other.rows_);
   std::vector<Triplet> triplets;
   // Gustavson's algorithm with a dense accumulator per row. A column is

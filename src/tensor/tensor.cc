@@ -7,6 +7,8 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lasagne {
 
@@ -15,6 +17,16 @@ namespace {
 // Elements of work per parallel chunk. Loops cheaper than this run
 // inline; see docs/THREADING.md for the grain-size heuristics.
 constexpr size_t kGrain = 32768;
+
+// Counts a dense-GEMM-family call when metrics are on (one relaxed
+// atomic load when off; see docs/OBSERVABILITY.md for metric names).
+inline void CountMatMul() {
+  if (obs::MetricsEnabled()) {
+    static obs::Counter& calls =
+        obs::MetricsRegistry::Global().GetCounter("tensor.matmul.calls");
+    calls.Increment();
+  }
+}
 
 // Row grain for kernels whose per-row cost is `work_per_row` elements.
 size_t RowGrain(size_t work_per_row) {
@@ -158,6 +170,8 @@ Tensor Tensor::Map(const std::function<float(float)>& fn) const {
 }
 
 Tensor Tensor::MatMul(const Tensor& other) const {
+  LASAGNE_TRACE_SCOPE("matmul");
+  CountMatMul();
   LASAGNE_CHECK_EQ(cols_, other.rows_);
   Tensor out(rows_, other.cols_);
   const size_t k_dim = cols_;
@@ -183,6 +197,8 @@ Tensor Tensor::MatMul(const Tensor& other) const {
 }
 
 Tensor Tensor::TransposedMatMul(const Tensor& other) const {
+  LASAGNE_TRACE_SCOPE("matmul_at");
+  CountMatMul();
   LASAGNE_CHECK_EQ(rows_, other.rows_);
   Tensor out(cols_, other.cols_);
   const size_t n_dim = other.cols_;
@@ -206,6 +222,8 @@ Tensor Tensor::TransposedMatMul(const Tensor& other) const {
 }
 
 Tensor Tensor::MatMulTransposed(const Tensor& other) const {
+  LASAGNE_TRACE_SCOPE("matmul_bt");
+  CountMatMul();
   LASAGNE_CHECK_EQ(cols_, other.cols_);
   Tensor out(rows_, other.rows_);
   ParallelFor(0, rows_, RowGrain(other.rows_ * cols_), [&](size_t row_begin,

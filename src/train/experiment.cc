@@ -6,6 +6,8 @@
 #include "common/check.h"
 #include "common/fault_injection.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lasagne {
 
@@ -49,6 +51,12 @@ ExperimentResult RunRepeatedExperiment(const std::string& model_name,
 
   std::vector<TrialOutcome> outcomes(repeats);
   auto run_trial = [&](size_t r) {
+    LASAGNE_TRACE_SCOPE("trial");
+    if (obs::MetricsEnabled()) {
+      static obs::Counter& trials =
+          obs::MetricsRegistry::Global().GetCounter("experiment.trials");
+      trials.Increment();
+    }
     TrialOutcome& outcome = outcomes[r];
     for (size_t attempt = 0; attempt <= kMaxRetriesPerTrial && !outcome.done;
          ++attempt) {
@@ -58,6 +66,9 @@ ExperimentResult RunRepeatedExperiment(const std::string& model_name,
       run_config.seed = config.seed + 1000 * r + 17 + 9973 * attempt;
       TrainOptions run_options = options;
       run_options.seed = options.seed + 2000 * r + 31 + 7919 * attempt;
+      // TelemetryWriter is single-run/single-thread; concurrent trials
+      // must not share one sink (see obs/telemetry.h).
+      if (r > 0 || attempt > 0) run_options.telemetry = nullptr;
 
       StatusOr<std::unique_ptr<Model>> model =
           TryMakeModel(model_name, data, run_config);

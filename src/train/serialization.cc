@@ -12,9 +12,17 @@
 #include <sstream>
 
 #include "common/fault_injection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lasagne {
 namespace {
+
+inline void CountCheckpoint(const char* name) {
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Global().GetCounter(name).Increment();
+  }
+}
 
 // -- Bitwise-exact float encoding ------------------------------------------
 // Tensor entries round-trip through their IEEE-754 bit patterns so a
@@ -298,6 +306,8 @@ Status LoadV2Payload(const std::string& payload,
 Status SaveCheckpoint(const std::vector<ag::Variable>& params,
                       const TrainerState* trainer_state,
                       const std::string& path) {
+  LASAGNE_TRACE_SCOPE("checkpoint.save");
+  CountCheckpoint("checkpoint.saves");
   std::string payload;
   payload += "tensors " + std::to_string(params.size()) + "\n";
   for (const ag::Variable& p : params) AppendTensor(payload, p->value());
@@ -350,6 +360,8 @@ Status SaveCheckpoint(const std::vector<ag::Variable>& params,
 Status LoadCheckpoint(const std::vector<ag::Variable>& params,
                       TrainerState* trainer_state,
                       const std::string& path) {
+  LASAGNE_TRACE_SCOPE("checkpoint.load");
+  CountCheckpoint("checkpoint.loads");
   std::ifstream in(path, std::ios::binary);
   if (!in) return NotFoundError("cannot open checkpoint " + path);
   std::ostringstream buffer;

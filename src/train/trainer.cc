@@ -7,6 +7,9 @@
 
 #include "common/check.h"
 #include "common/fault_injection.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "train/optimizer.h"
 #include "train/serialization.h"
 
@@ -30,6 +33,7 @@ double MaskedAccuracy(const Tensor& logits,
 
 double EvaluateAccuracy(Model& model, const std::vector<float>& mask,
                         Rng& rng) {
+  LASAGNE_TRACE_SCOPE("evaluate");
   nn::ForwardContext ctx{/*training=*/false, &rng};
   ag::Variable logits = model.Forward(ctx);
   return MaskedAccuracy(logits->value(), model.data().labels, mask);
@@ -63,14 +67,19 @@ bool ParametersFinite(const std::vector<ag::Variable>& params) {
   return true;
 }
 
-/// Scales all gradients so their global L2 norm is at most `max_norm`.
-void ClipGradientsByGlobalNorm(const std::vector<ag::Variable>& params,
-                               float max_norm) {
+/// Global L2 norm over all parameter gradients.
+double GradientGlobalNorm(const std::vector<ag::Variable>& params) {
   double squared = 0.0;
   for (const ag::Variable& p : params) {
     if (!p->grad().empty()) squared += p->grad().SquaredNorm();
   }
-  const double norm = std::sqrt(squared);
+  return std::sqrt(squared);
+}
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`.
+void ClipGradientsByGlobalNorm(const std::vector<ag::Variable>& params,
+                               float max_norm) {
+  const double norm = GradientGlobalNorm(params);
   if (norm <= max_norm || norm == 0.0) return;
   const float scale = static_cast<float>(max_norm / norm);
   for (const ag::Variable& p : params) {
@@ -154,6 +163,15 @@ TrainResult TrainModel(Model& model, const TrainOptions& options) {
         optimizer.learning_rate() * options.recovery_lr_backoff;
     optimizer.set_learning_rate(new_lr);
     result.recoveries.push_back(RecoveryEvent{epoch, reason, new_lr});
+    if (options.telemetry != nullptr) {
+      options.telemetry->RecordRecovery(
+          obs::RecoveryTelemetry{epoch, reason, new_lr});
+    }
+    if (obs::MetricsEnabled()) {
+      static obs::Counter& recoveries =
+          obs::MetricsRegistry::Global().GetCounter("train.recoveries");
+      recoveries.Increment();
+    }
     if (options.verbose) {
       std::fprintf(stderr,
                    "  recovery %zu at epoch %zu (%s): rollback to epoch "
@@ -164,11 +182,18 @@ TrainResult TrainModel(Model& model, const TrainOptions& options) {
 
   size_t epoch = start_epoch;
   while (epoch < options.max_epochs) {
+    LASAGNE_TRACE_SCOPE("epoch");
     const auto start = std::chrono::steady_clock::now();
     nn::ForwardContext train_ctx{/*training=*/true, &rng};
     optimizer.ZeroGrad();
     ag::Variable loss = model.TrainingLoss(train_ctx);
     ag::Backward(loss);
+
+    // Read-only probe for telemetry (pre-clipping); skipped entirely
+    // when no sink is attached so plain runs pay nothing.
+    const double grad_norm = options.telemetry != nullptr
+                                 ? GradientGlobalNorm(params)
+                                 : 0.0;
 
     if (FaultInjector::Global().ConsumeNanGradient(epoch)) {
       for (const ag::Variable& p : params) {
@@ -213,14 +238,29 @@ TrainResult TrainModel(Model& model, const TrainOptions& options) {
     }
 
     const auto end = std::chrono::steady_clock::now();
-    total_time_ms +=
+    const double epoch_ms =
         std::chrono::duration<double, std::milli>(end - start).count();
+    total_time_ms += epoch_ms;
 
     result.loss_history.push_back(loss_value);
     const double val_acc = EvaluateAccuracy(model, model.data().val_mask,
                                             rng);
     result.val_accuracy_history.push_back(val_acc);
     result.epochs_run = epoch + 1;
+
+    if (options.telemetry != nullptr) {
+      options.telemetry->RecordEpoch(obs::EpochTelemetry{
+          epoch, loss_value, val_acc, grad_norm,
+          optimizer.learning_rate(), epoch_ms});
+    }
+    if (obs::MetricsEnabled()) {
+      static obs::Counter& epochs =
+          obs::MetricsRegistry::Global().GetCounter("train.epochs");
+      static obs::Histogram& epoch_hist =
+          obs::MetricsRegistry::Global().GetHistogram("train.epoch_ms");
+      epochs.Increment();
+      epoch_hist.Record(epoch_ms);
+    }
 
     if (val_acc > result.best_val_accuracy) {
       result.best_val_accuracy = val_acc;

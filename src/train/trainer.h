@@ -10,6 +10,10 @@
 
 namespace lasagne {
 
+namespace obs {
+class TelemetryWriter;
+}  // namespace obs
+
 /// Training hyper-parameters (defaults follow the paper's §5.1.3:
 /// Adam, lr 0.02, L2 5e-4, up to 400 epochs, early stop after 20
 /// non-improving validation checks).
@@ -51,6 +55,14 @@ struct TrainOptions {
   /// mismatched checkpoint is reported in `TrainResult::resume_status`
   /// and the run starts fresh from epoch 0.
   bool resume = false;
+
+  // -- Observability --------------------------------------------------------
+
+  /// Optional training-telemetry sink. When set, every healthy epoch is
+  /// recorded (loss, val accuracy, pre-clip gradient norm, lr, epoch
+  /// time) and every divergence recovery is logged. A pure observer:
+  /// attaching it never changes model state, RNG streams or results.
+  obs::TelemetryWriter* telemetry = nullptr;
 };
 
 /// One divergence-recovery incident during training.

@@ -1,0 +1,160 @@
+// Golden-run regression harness: trains a small fixed-seed model and
+// compares the loss trajectory and final accuracies against a golden
+// JSON file checked into the repository. Catches silent numerical
+// drift anywhere in the stack (tensor kernels, sparse ops, autograd,
+// optimizer, RNG streams) that shape-level unit tests cannot see.
+//
+// Regenerate the golden file after an *intentional* numerical change:
+//   ./lasagne_golden_run_test --update-golden
+//
+// This binary has its own main (instead of gtest_main) so it can take
+// the --update-golden flag; the CMake target compiles only this file.
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "data/registry.h"
+#include "gtest/gtest.h"
+#include "models/model.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "train/trainer.h"
+
+namespace lasagne {
+namespace {
+
+bool g_update_golden = false;
+
+std::string GoldenPath() {
+  return std::string(LASAGNE_SOURCE_DIR) + "/tests/golden/golden_run.json";
+}
+
+/// The reference workload: small, fast (< 1 s) and touching the full
+/// stack — sparse propagation, dense kernels, autograd, Adam, early
+/// stopping. Everything is seeded; the run is deterministic at any
+/// thread count by the library's parallel-determinism contract.
+TrainResult RunReference(obs::TelemetryWriter* telemetry = nullptr) {
+  Dataset data = LoadDataset("cora", /*scale=*/0.25, /*seed=*/9);
+  ModelConfig config;
+  config.depth = 2;
+  config.hidden_dim = 16;
+  config.dropout = 0.5f;
+  config.seed = 7;
+  TrainOptions options;
+  options.max_epochs = 20;
+  options.patience = 20;
+  options.seed = 11;
+  options.telemetry = telemetry;
+  StatusOr<std::unique_ptr<Model>> model =
+      TryMakeModel("gcn", data, config);
+  LASAGNE_CHECK_MSG(model.ok(), model.status().ToString());
+  return TrainModel(**model, options);
+}
+
+obs::JsonValue ResultToJson(const TrainResult& result) {
+  obs::JsonValue root = obs::JsonValue::Object();
+  root.Set("model", obs::JsonValue::String("gcn"));
+  root.Set("dataset", obs::JsonValue::String("cora@0.25"));
+  root.Set("epochs_run",
+           obs::JsonValue::Number(static_cast<double>(result.epochs_run)));
+  obs::JsonValue losses = obs::JsonValue::Array();
+  for (double loss : result.loss_history) {
+    losses.Append(obs::JsonValue::Number(loss));
+  }
+  root.Set("loss_history", std::move(losses));
+  root.Set("final_loss", obs::JsonValue::Number(result.final_loss));
+  root.Set("best_val_accuracy",
+           obs::JsonValue::Number(result.best_val_accuracy));
+  root.Set("test_accuracy",
+           obs::JsonValue::Number(result.test_accuracy));
+  return root;
+}
+
+TEST(GoldenRunTest, MatchesGoldenFile) {
+  TrainResult result = RunReference();
+  ASSERT_GT(result.epochs_run, 0u);
+  ASSERT_FALSE(result.diverged);
+
+  if (g_update_golden) {
+    std::ofstream out(GoldenPath(), std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    out << ResultToJson(result).Dump() << "\n";
+    std::printf("updated %s\n", GoldenPath().c_str());
+    return;
+  }
+
+  std::ifstream in(GoldenPath(), std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << GoldenPath()
+      << " — regenerate with ./lasagne_golden_run_test --update-golden";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  StatusOr<obs::JsonValue> parsed = obs::JsonValue::Parse(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue& golden = parsed.value();
+
+  EXPECT_EQ(static_cast<size_t>(golden.Find("epochs_run")->AsDouble()),
+            result.epochs_run);
+  const auto& golden_losses = golden.Find("loss_history")->AsArray();
+  ASSERT_EQ(golden_losses.size(), result.loss_history.size());
+  for (size_t i = 0; i < golden_losses.size(); ++i) {
+    const double expected = golden_losses[i].AsDouble();
+    const double actual = result.loss_history[i];
+    EXPECT_NEAR(actual, expected,
+                1e-4 * std::max(1.0, std::fabs(expected)))
+        << "loss diverged from golden at epoch " << i;
+  }
+  EXPECT_NEAR(result.final_loss, golden.Find("final_loss")->AsDouble(),
+              1e-4);
+  EXPECT_NEAR(result.best_val_accuracy,
+              golden.Find("best_val_accuracy")->AsDouble(), 1e-6);
+  EXPECT_NEAR(result.test_accuracy,
+              golden.Find("test_accuracy")->AsDouble(), 1e-6);
+}
+
+TEST(GoldenRunTest, ObservabilityDoesNotPerturbTraining) {
+  // The observability layer must be a pure observer: the same run with
+  // tracing, metrics and telemetry all enabled has to produce bitwise
+  // identical losses and accuracies.
+  TrainResult plain = RunReference();
+
+  obs::EnableTracing();
+  obs::EnableMetrics();
+  obs::TelemetryWriter telemetry;  // in-memory sink
+  TrainResult instrumented = RunReference(&telemetry);
+  obs::DisableTracing();
+  obs::DisableMetrics();
+  obs::ClearTrace();
+
+  ASSERT_EQ(plain.epochs_run, instrumented.epochs_run);
+  ASSERT_EQ(plain.loss_history.size(), instrumented.loss_history.size());
+  for (size_t i = 0; i < plain.loss_history.size(); ++i) {
+    EXPECT_EQ(plain.loss_history[i], instrumented.loss_history[i])
+        << "epoch " << i << " loss changed with observability enabled";
+  }
+  EXPECT_EQ(plain.best_val_accuracy, instrumented.best_val_accuracy);
+  EXPECT_EQ(plain.test_accuracy, instrumented.test_accuracy);
+  // And the sinks actually observed the run.
+  EXPECT_EQ(telemetry.epochs().size(), instrumented.epochs_run);
+}
+
+}  // namespace
+}  // namespace lasagne
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-golden") {
+      lasagne::g_update_golden = true;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

@@ -15,6 +15,8 @@
 #include "common/thread_pool.h"
 #include "data/registry.h"
 #include "models/model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sparse/csr_matrix.h"
 #include "tensor/tensor.h"
 #include "train/experiment.h"
@@ -223,6 +225,36 @@ TEST(ParallelDeterminismTest, FullTrainedRunBitwiseIdentical) {
       ExpectBitwiseEqual(reference[i], got[i], "trained parameter");
     }
   }
+}
+
+TEST(ParallelDeterminismTest, KernelsUnchangedWithObservabilityEnabled) {
+  // Instrumentation sits on the hot paths (SpMM, GEMM, pool tasks); it
+  // must never change numerics. Same kernels, obs off vs obs on, at
+  // several thread counts, bitwise.
+  ThreadCountGuard guard;
+  Rng rng(29);
+  Tensor dense_matrix = Tensor::Normal(409, 277, 0.0f, 1.0f, rng);
+  for (size_t i = 0; i < dense_matrix.size(); ++i) {
+    if (rng.Uniform() > 0.1) dense_matrix.data()[i] = 0.0f;
+  }
+  const CsrMatrix m = CsrMatrix::FromDense(dense_matrix);
+  const Tensor x = Tensor::Normal(277, 33, 0.0f, 1.0f, rng);
+  const Tensor w = Tensor::Normal(33, 33, 0.0f, 1.0f, rng);
+
+  SetNumThreads(4);
+  const Tensor spmm_ref = m.Multiply(x);
+  const Tensor gemm_ref = spmm_ref.MatMul(w);
+
+  obs::EnableTracing(1 << 12);
+  obs::EnableMetrics();
+  for (size_t threads : {1u, 2u, 8u}) {
+    SetNumThreads(threads);
+    ExpectBitwiseEqual(spmm_ref, m.Multiply(x), "SpMM with obs on");
+    ExpectBitwiseEqual(gemm_ref, spmm_ref.MatMul(w), "GEMM with obs on");
+  }
+  obs::DisableTracing();
+  obs::DisableMetrics();
+  obs::ClearTrace();
 }
 
 TEST(ParallelTrialsTest, RepeatedExperimentMatchesSerial) {

@@ -18,11 +18,18 @@
 #include <cstring>
 #include <string>
 
+#include <fstream>
+#include <sstream>
+
 #include "common/thread_pool.h"
 #include "data/io.h"
 #include "data/registry.h"
 #include "metrics/classification.h"
 #include "models/model.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "train/experiment.h"
 #include "train/serialization.h"
 #include "train/trainer.h"
@@ -55,6 +62,10 @@ struct Flags {
   bool verbose = false;
   bool list_models = false;
   bool list_datasets = false;
+  std::string trace_out;      // --trace-out: Chrome trace JSON
+  std::string metrics_out;    // --metrics-out: registry scrape
+  std::string telemetry_out;  // --telemetry-out: per-epoch JSONL
+  std::string validate_trace;  // --validate-trace: check file, exit
 };
 
 void PrintUsage() {
@@ -69,6 +80,8 @@ void PrintUsage() {
       "                   [--checkpoint PATH] [--checkpoint-interval N]\n"
       "                   [--resume] [--max-recoveries N] [--grad-clip F]\n"
       "                   [--export-dataset PREFIX] [--verbose]\n"
+      "                   [--trace-out PATH] [--metrics-out PATH]\n"
+      "                   [--telemetry-out PATH] [--validate-trace PATH]\n"
       "                   [--list-models] [--list-datasets]\n");
 }
 
@@ -96,6 +109,10 @@ bool ParseFlags(int argc, char** argv, Flags& flags) {
     STRING_FLAG("--save", save_checkpoint)
     STRING_FLAG("--load", load_checkpoint)
     STRING_FLAG("--checkpoint", checkpoint)
+    STRING_FLAG("--trace-out", trace_out)
+    STRING_FLAG("--metrics-out", metrics_out)
+    STRING_FLAG("--telemetry-out", telemetry_out)
+    STRING_FLAG("--validate-trace", validate_trace)
 #undef STRING_FLAG
     if (arg == "--depth" || arg == "--hidden" || arg == "--epochs" ||
         arg == "--patience" || arg == "--repeats" || arg == "--seed" ||
@@ -176,6 +193,61 @@ void ReportFaultEvents(const lasagne::TrainResult& result) {
   }
 }
 
+// --validate-trace: parse PATH as Chrome trace JSON and sanity-check
+// the event records. Exit code 0 = valid.
+int ValidateTraceFile(const std::string& path) {
+  using lasagne::obs::JsonValue;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open trace file %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  lasagne::StatusOr<JsonValue> parsed = JsonValue::Parse(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "trace file %s is not valid JSON: %s\n",
+                 path.c_str(), parsed.status().ToString().c_str());
+    return 1;
+  }
+  const JsonValue& root = parsed.value();
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "trace file %s has no traceEvents array\n",
+                 path.c_str());
+    return 1;
+  }
+  for (const JsonValue& event : events->AsArray()) {
+    if (!event.is_object() || event.Find("name") == nullptr ||
+        event.Find("ph") == nullptr || event.Find("ts") == nullptr) {
+      std::fprintf(stderr,
+                   "trace file %s has a malformed event record\n",
+                   path.c_str());
+      return 1;
+    }
+  }
+  std::printf("trace %s: valid, %zu events\n", path.c_str(),
+              events->AsArray().size());
+  return 0;
+}
+
+// Writes the metrics-registry scrape to `path` — JSON when the path
+// ends in .json, the plain-text format otherwise.
+void ExportMetrics(const std::string& path) {
+  auto& registry = lasagne::obs::MetricsRegistry::Global();
+  const bool as_json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  const std::string body =
+      as_json ? registry.ScrapeJson() : registry.ScrapeText();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write metrics to %s\n", path.c_str());
+    return;
+  }
+  out << body;
+  std::printf("wrote metrics scrape to %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -185,7 +257,20 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 1;
   }
+  if (!flags.validate_trace.empty()) {
+    return ValidateTraceFile(flags.validate_trace);
+  }
   if (flags.threads > 0) SetNumThreads(flags.threads);
+  if (!flags.trace_out.empty()) obs::EnableTracing();
+  if (!flags.metrics_out.empty()) obs::EnableMetrics();
+  obs::TelemetryWriter telemetry;
+  if (!flags.telemetry_out.empty()) {
+    Status opened = telemetry.Open(flags.telemetry_out);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.ToString().c_str());
+      return 1;
+    }
+  }
   if (flags.list_models) {
     for (const std::string& name : KnownModelNames()) {
       std::printf("%s\n", name.c_str());
@@ -254,6 +339,26 @@ int main(int argc, char** argv) {
   options.checkpoint_path = flags.checkpoint;
   options.checkpoint_interval = flags.checkpoint_interval;
   options.resume = flags.resume;
+  if (!flags.telemetry_out.empty()) options.telemetry = &telemetry;
+
+  // Flushes trace/metrics/telemetry sinks on every exit path below.
+  auto export_observability = [&] {
+    if (!flags.trace_out.empty()) {
+      Status written = obs::WriteTraceJson(flags.trace_out);
+      if (written.ok()) {
+        std::printf("wrote trace (%zu events) to %s\n",
+                    obs::CollectTrace().size(), flags.trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "trace export failed: %s\n",
+                     written.ToString().c_str());
+      }
+    }
+    if (!flags.metrics_out.empty()) ExportMetrics(flags.metrics_out);
+    if (!flags.telemetry_out.empty()) {
+      std::printf("%s", telemetry.SummaryTable().c_str());
+      std::printf("wrote telemetry to %s\n", flags.telemetry_out.c_str());
+    }
+  };
 
   if (flags.repeats > 1) {
     ExperimentResult result = RunRepeatedExperiment(
@@ -272,6 +377,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "  %s\n", note.c_str());
       }
     }
+    export_observability();
     return 0;
   }
 
@@ -326,5 +432,6 @@ int main(int argc, char** argv) {
     }
     std::printf("saved checkpoint %s\n", flags.save_checkpoint.c_str());
   }
+  export_observability();
   return 0;
 }
