@@ -17,6 +17,7 @@
 #include "data/registry.h"
 #include "metrics/mutual_info.h"
 #include "nn/layers.h"
+#include "train/optimizer.h"
 
 namespace lasagne {
 namespace {
@@ -210,6 +211,79 @@ BENCHMARK(BM_TransposedSpMMLarge)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8);
+
+// -- Fused kernels and the buffer pool -------------------------------------
+
+void BM_MatMulTransposedLarge(benchmark::State& state) {
+  LargeFixture& f = GetLargeFixture();
+  SetNumThreads(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.h.MatMulTransposed(f.w));
+  }
+  state.SetItemsProcessed(state.iterations() * f.h.rows() * 64 * 64);
+  SetNumThreads(0);
+}
+BENCHMARK(BM_MatMulTransposedLarge)->ArgName("threads")->Arg(1)->Arg(8);
+
+void BM_AdamStepFused(benchmark::State& state) {
+  Rng rng(13);
+  std::vector<ag::Variable> params;
+  for (int i = 0; i < 4; ++i) {
+    params.push_back(
+        ag::MakeParameter(Tensor::Normal(1433, 64, 0.0f, 0.1f, rng)));
+  }
+  AdamOptimizer opt(params, 0.01f, 5e-4f);
+  for (const ag::Variable& p : params) {
+    p->AccumulateGrad(Tensor::Normal(1433, 64, 0.0f, 0.1f, rng));
+  }
+  for (auto _ : state) {
+    opt.Step();
+  }
+  state.SetItemsProcessed(state.iterations() * params.size() * 1433 * 64);
+}
+BENCHMARK(BM_AdamStepFused);
+
+void BM_LinearBiasForward(benchmark::State& state) {
+  // Fused AddRowVector bias broadcast vs the retired ones @ bias GEMM.
+  Fixture& f = GetFixture();
+  Rng rng(17);
+  nn::Linear linear(32, 32, rng, /*bias=*/true);
+  ag::Variable x = ag::MakeConstant(f.h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linear.Forward(x)->value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.h.rows() * 32);
+}
+BENCHMARK(BM_LinearBiasForward);
+
+void BM_ReluForwardBackwardFused(benchmark::State& state) {
+  LargeFixture& f = GetLargeFixture();
+  ag::Variable x = ag::MakeParameter(f.h);
+  const Tensor g = Tensor::Ones(f.h.rows(), f.h.cols());
+  for (auto _ : state) {
+    x->ZeroGrad();
+    ag::Variable y = ag::Relu(x);
+    ag::BackwardWithGrad(y, g);
+    benchmark::DoNotOptimize(x->grad().data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.h.size() * 2);
+}
+BENCHMARK(BM_ReluForwardBackwardFused);
+
+void BM_PoolAllocationChurn(benchmark::State& state) {
+  // Steady-state temporary churn: the pattern autograd generates every
+  // epoch. With the pool warm this is freelist checkout, not malloc.
+  for (auto _ : state) {
+    Tensor a = Tensor::Uninitialized(2708, 64);
+    Tensor b = Tensor::Uninitialized(2708, 16);
+    Tensor c = Tensor::Uninitialized(1, 64);
+    benchmark::DoNotOptimize(a.data());
+    benchmark::DoNotOptimize(b.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_PoolAllocationChurn);
 
 }  // namespace
 }  // namespace lasagne

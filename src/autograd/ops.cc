@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel_config.h"
 #include "common/thread_pool.h"
+#include "tensor/kernels.h"
 
 namespace lasagne::ag {
 
@@ -102,32 +104,45 @@ Variable UnaryOp(const Variable& x, const char* name,
 }  // namespace
 
 Variable Relu(const Variable& x) {
-  return UnaryOp(
-      x, "Relu", [](float v) { return v > 0.0f ? v : 0.0f; },
-      [](const Tensor& g, const Tensor& x_val, const Tensor&) {
-        Tensor dx = g;
-        for (size_t r = 0; r < dx.rows(); ++r) {
-          for (size_t c = 0; c < dx.cols(); ++c) {
-            if (x_val(r, c) <= 0.0f) dx(r, c) = 0.0f;
-          }
-        }
-        return dx;
-      });
+  // Fused kernel path: forward is max(x, 0) lane-exactly, backward
+  // masks g where x <= 0 — both bitwise the per-element formulation
+  // UnaryOp used to run through std::function (docs/KERNELS.md).
+  Tensor y = Tensor::Uninitialized(x->rows(), x->cols());
+  ParallelFor(0, y.size(), kGrain, [&](size_t begin, size_t end) {
+    kernels::ReluForward(x->value().data() + begin, y.data() + begin,
+                         end - begin);
+  });
+  Variable out = MakeOpNode(std::move(y), {x}, "Relu");
+  Node* px = x.get();
+  out->set_backward_fn([px](const Tensor& g) {
+    Tensor dx = Tensor::Uninitialized(g.rows(), g.cols());
+    ParallelFor(0, g.size(), kGrain, [&](size_t begin, size_t end) {
+      kernels::ReluBackward(g.data() + begin, px->value().data() + begin,
+                            dx.data() + begin, end - begin);
+    });
+    px->AccumulateGrad(dx);
+  });
+  return out;
 }
 
 Variable LeakyRelu(const Variable& x, float alpha) {
-  return UnaryOp(
-      x, "LeakyRelu",
-      [alpha](float v) { return v >= 0.0f ? v : alpha * v; },
-      [alpha](const Tensor& g, const Tensor& x_val, const Tensor&) {
-        Tensor dx = g;
-        for (size_t r = 0; r < dx.rows(); ++r) {
-          for (size_t c = 0; c < dx.cols(); ++c) {
-            if (x_val(r, c) < 0.0f) dx(r, c) *= alpha;
-          }
-        }
-        return dx;
-      });
+  Tensor y = Tensor::Uninitialized(x->rows(), x->cols());
+  ParallelFor(0, y.size(), kGrain, [&](size_t begin, size_t end) {
+    kernels::LeakyReluForward(x->value().data() + begin, alpha,
+                              y.data() + begin, end - begin);
+  });
+  Variable out = MakeOpNode(std::move(y), {x}, "LeakyRelu");
+  Node* px = x.get();
+  out->set_backward_fn([px, alpha](const Tensor& g) {
+    Tensor dx = Tensor::Uninitialized(g.rows(), g.cols());
+    ParallelFor(0, g.size(), kGrain, [&](size_t begin, size_t end) {
+      kernels::LeakyReluBackward(g.data() + begin,
+                                 px->value().data() + begin, alpha,
+                                 dx.data() + begin, end - begin);
+    });
+    px->AccumulateGrad(dx);
+  });
+  return out;
 }
 
 Variable Sigmoid(const Variable& x) {
@@ -225,6 +240,30 @@ Variable SpMM(std::shared_ptr<const CsrMatrix> matrix, const Variable& x) {
 // ---------------------------------------------------------------------------
 // Broadcasting / shaping
 // ---------------------------------------------------------------------------
+
+Variable AddRowVector(const Variable& x, const Variable& bias) {
+  LASAGNE_CHECK_EQ(bias->rows(), 1u);
+  LASAGNE_CHECK_EQ(bias->cols(), x->cols());
+  const size_t cols = x->cols();
+  Tensor y = Tensor::Uninitialized(x->rows(), cols);
+  ParallelFor(0, x->rows(), RowGrain(cols), [&](size_t row_begin,
+                                                size_t row_end) {
+    kernels::AddRowVector(x->value().data(), bias->value().data(), y.data(),
+                          cols, row_begin, row_end);
+  });
+  Variable out = MakeOpNode(std::move(y), {x, bias}, "AddRowVector");
+  Node* px = x.get();
+  Node* pb = bias.get();
+  out->set_backward_fn([px, pb](const Tensor& g) {
+    if (px->requires_grad()) px->AccumulateGrad(g);
+    if (pb->requires_grad()) {
+      Tensor db(1, g.cols());
+      kernels::ColSumAccumulate(g.data(), g.rows(), g.cols(), db.data());
+      pb->AccumulateGrad(db);
+    }
+  });
+  return out;
+}
 
 Variable RowScale(const Variable& x, const Variable& c) {
   LASAGNE_CHECK_EQ(c->cols(), 1u);
@@ -763,7 +802,7 @@ Variable BinaryCrossEntropyWithLogits(const Variable& logits,
   const float* x_data = logits->value().data();
   const float* t_data = targets.data();
   const double loss =
-      ParallelReduce(0, total, 32768, [&](size_t begin, size_t end) {
+      ParallelReduce(0, total, kGrain, [&](size_t begin, size_t end) {
         double acc = 0.0;
         for (size_t i = begin; i < end; ++i) {
           const float x = x_data[i];
@@ -783,7 +822,7 @@ Variable BinaryCrossEntropyWithLogits(const Variable& logits,
   out->set_backward_fn([pl, sig, targets_ptr, total](const Tensor& g) {
     const float scale = g(0, 0) / static_cast<float>(total);
     Tensor dx(pl->rows(), pl->cols());
-    ParallelFor(0, total, 32768, [&](size_t begin, size_t end) {
+    ParallelFor(0, total, kGrain, [&](size_t begin, size_t end) {
       for (size_t i = begin; i < end; ++i) {
         dx.data()[i] = scale * (sig->data()[i] - targets_ptr->data()[i]);
       }

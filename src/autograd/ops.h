@@ -54,6 +54,11 @@ Variable SpMM(std::shared_ptr<const CsrMatrix> matrix, const Variable& x);
 // Broadcasting / shaping
 // ---------------------------------------------------------------------------
 
+/// Adds the (1 x D) row vector `bias` to every row of x (N x D): the
+/// fused bias-broadcast behind Linear. Backward routes g to x verbatim
+/// and the per-column sum of g to bias (bitwise the ones^T @ g chain
+/// the unfused formulation produced).
+Variable AddRowVector(const Variable& x, const Variable& bias);
 /// Scales row i of x (N x D) by c(i, 0); c is (N x 1) and trainable.
 Variable RowScale(const Variable& x, const Variable& c);
 /// Divides row i of x by d(i, 0) (no gradient safety below eps).

@@ -1,0 +1,146 @@
+#include "common/buffer_pool.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+// Bypass the cache under ASan so reuse does not mask use-after-free of
+// tensor storage (the TSan build keeps the cache: concurrent checkout
+// is exactly what it should exercise).
+#if defined(__SANITIZE_ADDRESS__)
+#define LASAGNE_POOL_BYPASS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define LASAGNE_POOL_BYPASS 1
+#endif
+#endif
+#ifndef LASAGNE_POOL_BYPASS
+#define LASAGNE_POOL_BYPASS 0
+#endif
+
+namespace lasagne {
+
+namespace {
+
+constexpr size_t kAlignment = 64;
+
+inline void CountHit() {
+  if (obs::MetricsEnabled()) {
+    static obs::Counter& hits =
+        obs::MetricsRegistry::Global().GetCounter("tensor.alloc.pool_hits");
+    hits.Increment();
+  }
+}
+
+inline void CountMiss() {
+  if (obs::MetricsEnabled()) {
+    static obs::Counter& misses =
+        obs::MetricsRegistry::Global().GetCounter("tensor.alloc.pool_misses");
+    misses.Increment();
+  }
+}
+
+float* AlignedAlloc(size_t count) {
+  // Bucket capacities are powers of two >= 64 floats, so the byte size
+  // is always a multiple of the alignment as aligned_alloc requires.
+  void* p = std::aligned_alloc(kAlignment, count * sizeof(float));
+  LASAGNE_CHECK(p != nullptr);
+  return static_cast<float*>(p);
+}
+
+size_t BucketLog2(size_t capacity) {
+  size_t log2 = 0;
+  while ((size_t{1} << log2) < capacity) ++log2;
+  return log2;
+}
+
+}  // namespace
+
+BufferPool& BufferPool::Global() {
+  // Leaked on purpose: tensors with static storage duration may release
+  // buffers during process teardown, after local statics are destroyed.
+  static BufferPool* pool = new BufferPool();
+  return *pool;
+}
+
+size_t BufferPool::BucketCapacity(size_t count) {
+  size_t capacity = size_t{1} << kMinBucketLog2;
+  while (capacity < count) capacity <<= 1;
+  return capacity;
+}
+
+float* BufferPool::Acquire(size_t count) {
+  if (count == 0) return nullptr;
+  const size_t capacity = BucketCapacity(count);
+#if !LASAGNE_POOL_BYPASS
+  const size_t bucket = BucketLog2(capacity) - kMinBucketLog2;
+  LASAGNE_DCHECK(bucket < kNumBuckets);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<float*>& list = free_lists_[bucket];
+    if (!list.empty()) {
+      float* p = list.back();
+      list.pop_back();
+      cached_bytes_.fetch_sub(capacity * sizeof(float),
+                              std::memory_order_relaxed);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      CountHit();
+      return p;
+    }
+  }
+#endif
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  CountMiss();
+  return AlignedAlloc(capacity);
+}
+
+void BufferPool::Release(float* ptr, size_t count) {
+  if (ptr == nullptr) return;
+  const size_t capacity = BucketCapacity(count);
+  const uint64_t bytes = capacity * sizeof(float);
+#if !LASAGNE_POOL_BYPASS
+  if (cached_bytes_.load(std::memory_order_relaxed) + bytes <=
+      limit_.load(std::memory_order_relaxed)) {
+    const size_t bucket = BucketLog2(capacity) - kMinBucketLog2;
+    LASAGNE_DCHECK(bucket < kNumBuckets);
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_lists_[bucket].push_back(ptr);
+    cached_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    return;
+  }
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+#endif
+  std::free(ptr);
+}
+
+BufferPool::Stats BufferPool::GetStats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.cached_bytes = cached_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void BufferPool::ResetStats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+}
+
+void BufferPool::Trim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::vector<float*>& list : free_lists_) {
+    for (float* p : list) std::free(p);
+    list.clear();
+    list.shrink_to_fit();
+  }
+  cached_bytes_.store(0, std::memory_order_relaxed);
+}
+
+void BufferPool::SetCachedBytesLimit(uint64_t bytes) {
+  limit_.store(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace lasagne

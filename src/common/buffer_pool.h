@@ -1,0 +1,136 @@
+#ifndef LASAGNE_COMMON_BUFFER_POOL_H_
+#define LASAGNE_COMMON_BUFFER_POOL_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace lasagne {
+
+/// Process-wide, thread-safe, size-bucketed pool of 64-byte-aligned
+/// float buffers.
+///
+/// Training reallocates the same handful of tensor shapes every epoch
+/// (autograd forward/backward temporaries, Adam scratch, aggregator
+/// intermediates). The pool turns that churn into checkout/return of
+/// cached buffers: requests are rounded up to a power-of-two bucket,
+/// each bucket keeps a freelist, and a released buffer is handed back
+/// verbatim to the next acquire of the same bucket. After the first
+/// epoch has populated the buckets, steady-state training allocates
+/// (almost) nothing.
+///
+/// Buffers are uninitialized on acquire — callers that need zeros must
+/// clear them (Tensor's zeroing constructor does). A global byte cap
+/// bounds cached memory; releases beyond the cap free eagerly and
+/// count as evictions. Under AddressSanitizer the cache is bypassed
+/// (every acquire is a fresh allocation) so use-after-free of pooled
+/// storage stays visible to the sanitizer.
+///
+/// Stats are always-on relaxed atomics (a few nanoseconds per alloc);
+/// when the observability registry is enabled the pool also mirrors
+/// hits/misses into the `tensor.alloc.pool_hits` /
+/// `tensor.alloc.pool_misses` counters.
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t hits = 0;        // acquires served from a freelist
+    uint64_t misses = 0;      // acquires that had to allocate
+    uint64_t evictions = 0;   // releases freed because of the byte cap
+    uint64_t cached_bytes = 0;  // bytes currently sitting in freelists
+  };
+
+  static BufferPool& Global();
+
+  /// Returns a 64-byte-aligned buffer with capacity for at least
+  /// `count` floats. Contents are uninitialized. `count == 0` returns
+  /// nullptr. Thread-safe.
+  float* Acquire(size_t count);
+
+  /// Returns a buffer obtained from Acquire(count) to the pool (or
+  /// frees it when the cache is over its byte cap). `ptr == nullptr`
+  /// is a no-op. Thread-safe.
+  void Release(float* ptr, size_t count);
+
+  Stats GetStats() const;
+  void ResetStats();
+
+  /// Frees every cached buffer (outstanding buffers are unaffected).
+  void Trim();
+
+  /// Caps the total bytes kept in freelists. Releases that would
+  /// exceed the cap free their buffer instead of caching it.
+  void SetCachedBytesLimit(uint64_t bytes);
+  uint64_t cached_bytes_limit() const {
+    return limit_.load(std::memory_order_relaxed);
+  }
+
+  /// Bucket capacity (in floats) a request of `count` floats maps to:
+  /// the next power of two >= max(count, 64). Exposed for tests.
+  static size_t BucketCapacity(size_t count);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+ private:
+  BufferPool() = default;
+
+  // log2(BucketCapacity): buckets 6 (64 floats) .. 40 (2^40 floats).
+  static constexpr size_t kMinBucketLog2 = 6;
+  static constexpr size_t kNumBuckets = 35;
+
+  std::mutex mutex_;  // guards free_lists_
+  std::array<std::vector<float*>, kNumBuckets> free_lists_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> cached_bytes_{0};
+  std::atomic<uint64_t> limit_{512ull << 20};  // 512 MiB default
+};
+
+namespace internal {
+
+/// RAII float buffer checked out of BufferPool::Global(). Move-only;
+/// the destructor returns the storage to the pool. This is the storage
+/// type behind Tensor.
+class PoolBuffer {
+ public:
+  PoolBuffer() = default;
+  explicit PoolBuffer(size_t count)
+      : data_(BufferPool::Global().Acquire(count)), count_(count) {}
+  ~PoolBuffer() { BufferPool::Global().Release(data_, count_); }
+
+  PoolBuffer(PoolBuffer&& other) noexcept
+      : data_(other.data_), count_(other.count_) {
+    other.data_ = nullptr;
+    other.count_ = 0;
+  }
+  PoolBuffer& operator=(PoolBuffer&& other) noexcept {
+    if (this != &other) {
+      BufferPool::Global().Release(data_, count_);
+      data_ = other.data_;
+      count_ = other.count_;
+      other.data_ = nullptr;
+      other.count_ = 0;
+    }
+    return *this;
+  }
+  PoolBuffer(const PoolBuffer&) = delete;
+  PoolBuffer& operator=(const PoolBuffer&) = delete;
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  size_t count() const { return count_; }
+
+ private:
+  float* data_ = nullptr;
+  size_t count_ = 0;
+};
+
+}  // namespace internal
+}  // namespace lasagne
+
+#endif  // LASAGNE_COMMON_BUFFER_POOL_H_

@@ -1,0 +1,148 @@
+#ifndef LASAGNE_COMMON_SIMD_H_
+#define LASAGNE_COMMON_SIMD_H_
+
+#include <cmath>
+#include <cstddef>
+
+// Thin portable wrapper over the widest float vector the *translation
+// unit* is compiled for (AVX > SSE2 > scalar). Only include this from
+// kernel translation units that are built with the matching -m flags
+// (see LASAGNE_SIMD in src/CMakeLists.txt); the rest of the library
+// stays at the baseline ISA.
+//
+// Determinism contract: every operation here maps to one IEEE-754
+// correctly-rounded instruction per lane (add/sub/mul/div/sqrt/min/max
+// or bitwise selects). MulAdd is deliberately two rounded operations —
+// never an FMA — so a vectorized accumulation chain is bit-for-bit the
+// scalar chain run lane by lane. Keep it that way: the golden-run and
+// cross-thread-count bitwise tests depend on it (docs/KERNELS.md).
+
+#if defined(__AVX__)
+#include <immintrin.h>
+
+namespace lasagne::simd {
+
+inline constexpr size_t kWidth = 8;
+using Vec = __m256;
+
+inline Vec Load(const float* p) { return _mm256_loadu_ps(p); }
+inline void Store(float* p, Vec v) { _mm256_storeu_ps(p, v); }
+inline Vec Broadcast(float v) { return _mm256_set1_ps(v); }
+inline Vec Zero() { return _mm256_setzero_ps(); }
+inline Vec Add(Vec a, Vec b) { return _mm256_add_ps(a, b); }
+inline Vec Sub(Vec a, Vec b) { return _mm256_sub_ps(a, b); }
+inline Vec Mul(Vec a, Vec b) { return _mm256_mul_ps(a, b); }
+inline Vec Div(Vec a, Vec b) { return _mm256_div_ps(a, b); }
+inline Vec Sqrt(Vec a) { return _mm256_sqrt_ps(a); }
+/// Lane-wise `a > b ? a : b`; returns b when a is NaN (maxps semantics).
+inline Vec Max(Vec a, Vec b) { return _mm256_max_ps(a, b); }
+/// Ordered compares: lanes with NaN compare false (all-zero mask).
+inline Vec CmpGt(Vec a, Vec b) { return _mm256_cmp_ps(a, b, _CMP_GT_OQ); }
+inline Vec CmpGe(Vec a, Vec b) { return _mm256_cmp_ps(a, b, _CMP_GE_OQ); }
+inline Vec CmpLt(Vec a, Vec b) { return _mm256_cmp_ps(a, b, _CMP_LT_OQ); }
+inline Vec CmpLe(Vec a, Vec b) { return _mm256_cmp_ps(a, b, _CMP_LE_OQ); }
+inline Vec And(Vec a, Vec b) { return _mm256_and_ps(a, b); }
+/// b & ~mask.
+inline Vec AndNot(Vec mask, Vec b) { return _mm256_andnot_ps(mask, b); }
+/// Lane-wise mask ? a : b (mask lanes are all-ones/all-zeros).
+inline Vec Select(Vec mask, Vec a, Vec b) {
+  return _mm256_blendv_ps(b, a, mask);
+}
+/// acc + a * b as two rounded IEEE ops — never contracted to an FMA.
+inline Vec MulAdd(Vec a, Vec b, Vec acc) { return Add(acc, Mul(a, b)); }
+
+}  // namespace lasagne::simd
+
+#elif defined(__SSE2__)
+#include <emmintrin.h>
+
+namespace lasagne::simd {
+
+inline constexpr size_t kWidth = 4;
+using Vec = __m128;
+
+inline Vec Load(const float* p) { return _mm_loadu_ps(p); }
+inline void Store(float* p, Vec v) { _mm_storeu_ps(p, v); }
+inline Vec Broadcast(float v) { return _mm_set1_ps(v); }
+inline Vec Zero() { return _mm_setzero_ps(); }
+inline Vec Add(Vec a, Vec b) { return _mm_add_ps(a, b); }
+inline Vec Sub(Vec a, Vec b) { return _mm_sub_ps(a, b); }
+inline Vec Mul(Vec a, Vec b) { return _mm_mul_ps(a, b); }
+inline Vec Div(Vec a, Vec b) { return _mm_div_ps(a, b); }
+inline Vec Sqrt(Vec a) { return _mm_sqrt_ps(a); }
+inline Vec Max(Vec a, Vec b) { return _mm_max_ps(a, b); }
+inline Vec CmpGt(Vec a, Vec b) { return _mm_cmpgt_ps(a, b); }
+inline Vec CmpGe(Vec a, Vec b) { return _mm_cmpge_ps(a, b); }
+inline Vec CmpLt(Vec a, Vec b) { return _mm_cmplt_ps(a, b); }
+inline Vec CmpLe(Vec a, Vec b) { return _mm_cmple_ps(a, b); }
+inline Vec And(Vec a, Vec b) { return _mm_and_ps(a, b); }
+inline Vec AndNot(Vec mask, Vec b) { return _mm_andnot_ps(mask, b); }
+inline Vec Select(Vec mask, Vec a, Vec b) {
+  return _mm_or_ps(_mm_and_ps(mask, a), _mm_andnot_ps(mask, b));
+}
+inline Vec MulAdd(Vec a, Vec b, Vec acc) { return Add(acc, Mul(a, b)); }
+
+}  // namespace lasagne::simd
+
+#else  // scalar fallback
+
+#include <cstring>
+
+namespace lasagne::simd {
+
+inline constexpr size_t kWidth = 1;
+struct Vec {
+  float v;
+};
+
+inline Vec Load(const float* p) { return {*p}; }
+inline void Store(float* p, Vec v) { *p = v.v; }
+inline Vec Broadcast(float v) { return {v}; }
+inline Vec Zero() { return {0.0f}; }
+inline Vec Add(Vec a, Vec b) { return {a.v + b.v}; }
+inline Vec Sub(Vec a, Vec b) { return {a.v - b.v}; }
+inline Vec Mul(Vec a, Vec b) { return {a.v * b.v}; }
+inline Vec Div(Vec a, Vec b) { return {a.v / b.v}; }
+inline Vec Sqrt(Vec a) { return {std::sqrt(a.v)}; }
+inline Vec Max(Vec a, Vec b) { return {a.v > b.v ? a.v : b.v}; }
+
+namespace detail {
+inline Vec MaskOf(bool cond) {
+  Vec m;
+  const unsigned bits = cond ? 0xFFFFFFFFu : 0u;
+  std::memcpy(&m.v, &bits, sizeof(bits));
+  return m;
+}
+inline unsigned BitsOf(Vec a) {
+  unsigned bits;
+  std::memcpy(&bits, &a.v, sizeof(bits));
+  return bits;
+}
+inline Vec OfBits(unsigned bits) {
+  Vec m;
+  std::memcpy(&m.v, &bits, sizeof(bits));
+  return m;
+}
+}  // namespace detail
+
+inline Vec CmpGt(Vec a, Vec b) { return detail::MaskOf(a.v > b.v); }
+inline Vec CmpGe(Vec a, Vec b) { return detail::MaskOf(a.v >= b.v); }
+inline Vec CmpLt(Vec a, Vec b) { return detail::MaskOf(a.v < b.v); }
+inline Vec CmpLe(Vec a, Vec b) { return detail::MaskOf(a.v <= b.v); }
+inline Vec And(Vec a, Vec b) {
+  return detail::OfBits(detail::BitsOf(a) & detail::BitsOf(b));
+}
+inline Vec AndNot(Vec mask, Vec b) {
+  return detail::OfBits(~detail::BitsOf(mask) & detail::BitsOf(b));
+}
+inline Vec Select(Vec mask, Vec a, Vec b) {
+  return detail::OfBits((detail::BitsOf(mask) & detail::BitsOf(a)) |
+                        (~detail::BitsOf(mask) & detail::BitsOf(b)));
+}
+inline Vec MulAdd(Vec a, Vec b, Vec acc) { return Add(acc, Mul(a, b)); }
+
+}  // namespace lasagne::simd
+
+#endif
+
+#endif  // LASAGNE_COMMON_SIMD_H_

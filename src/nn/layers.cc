@@ -14,10 +14,10 @@ Linear::Linear(size_t in_dim, size_t out_dim, Rng& rng, bool bias)
 ag::Variable Linear::Forward(const ag::Variable& x) const {
   ag::Variable out = ag::MatMul(x, weight_);
   if (bias_ != nullptr) {
-    // Broadcast bias over rows: out + ones(N,1) @ bias(1,D).
-    ag::Variable ones =
-        ag::MakeConstant(Tensor::Ones(x->rows(), 1));
-    out = ag::Add(out, ag::MatMul(ones, bias_));
+    // Fused row broadcast; bitwise the old ones(N,1) @ bias(1,D) + Add
+    // formulation in both directions (docs/KERNELS.md) without the
+    // N x D temporary or the rank-1 GEMM.
+    out = ag::AddRowVector(out, bias_);
   }
   return out;
 }

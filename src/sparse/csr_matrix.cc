@@ -5,16 +5,15 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/parallel_config.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/kernels.h"
 
 namespace lasagne {
 
 namespace {
-
-// Elements of work per parallel chunk (see docs/THREADING.md).
-constexpr size_t kGrain = 32768;
 
 // Per-kernel call counters (function-local statics are thread-safe;
 // the steady-state path is one relaxed load + one relaxed fetch_add).
@@ -108,23 +107,18 @@ Tensor CsrMatrix::Multiply(const Tensor& dense) const {
   LASAGNE_TRACE_SCOPE("spmm");
   CountSpmm();
   LASAGNE_CHECK_EQ(cols_, dense.rows());
-  Tensor out(rows_, dense.cols());
   const size_t d = dense.cols();
-  // Row-partitioned SpMM: every output row keeps its serial
+  Tensor out = Tensor::Uninitialized(rows_, d);
+  // Row-partitioned SpMM, register-blocked kColTile output columns per
+  // pass: every output element keeps its serial ascending-k
   // accumulation order, so results are bitwise-identical to the serial
-  // loop at every thread count.
+  // loop at every thread count (docs/KERNELS.md).
   const size_t work_per_row =
       (nnz() / std::max<size_t>(rows_, 1) + 1) * std::max<size_t>(d, 1);
   const size_t grain = std::max<size_t>(1, kGrain / work_per_row);
   ParallelFor(0, rows_, grain, [&](size_t row_begin, size_t row_end) {
-    for (size_t r = row_begin; r < row_end; ++r) {
-      float* out_row = out.RowPtr(r);
-      for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-        const float v = values_[k];
-        const float* in_row = dense.RowPtr(col_idx_[k]);
-        for (size_t j = 0; j < d; ++j) out_row[j] += v * in_row[j];
-      }
-    }
+    kernels::SpmmRows(row_ptr_.data(), col_idx_.data(), values_.data(),
+                      dense.data(), d, out.data(), row_begin, row_end);
   });
   return out;
 }
@@ -144,16 +138,9 @@ Tensor CsrMatrix::TransposedMultiply(const Tensor& dense) const {
   const size_t col_grain =
       std::max<size_t>(1, kGrain / std::max<size_t>(nnz(), 1));
   ParallelFor(0, d, col_grain, [&](size_t col_begin, size_t col_end) {
-    for (size_t r = 0; r < rows_; ++r) {
-      const float* in_row = dense.RowPtr(r);
-      for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-        const float v = values_[k];
-        float* out_row = out.RowPtr(col_idx_[k]);
-        for (size_t j = col_begin; j < col_end; ++j) {
-          out_row[j] += v * in_row[j];
-        }
-      }
-    }
+    kernels::SpmmTransposedCols(row_ptr_.data(), col_idx_.data(),
+                                values_.data(), rows_, dense.data(), d,
+                                out.data(), col_begin, col_end);
   });
   return out;
 }

@@ -6,17 +6,15 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/parallel_config.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/kernels.h"
 
 namespace lasagne {
 
 namespace {
-
-// Elements of work per parallel chunk. Loops cheaper than this run
-// inline; see docs/THREADING.md for the grain-size heuristics.
-constexpr size_t kGrain = 32768;
 
 // Counts a dense-GEMM-family call when metrics are on (one relaxed
 // atomic load when off; see docs/OBSERVABILITY.md for metric names).
@@ -28,26 +26,82 @@ inline void CountMatMul() {
   }
 }
 
-// Row grain for kernels whose per-row cost is `work_per_row` elements.
-size_t RowGrain(size_t work_per_row) {
-  return std::max<size_t>(1, kGrain / std::max<size_t>(1, work_per_row));
+// Pool-backed scratch for a packed B panel (freed back to the pool at
+// the end of the GEMM call).
+internal::PoolBuffer PackPanel(const float* b, size_t k_dim, size_t n_dim,
+                               bool transposed) {
+  internal::PoolBuffer packed(kernels::PackedBSize(k_dim, n_dim));
+  if (packed.data() != nullptr) {
+    if (transposed) {
+      kernels::PackBTransposed(b, n_dim, k_dim, packed.data());
+    } else {
+      kernels::PackB(b, k_dim, n_dim, packed.data());
+    }
+  }
+  return packed;
 }
 
 }  // namespace
 
+Tensor::Tensor(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), buf_(rows * cols) {
+  std::fill(buf_.data(), buf_.data() + rows * cols, 0.0f);
+}
+
+Tensor::Tensor(size_t rows, size_t cols, UninitTag)
+    : rows_(rows), cols_(cols), buf_(rows * cols) {}
+
 Tensor::Tensor(size_t rows, size_t cols, std::vector<float> data)
-    : rows_(rows), cols_(cols), data_(std::move(data)) {
-  LASAGNE_CHECK_EQ(rows_ * cols_, data_.size());
+    : rows_(rows), cols_(cols), buf_(rows * cols) {
+  LASAGNE_CHECK_EQ(rows_ * cols_, data.size());
+  std::copy(data.begin(), data.end(), buf_.data());
+}
+
+Tensor::Tensor(const Tensor& other)
+    : rows_(other.rows_), cols_(other.cols_), buf_(other.size()) {
+  std::copy(other.data(), other.data() + other.size(), buf_.data());
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  if (size() != other.size()) {
+    buf_ = internal::PoolBuffer(other.size());
+  }
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  std::copy(other.data(), other.data() + other.size(), buf_.data());
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : rows_(other.rows_), cols_(other.cols_), buf_(std::move(other.buf_)) {
+  other.rows_ = 0;
+  other.cols_ = 0;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this != &other) {
+    buf_ = std::move(other.buf_);
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    other.rows_ = 0;
+    other.cols_ = 0;
+  }
+  return *this;
 }
 
 Tensor Tensor::Zeros(size_t rows, size_t cols) { return Tensor(rows, cols); }
+
+Tensor Tensor::Uninitialized(size_t rows, size_t cols) {
+  return Tensor(rows, cols, UninitTag{});
+}
 
 Tensor Tensor::Ones(size_t rows, size_t cols) {
   return Full(rows, cols, 1.0f);
 }
 
 Tensor Tensor::Full(size_t rows, size_t cols, float value) {
-  Tensor t(rows, cols);
+  Tensor t = Uninitialized(rows, cols);
   t.Fill(value);
   return t;
 }
@@ -60,18 +114,18 @@ Tensor Tensor::Identity(size_t n) {
 
 Tensor Tensor::Uniform(size_t rows, size_t cols, float lo, float hi,
                        Rng& rng) {
-  Tensor t(rows, cols);
+  Tensor t = Uninitialized(rows, cols);
   for (size_t i = 0; i < t.size(); ++i) {
-    t.data_[i] = static_cast<float>(rng.Uniform(lo, hi));
+    t.data()[i] = static_cast<float>(rng.Uniform(lo, hi));
   }
   return t;
 }
 
 Tensor Tensor::Normal(size_t rows, size_t cols, float mean, float stddev,
                       Rng& rng) {
-  Tensor t(rows, cols);
+  Tensor t = Uninitialized(rows, cols);
   for (size_t i = 0; i < t.size(); ++i) {
-    t.data_[i] = static_cast<float>(rng.Normal(mean, stddev));
+    t.data()[i] = static_cast<float>(rng.Normal(mean, stddev));
   }
   return t;
 }
@@ -97,30 +151,39 @@ float Tensor::At(size_t r, size_t c) const {
 
 Tensor Tensor::operator+(const Tensor& other) const {
   LASAGNE_CHECK(SameShape(other));
-  Tensor out = *this;
-  out += other;
+  Tensor out = Uninitialized(rows_, cols_);
+  ParallelFor(0, size(), kGrain, [&](size_t begin, size_t end) {
+    kernels::EwAdd(data() + begin, other.data() + begin, out.data() + begin,
+                   end - begin);
+  });
   return out;
 }
 
 Tensor Tensor::operator-(const Tensor& other) const {
   LASAGNE_CHECK(SameShape(other));
-  Tensor out = *this;
-  out -= other;
+  Tensor out = Uninitialized(rows_, cols_);
+  ParallelFor(0, size(), kGrain, [&](size_t begin, size_t end) {
+    kernels::EwSub(data() + begin, other.data() + begin, out.data() + begin,
+                   end - begin);
+  });
   return out;
 }
 
 Tensor Tensor::operator*(const Tensor& other) const {
   LASAGNE_CHECK(SameShape(other));
-  Tensor out = *this;
-  ParallelFor(0, out.size(), kGrain, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) out.data_[i] *= other.data_[i];
+  Tensor out = Uninitialized(rows_, cols_);
+  ParallelFor(0, size(), kGrain, [&](size_t begin, size_t end) {
+    kernels::EwMul(data() + begin, other.data() + begin, out.data() + begin,
+                   end - begin);
   });
   return out;
 }
 
 Tensor Tensor::operator*(float scalar) const {
-  Tensor out = *this;
-  out *= scalar;
+  Tensor out = Uninitialized(rows_, cols_);
+  ParallelFor(0, size(), kGrain, [&](size_t begin, size_t end) {
+    kernels::EwScale(data() + begin, scalar, out.data() + begin, end - begin);
+  });
   return out;
 }
 
@@ -132,7 +195,7 @@ Tensor Tensor::operator/(float scalar) const {
 Tensor& Tensor::operator+=(const Tensor& other) {
   LASAGNE_CHECK(SameShape(other));
   ParallelFor(0, size(), kGrain, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) data_[i] += other.data_[i];
+    kernels::EwAddInPlace(data() + begin, other.data() + begin, end - begin);
   });
   return *this;
 }
@@ -140,14 +203,14 @@ Tensor& Tensor::operator+=(const Tensor& other) {
 Tensor& Tensor::operator-=(const Tensor& other) {
   LASAGNE_CHECK(SameShape(other));
   ParallelFor(0, size(), kGrain, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) data_[i] -= other.data_[i];
+    kernels::EwSubInPlace(data() + begin, other.data() + begin, end - begin);
   });
   return *this;
 }
 
 Tensor& Tensor::operator*=(float scalar) {
   ParallelFor(0, size(), kGrain, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) data_[i] *= scalar;
+    kernels::EwScaleInPlace(data() + begin, scalar, end - begin);
   });
   return *this;
 }
@@ -155,16 +218,16 @@ Tensor& Tensor::operator*=(float scalar) {
 void Tensor::Axpy(float alpha, const Tensor& other) {
   LASAGNE_CHECK(SameShape(other));
   ParallelFor(0, size(), kGrain, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) data_[i] += alpha * other.data_[i];
+    kernels::EwAxpy(data() + begin, alpha, other.data() + begin, end - begin);
   });
 }
 
 Tensor Tensor::Map(const std::function<float(float)>& fn) const {
   // `fn` may run concurrently from several threads; it must be
   // re-entrant (every caller in the library passes a pure function).
-  Tensor out = *this;
-  ParallelFor(0, out.size(), kGrain, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) out.data_[i] = fn(out.data_[i]);
+  Tensor out = Uninitialized(rows_, cols_);
+  ParallelFor(0, size(), kGrain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) out.data()[i] = fn(data()[i]);
   });
   return out;
 }
@@ -173,26 +236,21 @@ Tensor Tensor::MatMul(const Tensor& other) const {
   LASAGNE_TRACE_SCOPE("matmul");
   CountMatMul();
   LASAGNE_CHECK_EQ(cols_, other.rows_);
-  Tensor out(rows_, other.cols_);
   const size_t k_dim = cols_;
   const size_t n_dim = other.cols_;
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
-  // Row-partitioned: each output row is produced by exactly one chunk
-  // with the serial k-j order, so results are bitwise-identical to the
-  // serial loop at every thread count.
-  ParallelFor(0, rows_, RowGrain(k_dim * n_dim), [&](size_t row_begin,
-                                                     size_t row_end) {
-    for (size_t i = row_begin; i < row_end; ++i) {
-      const float* a_row = RowPtr(i);
-      float* out_row = out.RowPtr(i);
-      for (size_t k = 0; k < k_dim; ++k) {
-        const float a_ik = a_row[k];
-        if (a_ik == 0.0f) continue;
-        const float* b_row = other.RowPtr(k);
-        for (size_t j = 0; j < n_dim; ++j) out_row[j] += a_ik * b_row[j];
-      }
-    }
-  });
+  Tensor out = Uninitialized(rows_, n_dim);
+  // B is packed once into kColTile-wide panels shared read-only by all
+  // row chunks; each output row keeps the serial ascending-k
+  // accumulation order (docs/KERNELS.md), so results are
+  // bitwise-identical to the naive loop at every thread count.
+  internal::PoolBuffer packed =
+      PackPanel(other.data(), k_dim, n_dim, /*transposed=*/false);
+  ParallelFor(0, rows_, RowGrain(k_dim * n_dim),
+              [&](size_t row_begin, size_t row_end) {
+                kernels::GemmRowsNN(data(), k_dim, n_dim, other.data(),
+                                    packed.data(), out.data(), row_begin,
+                                    row_end);
+              });
   return out;
 }
 
@@ -200,24 +258,15 @@ Tensor Tensor::TransposedMatMul(const Tensor& other) const {
   LASAGNE_TRACE_SCOPE("matmul_at");
   CountMatMul();
   LASAGNE_CHECK_EQ(rows_, other.rows_);
-  Tensor out(cols_, other.cols_);
   const size_t n_dim = other.cols_;
-  // Partitioned over output rows (columns of `this`); the inner r loop
-  // keeps the serial ascending accumulation order per output element,
-  // so any thread count reproduces the serial result bitwise.
-  ParallelFor(0, cols_, RowGrain(rows_ * n_dim), [&](size_t col_begin,
-                                                     size_t col_end) {
-    for (size_t r = 0; r < rows_; ++r) {
-      const float* a_row = RowPtr(r);
-      const float* b_row = other.RowPtr(r);
-      for (size_t i = col_begin; i < col_end; ++i) {
-        const float a_ri = a_row[i];
-        if (a_ri == 0.0f) continue;
-        float* out_row = out.RowPtr(i);
-        for (size_t j = 0; j < n_dim; ++j) out_row[j] += a_ri * b_row[j];
-      }
-    }
-  });
+  // Zero-initialized: the kernel accumulates into memory in ascending r
+  // order, partitioned over output rows (columns of `this`).
+  Tensor out(cols_, n_dim);
+  ParallelFor(0, cols_, RowGrain(rows_ * n_dim),
+              [&](size_t col_begin, size_t col_end) {
+                kernels::GemmColsTN(data(), cols_, other.data(), n_dim, rows_,
+                                    out.data(), col_begin, col_end);
+              });
   return out;
 }
 
@@ -225,25 +274,22 @@ Tensor Tensor::MatMulTransposed(const Tensor& other) const {
   LASAGNE_TRACE_SCOPE("matmul_bt");
   CountMatMul();
   LASAGNE_CHECK_EQ(cols_, other.cols_);
-  Tensor out(rows_, other.rows_);
-  ParallelFor(0, rows_, RowGrain(other.rows_ * cols_), [&](size_t row_begin,
-                                                           size_t row_end) {
-    for (size_t i = row_begin; i < row_end; ++i) {
-      const float* a_row = RowPtr(i);
-      float* out_row = out.RowPtr(i);
-      for (size_t j = 0; j < other.rows_; ++j) {
-        const float* b_row = other.RowPtr(j);
-        float acc = 0.0f;
-        for (size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
-        out_row[j] = acc;
-      }
-    }
-  });
+  const size_t k_dim = cols_;
+  const size_t n_dim = other.rows_;
+  Tensor out = Uninitialized(rows_, n_dim);
+  internal::PoolBuffer packed =
+      PackPanel(other.data(), k_dim, n_dim, /*transposed=*/true);
+  ParallelFor(0, rows_, RowGrain(n_dim * k_dim),
+              [&](size_t row_begin, size_t row_end) {
+                kernels::GemmRowsNT(data(), k_dim, n_dim, other.data(),
+                                    packed.data(), out.data(), row_begin,
+                                    row_end);
+              });
   return out;
 }
 
 Tensor Tensor::Transpose() const {
-  Tensor out(cols_, rows_);
+  Tensor out = Uninitialized(cols_, rows_);
   ParallelFor(0, rows_, RowGrain(cols_), [&](size_t row_begin,
                                              size_t row_end) {
     for (size_t i = row_begin; i < row_end; ++i) {
@@ -259,7 +305,7 @@ float Tensor::Sum() const {
   return static_cast<float>(
       ParallelReduce(0, size(), kGrain, [&](size_t begin, size_t end) {
         double acc = 0.0;
-        for (size_t i = begin; i < end; ++i) acc += data_[i];
+        for (size_t i = begin; i < end; ++i) acc += data()[i];
         return acc;
       }));
 }
@@ -271,12 +317,12 @@ float Tensor::Mean() const {
 
 float Tensor::Min() const {
   LASAGNE_CHECK_GT(size(), 0u);
-  return *std::min_element(data_.begin(), data_.end());
+  return *std::min_element(data(), data() + size());
 }
 
 float Tensor::Max() const {
   LASAGNE_CHECK_GT(size(), 0u);
-  return *std::max_element(data_.begin(), data_.end());
+  return *std::max_element(data(), data() + size());
 }
 
 float Tensor::Norm() const { return std::sqrt(SquaredNorm()); }
@@ -286,14 +332,14 @@ float Tensor::SquaredNorm() const {
       ParallelReduce(0, size(), kGrain, [&](size_t begin, size_t end) {
         double acc = 0.0;
         for (size_t i = begin; i < end; ++i) {
-          acc += static_cast<double>(data_[i]) * data_[i];
+          acc += static_cast<double>(data()[i]) * data()[i];
         }
         return acc;
       }));
 }
 
 Tensor Tensor::RowSum() const {
-  Tensor out(rows_, 1);
+  Tensor out = Uninitialized(rows_, 1);
   ParallelFor(0, rows_, RowGrain(cols_), [&](size_t row_begin,
                                              size_t row_end) {
     for (size_t i = row_begin; i < row_end; ++i) {
@@ -308,10 +354,7 @@ Tensor Tensor::RowSum() const {
 
 Tensor Tensor::ColSum() const {
   Tensor out(1, cols_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const float* row = RowPtr(i);
-    for (size_t j = 0; j < cols_; ++j) out(0, j) += row[j];
-  }
+  kernels::ColSumAccumulate(data(), rows_, cols_, out.data());
   return out;
 }
 
@@ -337,11 +380,11 @@ std::vector<size_t> Tensor::ArgMaxPerRow() const {
 }
 
 void Tensor::Fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  std::fill(data(), data() + size(), value);
 }
 
 Tensor Tensor::GatherRows(const std::vector<size_t>& indices) const {
-  Tensor out(indices.size(), cols_);
+  Tensor out = Uninitialized(indices.size(), cols_);
   for (size_t i = 0; i < indices.size(); ++i) {
     LASAGNE_CHECK_LT(indices[i], rows_);
     std::copy(RowPtr(indices[i]), RowPtr(indices[i]) + cols_, out.RowPtr(i));
@@ -351,14 +394,14 @@ Tensor Tensor::GatherRows(const std::vector<size_t>& indices) const {
 
 Tensor Tensor::Row(size_t r) const {
   LASAGNE_CHECK_LT(r, rows_);
-  Tensor out(1, cols_);
+  Tensor out = Uninitialized(1, cols_);
   std::copy(RowPtr(r), RowPtr(r) + cols_, out.RowPtr(0));
   return out;
 }
 
 bool Tensor::AllFinite() const {
-  for (float v : data_) {
-    if (!std::isfinite(v)) return false;
+  for (size_t i = 0; i < size(); ++i) {
+    if (!std::isfinite(data()[i])) return false;
   }
   return true;
 }
@@ -367,7 +410,7 @@ float Tensor::MaxAbsDiff(const Tensor& other) const {
   LASAGNE_CHECK(SameShape(other));
   float max_diff = 0.0f;
   for (size_t i = 0; i < size(); ++i) {
-    max_diff = std::max(max_diff, std::fabs(data_[i] - other.data_[i]));
+    max_diff = std::max(max_diff, std::fabs(data()[i] - other.data()[i]));
   }
   return max_diff;
 }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buffer_pool.h"
 #include "tensor/rng.h"
 
 namespace lasagne {
@@ -16,23 +17,33 @@ namespace lasagne {
 /// feature matrices, hidden representations, weight matrices and
 /// gradients. It is intentionally 2-D only (an `n`-vector is an `n x 1`
 /// tensor); graph learning on this substrate never needs higher rank.
-/// Copyable and movable; copies are deep.
+/// Copyable and movable; copies are deep. Storage is a 64-byte-aligned
+/// buffer checked out of BufferPool (docs/KERNELS.md), so destroying a
+/// tensor recycles its memory for the next same-sized allocation.
 class Tensor {
  public:
   /// Empty 0x0 tensor.
   Tensor() : rows_(0), cols_(0) {}
 
   /// Zero-initialized `rows x cols` tensor.
-  Tensor(size_t rows, size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+  Tensor(size_t rows, size_t cols);
 
   /// Tensor with explicit contents (row-major, size must match).
   Tensor(size_t rows, size_t cols, std::vector<float> data);
+
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor() = default;
 
   // -- Factories -----------------------------------------------------------
 
   /// All-zeros.
   static Tensor Zeros(size_t rows, size_t cols);
+  /// Uninitialized contents (pool-backed, no zero-fill). Only for
+  /// callers that overwrite every element before reading any.
+  static Tensor Uninitialized(size_t rows, size_t cols);
   /// All-ones.
   static Tensor Ones(size_t rows, size_t cols);
   /// Every entry `value`.
@@ -56,22 +67,24 @@ class Tensor {
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
-  size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  size_t size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ * cols_ == 0; }
   bool SameShape(const Tensor& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }
 
-  float& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
-  float operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  float& operator()(size_t r, size_t c) { return buf_.data()[r * cols_ + c]; }
+  float operator()(size_t r, size_t c) const {
+    return buf_.data()[r * cols_ + c];
+  }
 
   /// Checked element access (aborts on out-of-range).
   float At(size_t r, size_t c) const;
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  float* RowPtr(size_t r) { return data_.data() + r * cols_; }
-  const float* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+  float* data() { return buf_.data(); }
+  const float* data() const { return buf_.data(); }
+  float* RowPtr(size_t r) { return buf_.data() + r * cols_; }
+  const float* RowPtr(size_t r) const { return buf_.data() + r * cols_; }
 
   // -- Elementwise / scalar ops (allocate the result) -----------------------
 
@@ -138,9 +151,13 @@ class Tensor {
   std::string DebugString() const;
 
  private:
+  // Tag dispatch for the no-zero-fill constructor behind Uninitialized.
+  struct UninitTag {};
+  Tensor(size_t rows, size_t cols, UninitTag);
+
   size_t rows_;
   size_t cols_;
-  std::vector<float> data_;
+  internal::PoolBuffer buf_;
 };
 
 /// Scalar * tensor.

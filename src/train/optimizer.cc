@@ -3,6 +3,9 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel_config.h"
+#include "common/thread_pool.h"
+#include "tensor/kernels.h"
 
 namespace lasagne {
 
@@ -69,15 +72,15 @@ void AdamOptimizer::Step() {
     const Tensor& grad = p->grad();
     float* m = m_[i].data();
     float* v = v_[i].data();
-    for (size_t j = 0; j < value.size(); ++j) {
-      float g = grad.data()[j] + weight_decay_ * value.data()[j];
-      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
-      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
-      const float m_hat = m[j] / bias1;
-      const float v_hat = v[j] / bias2;
-      value.data()[j] -=
-          learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
-    }
+    // Fused elementwise kernel, chunked over the parameter; every
+    // element's update is the exact scalar expression sequence, so the
+    // result is independent of chunking and thread count.
+    ParallelFor(0, value.size(), kGrain, [&](size_t begin, size_t end) {
+      kernels::AdamUpdate(value.data() + begin, grad.data() + begin,
+                          m + begin, v + begin, end - begin, learning_rate_,
+                          weight_decay_, beta1_, beta2_, bias1, bias2,
+                          epsilon_);
+    });
   }
 }
 

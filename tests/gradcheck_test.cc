@@ -175,6 +175,39 @@ TEST(GradCheckTest, MatMulAndTranspose) {
       kTol);
 }
 
+TEST(GradCheckTest, MatMulOddShapesExerciseBlockedTiles) {
+  // Shapes straddling the 16-wide column tile and the vector width, so
+  // the packed main loop, the register tail and the scalar tail of the
+  // blocked GEMM all carry gradient (docs/KERNELS.md).
+  const size_t shapes[][3] = {{1, 1, 1}, {3, 5, 2}, {2, 3, 17},
+                              {5, 16, 16}, {4, 7, 33}};
+  uint64_t seed = 100;
+  for (const auto& s : shapes) {
+    ag::Variable a = Param(s[0], s[1], seed++);
+    ag::Variable b = Param(s[1], s[2], seed++);
+    EXPECT_LT(GradCheckDouble(
+                  [&] { return Scalarize(ag::MatMul(a, b)); }, {a, b}),
+              kTol)
+        << s[0] << "x" << s[1] << " @ " << s[1] << "x" << s[2];
+  }
+}
+
+TEST(GradCheckTest, AddRowVector) {
+  ag::Variable x = Param(4, 3, 120);
+  ag::Variable bias = Param(1, 3, 121);
+  EXPECT_LT(GradCheckDouble(
+                [&] { return Scalarize(ag::AddRowVector(x, bias)); },
+                {x, bias}),
+            kTol);
+  // Width past one vector register, odd remainder.
+  ag::Variable x2 = Param(3, 17, 122);
+  ag::Variable bias2 = Param(1, 17, 123);
+  EXPECT_LT(GradCheckDouble(
+                [&] { return Scalarize(ag::AddRowVector(x2, bias2)); },
+                {x2, bias2}),
+            kTol);
+}
+
 TEST(GradCheckTest, SpMM) {
   auto a_hat = TinyAHat();
   ag::Variable x = Param(5, 3, 9);

@@ -13,6 +13,7 @@
 
 #include "autograd/ops.h"
 #include "common/thread_pool.h"
+#include "tensor/kernels.h"
 #include "data/registry.h"
 #include "models/model.h"
 #include "obs/metrics.h"
@@ -281,6 +282,256 @@ TEST(ParallelTrialsTest, RepeatedExperimentMatchesSerial) {
   EXPECT_EQ(serial.test_accuracy.mean, parallel.test_accuracy.mean);
   EXPECT_EQ(serial.val_accuracy.mean, parallel.val_accuracy.mean);
   EXPECT_EQ(serial.failed_trials, parallel.failed_trials);
+}
+
+// -- Blocked kernels vs naive references -----------------------------------
+// The blocked SIMD engine (docs/KERNELS.md) must be bitwise-identical
+// to the pre-blocking loops, reproduced verbatim below, on every
+// shape — including shapes that don't divide the 16-wide column tile
+// or the vector width — at every thread count.
+
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
+  Tensor out(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const float a_ik = a(i, k);
+      if (a_ik == 0.0f) continue;
+      for (size_t j = 0; j < b.cols(); ++j) {
+        out(i, j) += a_ik * b(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor NaiveTransposedMatMul(const Tensor& a, const Tensor& b) {
+  Tensor out(a.cols(), b.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const float a_ri = a(r, i);
+      if (a_ri == 0.0f) continue;
+      for (size_t j = 0; j < b.cols(); ++j) {
+        out(i, j) += a_ri * b(r, j);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor NaiveMatMulTransposed(const Tensor& a, const Tensor& b) {
+  Tensor out(a.rows(), b.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.rows(); ++j) {
+      float acc = 0.0f;
+      for (size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(j, k);
+      out(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Tensor NaiveSpmm(const CsrMatrix& m, const Tensor& dense) {
+  Tensor out(m.rows(), dense.cols());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t k = m.row_ptr()[r]; k < m.row_ptr()[r + 1]; ++k) {
+      const float v = m.values()[k];
+      for (size_t j = 0; j < dense.cols(); ++j) {
+        out(r, j) += v * dense(m.col_idx()[k], j);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor NaiveTransposedSpmm(const CsrMatrix& m, const Tensor& dense) {
+  Tensor out(m.cols(), dense.cols());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t k = m.row_ptr()[r]; k < m.row_ptr()[r + 1]; ++k) {
+      const float v = m.values()[k];
+      for (size_t j = 0; j < dense.cols(); ++j) {
+        out(m.col_idx()[k], j) += v * dense(r, j);
+      }
+    }
+  }
+  return out;
+}
+
+// Sprinkles exact zeros so the GEMM zero-skip path is exercised.
+Tensor DenseWithZeros(size_t rows, size_t cols, Rng& rng) {
+  Tensor t = Tensor::Normal(rows, cols, 0.0f, 1.0f, rng);
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (rng.Uniform() < 0.2) t.data()[i] = 0.0f;
+  }
+  return t;
+}
+
+TEST(BlockedKernelTest, GemmVariantsMatchNaiveOnAwkwardShapes) {
+  ThreadCountGuard guard;
+  Rng rng(37);
+  // (m, k, n), chosen to hit: degenerate 1x1, tiny odd, off-by-one
+  // around the 16-wide tile and 8-wide vector, the aligned fast path,
+  // tall-skinny and wide-short extremes.
+  const size_t shapes[][3] = {{1, 1, 1},    {3, 2, 5},     {63, 17, 65},
+                              {64, 64, 64}, {500, 3, 7},   {5, 129, 300},
+                              {31, 33, 15}, {129, 65, 17}};
+  for (const auto& s : shapes) {
+    const size_t m = s[0], k = s[1], n = s[2];
+    const Tensor a = DenseWithZeros(m, k, rng);
+    const Tensor b = DenseWithZeros(k, n, rng);
+    const Tensor c = DenseWithZeros(m, n, rng);
+    const Tensor d = DenseWithZeros(n, k, rng);
+    const Tensor nn_ref = NaiveMatMul(a, b);
+    const Tensor tn_ref = NaiveTransposedMatMul(a, c);
+    const Tensor nt_ref = NaiveMatMulTransposed(a, d);
+    for (size_t threads : {1u, 2u, 8u}) {
+      SetNumThreads(threads);
+      ExpectBitwiseEqual(nn_ref, a.MatMul(b), "blocked MatMul vs naive");
+      ExpectBitwiseEqual(tn_ref, a.TransposedMatMul(c),
+                         "blocked TransposedMatMul vs naive");
+      ExpectBitwiseEqual(nt_ref, a.MatMulTransposed(d),
+                         "blocked MatMulTransposed vs naive");
+    }
+  }
+}
+
+TEST(BlockedKernelTest, SpmmVariantsMatchNaiveOnAwkwardWidths) {
+  ThreadCountGuard guard;
+  Rng rng(41);
+  Tensor dense_matrix = Tensor::Normal(97, 71, 0.0f, 1.0f, rng);
+  for (size_t i = 0; i < dense_matrix.size(); ++i) {
+    if (rng.Uniform() > 0.1) dense_matrix.data()[i] = 0.0f;
+  }
+  const CsrMatrix m = CsrMatrix::FromDense(dense_matrix);
+  ASSERT_GT(m.nnz(), 0u);
+  // Widths around the 16-wide tile and the 8-wide vector, plus 1.
+  for (size_t d : {1u, 5u, 8u, 15u, 16u, 17u, 33u, 64u}) {
+    const Tensor x = Tensor::Normal(71, d, 0.0f, 1.0f, rng);
+    const Tensor y = Tensor::Normal(97, d, 0.0f, 1.0f, rng);
+    const Tensor spmm_ref = NaiveSpmm(m, x);
+    const Tensor spmm_t_ref = NaiveTransposedSpmm(m, y);
+    for (size_t threads : {1u, 2u, 8u}) {
+      SetNumThreads(threads);
+      ExpectBitwiseEqual(spmm_ref, m.Multiply(x), "blocked SpMM vs naive");
+      ExpectBitwiseEqual(spmm_t_ref, m.TransposedMultiply(y),
+                         "blocked TransposedSpMM vs naive");
+    }
+  }
+}
+
+TEST(BlockedKernelTest, BlockedKernelsUnchangedWithObservabilityEnabled) {
+  ThreadCountGuard guard;
+  Rng rng(43);
+  const Tensor a = DenseWithZeros(63, 65, rng);
+  const Tensor b = DenseWithZeros(65, 17, rng);
+  SetNumThreads(4);
+  const Tensor ref = a.MatMul(b);
+  obs::EnableTracing(1 << 12);
+  obs::EnableMetrics();
+  for (size_t threads : {1u, 2u, 8u}) {
+    SetNumThreads(threads);
+    ExpectBitwiseEqual(ref, a.MatMul(b), "blocked GEMM with obs on");
+  }
+  obs::DisableTracing();
+  obs::DisableMetrics();
+  obs::ClearTrace();
+}
+
+// -- Fused ops vs unfused formulations -------------------------------------
+
+TEST(FusedOpTest, ReluMatchesUnfusedFormulation) {
+  ThreadCountGuard guard;
+  Rng rng(47);
+  // Mix of negatives, exact zeros and positives across an odd shape.
+  Tensor x_val = Tensor::Normal(63, 65, 0.0f, 1.0f, rng);
+  for (size_t i = 0; i < x_val.size(); i += 7) x_val.data()[i] = 0.0f;
+  const Tensor y_ref =
+      x_val.Map([](float v) { return v > 0.0f ? v : 0.0f; });
+  const Tensor g = Tensor::Normal(63, 65, 0.0f, 1.0f, rng);
+  Tensor dx_ref = g;
+  for (size_t i = 0; i < dx_ref.size(); ++i) {
+    if (x_val.data()[i] <= 0.0f) dx_ref.data()[i] = 0.0f;
+  }
+  for (size_t threads : {1u, 2u, 8u}) {
+    SetNumThreads(threads);
+    ag::Variable x = ag::MakeParameter(x_val);
+    ag::Variable y = ag::Relu(x);
+    ExpectBitwiseEqual(y_ref, y->value(), "fused Relu forward");
+    ag::BackwardWithGrad(y, g);
+    ExpectBitwiseEqual(dx_ref, x->grad(), "fused Relu backward");
+  }
+}
+
+TEST(FusedOpTest, LeakyReluMatchesUnfusedFormulation) {
+  ThreadCountGuard guard;
+  Rng rng(53);
+  const float alpha = 0.2f;
+  const Tensor x_val = Tensor::Normal(31, 33, 0.0f, 1.0f, rng);
+  const Tensor y_ref =
+      x_val.Map([alpha](float v) { return v >= 0.0f ? v : alpha * v; });
+  const Tensor g = Tensor::Normal(31, 33, 0.0f, 1.0f, rng);
+  Tensor dx_ref = g;
+  for (size_t i = 0; i < dx_ref.size(); ++i) {
+    if (x_val.data()[i] < 0.0f) dx_ref.data()[i] *= alpha;
+  }
+  for (size_t threads : {1u, 2u, 8u}) {
+    SetNumThreads(threads);
+    ag::Variable x = ag::MakeParameter(x_val);
+    ag::Variable y = ag::LeakyRelu(x, alpha);
+    ExpectBitwiseEqual(y_ref, y->value(), "fused LeakyRelu forward");
+    ag::BackwardWithGrad(y, g);
+    ExpectBitwiseEqual(dx_ref, x->grad(), "fused LeakyRelu backward");
+  }
+}
+
+TEST(FusedOpTest, AddRowVectorMatchesOnesMatMulFormulation) {
+  ThreadCountGuard guard;
+  Rng rng(59);
+  const Tensor x_val = Tensor::Normal(63, 33, 0.0f, 1.0f, rng);
+  const Tensor bias_val = Tensor::Normal(1, 33, 0.0f, 1.0f, rng);
+  const Tensor g = Tensor::Normal(63, 33, 0.0f, 1.0f, rng);
+  // The unfused path Linear used to build: x + ones(N,1) @ bias(1,D).
+  ag::Variable x_ref = ag::MakeParameter(x_val);
+  ag::Variable bias_ref = ag::MakeParameter(bias_val);
+  ag::Variable ones = ag::MakeConstant(Tensor::Ones(x_val.rows(), 1));
+  ag::Variable y_ref = ag::Add(x_ref, ag::MatMul(ones, bias_ref));
+  ag::BackwardWithGrad(y_ref, g);
+  for (size_t threads : {1u, 2u, 8u}) {
+    SetNumThreads(threads);
+    ag::Variable x = ag::MakeParameter(x_val);
+    ag::Variable bias = ag::MakeParameter(bias_val);
+    ag::Variable y = ag::AddRowVector(x, bias);
+    ExpectBitwiseEqual(y_ref->value(), y->value(), "AddRowVector forward");
+    ag::BackwardWithGrad(y, g);
+    ExpectBitwiseEqual(x_ref->grad(), x->grad(), "AddRowVector dx");
+    ExpectBitwiseEqual(bias_ref->grad(), bias->grad(), "AddRowVector dbias");
+  }
+}
+
+TEST(FusedOpTest, AdamUpdateKernelMatchesScalarLoop) {
+  Rng rng(61);
+  const size_t n = 63 * 65;  // not a multiple of any vector width
+  Tensor value = Tensor::Normal(63, 65, 0.0f, 1.0f, rng);
+  const Tensor grad = Tensor::Normal(63, 65, 0.0f, 1.0f, rng);
+  Tensor m = Tensor::Normal(63, 65, 0.0f, 0.1f, rng);
+  Tensor v = m.Map([](float x) { return x * x; });
+  const float lr = 0.01f, wd = 5e-4f, beta1 = 0.9f, beta2 = 0.999f;
+  const float bias1 = 1.0f - beta1, bias2 = 1.0f - beta2;
+  const float eps = 1e-8f;
+  // Scalar reference: the exact pre-fusion expression sequence.
+  Tensor value_ref = value, m_ref = m, v_ref = v;
+  for (size_t j = 0; j < n; ++j) {
+    float g = grad.data()[j] + wd * value_ref.data()[j];
+    m_ref.data()[j] = beta1 * m_ref.data()[j] + (1.0f - beta1) * g;
+    v_ref.data()[j] = beta2 * v_ref.data()[j] + (1.0f - beta2) * g * g;
+    const float m_hat = m_ref.data()[j] / bias1;
+    const float v_hat = v_ref.data()[j] / bias2;
+    value_ref.data()[j] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+  }
+  kernels::AdamUpdate(value.data(), grad.data(), m.data(), v.data(), n, lr,
+                      wd, beta1, beta2, bias1, bias2, eps);
+  ExpectBitwiseEqual(value_ref, value, "fused Adam value");
+  ExpectBitwiseEqual(m_ref, m, "fused Adam m");
+  ExpectBitwiseEqual(v_ref, v, "fused Adam v");
 }
 
 // -- Bugfix regressions ----------------------------------------------------

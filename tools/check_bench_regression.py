@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Guard against single-thread kernel perf regressions.
+
+Runs ``bench_micro_kernels --benchmark_filter=Large`` fresh and compares
+each kernel's single-thread ``items_per_second`` against the committed
+baseline in BENCH_kernels.json.  Fails (exit 1) if any kernel regresses
+by more than --tolerance (default 15%).
+
+Only the 1-thread rows are compared: multi-thread wall-clock is noisy on
+shared CI hosts (the committed baseline was itself taken on a 1-core
+container), while single-thread throughput of these compute-bound
+kernels is stable enough to gate on.
+
+Usage:
+  tools/check_bench_regression.py --bench-binary build/bench/bench_micro_kernels
+  tools/check_bench_regression.py --bench-json fresh.json   # pre-recorded run
+
+Kernels present in the fresh run but absent from the baseline (newly
+added benchmarks) are reported and skipped; kernels present in the
+baseline but missing from the fresh run are an error, since silently
+dropping a benchmark would disable its gate.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_kernels.json")
+
+# Matches plain runs ("BM_Foo/threads:1") and aggregate rows from
+# --benchmark_repetitions ("BM_Foo/threads:1_median").
+_NAME_RE = re.compile(r"^(BM_\w+?)(?:/threads:(\d+))?(?:_(\w+))?$")
+
+
+def parse_benchmark_json(doc):
+    """Returns {kernel: items_per_second} for 1-thread rows.
+
+    Prefers median aggregates when repetitions were requested; falls
+    back to the plain (single-run) rows otherwise.
+    """
+    plain, medians = {}, {}
+    for entry in doc.get("benchmarks", []):
+        m = _NAME_RE.match(entry.get("name", ""))
+        if not m or "items_per_second" not in entry:
+            continue
+        kernel, threads, aggregate = m.group(1), int(m.group(2) or 1), m.group(3)
+        if threads != 1:
+            continue
+        if aggregate == "median":
+            medians[kernel] = entry["items_per_second"]
+        elif aggregate is None:
+            plain[kernel] = entry["items_per_second"]
+    merged = dict(plain)
+    merged.update(medians)
+    return merged
+
+
+def load_baseline(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {
+        r["kernel"]: r["items_per_second"]
+        for r in doc["results"]
+        if r.get("threads", 1) == 1
+    }
+
+
+def run_fresh(bench_binary):
+    cmd = [
+        bench_binary,
+        "--benchmark_filter=Large",
+        "--benchmark_format=json",
+        "--benchmark_repetitions=3",
+        "--benchmark_report_aggregates_only=true",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"benchmark run failed (exit {proc.returncode})")
+    return json.loads(proc.stdout)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench-binary",
+                    help="path to the bench_micro_kernels executable")
+    ap.add_argument("--bench-json",
+                    help="pre-recorded google-benchmark JSON (skips running)")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE,
+                    help="committed baseline (default: BENCH_kernels.json)")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="max allowed fractional slowdown (default 0.15)")
+    args = ap.parse_args()
+
+    if bool(args.bench_binary) == bool(args.bench_json):
+        ap.error("exactly one of --bench-binary / --bench-json is required")
+
+    if args.bench_json:
+        with open(args.bench_json) as f:
+            doc = json.load(f)
+    else:
+        doc = run_fresh(args.bench_binary)
+
+    fresh = parse_benchmark_json(doc)
+    baseline = load_baseline(args.baseline)
+    if not fresh:
+        raise SystemExit("no 1-thread benchmark rows found in fresh run")
+
+    failures = []
+    for kernel in sorted(set(fresh) | set(baseline)):
+        if kernel not in baseline:
+            print(f"  NEW   {kernel}: {fresh[kernel]:.3e} items/s "
+                  "(no baseline; add it to BENCH_kernels.json)")
+            continue
+        if kernel not in fresh:
+            failures.append(f"{kernel}: present in baseline but missing "
+                            "from the fresh run")
+            continue
+        ratio = fresh[kernel] / baseline[kernel]
+        status = "OK" if ratio >= 1.0 - args.tolerance else "SLOW"
+        print(f"  {status:<5} {kernel}: {fresh[kernel]:.3e} vs baseline "
+              f"{baseline[kernel]:.3e} items/s ({ratio:.2f}x)")
+        if status == "SLOW":
+            failures.append(
+                f"{kernel}: {ratio:.2f}x of baseline "
+                f"(allowed >= {1.0 - args.tolerance:.2f}x)")
+
+    if failures:
+        print("\nFAIL: single-thread perf regression", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nPASS: no kernel below "
+          f"{(1.0 - args.tolerance) * 100:.0f}% of baseline throughput")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,8 +5,9 @@
 #           out the fault-tolerance / recovery paths
 #   pass 2: TSan        (-DLASAGNE_SANITIZE=thread)  — the thread-pool /
 #           parallel-kernel / determinism tests, plus the observability
-#           layer (striped counters, per-thread trace rings) and the
-#           gradient checks (autograd graph under the pool)
+#           layer (striped counters, per-thread trace rings), the
+#           gradient checks (autograd graph under the pool) and the
+#           buffer pool (concurrent acquire/release under ParallelFor)
 #
 #   tools/run_sanitized_tests.sh [extra ctest args...]
 #
@@ -47,4 +48,4 @@ cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)"
 LASAGNE_NUM_THREADS="${LASAGNE_NUM_THREADS:-4}" \
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
 ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure \
-  -R 'ThreadPool|Parallel|Determinism|Obs|GradCheck' "$@"
+  -R 'ThreadPool|Parallel|Determinism|Obs|GradCheck|BufferPool|BlockedKernel|FusedOp' "$@"
