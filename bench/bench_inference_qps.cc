@@ -1,0 +1,200 @@
+// Steady-state serving benchmark for the forward-only inference path.
+//
+// Drives infer::InferenceSession over repeated batches of query nodes
+// and reports steady-state QPS, p50/p99 request latency, and the
+// BufferPool behavior the pooled serving design promises: once the
+// freelists are primed, warm requests run (almost) miss-free, the
+// serving analogue of warm-epoch training. The "cold" column counts
+// misses over the same number of requests with the pool trimmed
+// before each one — what serving would pay with no cross-request
+// reuse. (Even a trimmed request self-serves most allocations,
+// because inference-mode nodes release buffers mid-request; the
+// aggregate over N requests is the meaningful contrast.)
+//
+// Writes a machine-readable baseline to BENCH_inference.json
+// (override with --json-out PATH); tools/check_bench_regression.py
+// compares a fresh run against the committed baseline and enforces the
+// warm/cold miss-collapse invariant. Obs integration: run with
+// --metrics-out / --trace-out to capture infer.* counters and
+// infer.request trace spans.
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "common/buffer_pool.h"
+#include "common/thread_pool.h"
+#include "data/registry.h"
+#include "infer/serving.h"
+#include "models/model.h"
+#include "obs/json.h"
+#include "tensor/rng.h"
+
+namespace lasagne {
+namespace {
+
+constexpr size_t kBatchSize = 64;
+constexpr size_t kWarmupRequests = 3;
+constexpr size_t kSteadyRequests = 40;
+
+struct ModelResult {
+  std::string model;
+  double qps = 0.0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  uint64_t cold_pool_misses = 0;  // total over kSteadyRequests trimmed requests
+  uint64_t warm_pool_misses = 0;  // total over kSteadyRequests primed requests
+  uint64_t warm_pool_hits = 0;
+};
+
+std::vector<uint32_t> MakeBatch(size_t num_nodes, Rng& rng) {
+  std::vector<uint32_t> batch(kBatchSize);
+  for (uint32_t& id : batch) {
+    id = static_cast<uint32_t>(rng.UniformInt(num_nodes));
+  }
+  return batch;
+}
+
+ModelResult BenchOne(const std::string& name, const Dataset& data) {
+  ModelConfig config;
+  config.depth = 2;
+  config.hidden_dim = 32;
+  config.seed = 3;
+  std::unique_ptr<Model> model = MakeModel(name, data, config);
+  infer::InferenceSession session(*model);
+  Rng batch_rng(17);
+
+  ModelResult out;
+  out.model = name;
+
+  // Cold phase: trim the freelists before every request, so each one
+  // pays the no-cross-request-reuse allocation cost.
+  for (size_t i = 0; i < kSteadyRequests; ++i) {
+    BufferPool::Global().Trim();
+    (void)session.ServeBatch(MakeBatch(data.num_nodes(), batch_rng));
+  }
+  out.cold_pool_misses = session.stats().pool_misses;
+
+  // Warm up, then measure steady state.
+  session.ResetStats();
+  for (size_t i = 0; i < kWarmupRequests; ++i) {
+    (void)session.ServeBatch(MakeBatch(data.num_nodes(), batch_rng));
+  }
+  session.ResetStats();
+  for (size_t i = 0; i < kSteadyRequests; ++i) {
+    (void)session.ServeBatch(MakeBatch(data.num_nodes(), batch_rng));
+  }
+  const infer::ServeStats& stats = session.stats();
+  out.qps = stats.Qps();
+  out.mean_ms = stats.MeanLatencyMs();
+  out.p50_ms = stats.LatencyPercentileMs(0.5);
+  out.p99_ms = stats.LatencyPercentileMs(0.99);
+  out.warm_pool_misses = stats.pool_misses;
+  out.warm_pool_hits = stats.pool_hits;
+  return out;
+}
+
+void WriteJson(const std::string& path, size_t threads, double scale,
+               const std::vector<ModelResult>& results) {
+  obs::JsonValue doc = obs::JsonValue::Object();
+  doc.Set("benchmark",
+          obs::JsonValue::String(
+              "bench_inference_qps: steady-state full-graph serving, "
+              "batch " + std::to_string(kBatchSize) + " query nodes x " +
+              std::to_string(kSteadyRequests) + " requests"));
+  char date[16];
+  std::time_t now = std::time(nullptr);
+  std::tm tm_now{};
+  localtime_r(&now, &tm_now);
+  std::strftime(date, sizeof(date), "%Y-%m-%d", &tm_now);
+  doc.Set("date", obs::JsonValue::String(date));
+  doc.Set("dataset", obs::JsonValue::String("cora"));
+  doc.Set("scale", obs::JsonValue::Number(scale));
+  doc.Set("threads", obs::JsonValue::Number(static_cast<double>(threads)));
+  doc.Set("machine_note",
+          obs::JsonValue::String(
+              "QPS is wall-clock dependent; the regression gate applies "
+              "a generous tolerance. The warm/cold pool-miss collapse is "
+              "hardware independent and gated strictly."));
+  obs::JsonValue arr = obs::JsonValue::Array();
+  for (const ModelResult& r : results) {
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("model", obs::JsonValue::String(r.model));
+    row.Set("requests",
+            obs::JsonValue::Number(static_cast<double>(kSteadyRequests)));
+    row.Set("batch_size",
+            obs::JsonValue::Number(static_cast<double>(kBatchSize)));
+    row.Set("qps", obs::JsonValue::Number(r.qps));
+    row.Set("mean_ms", obs::JsonValue::Number(r.mean_ms));
+    row.Set("p50_ms", obs::JsonValue::Number(r.p50_ms));
+    row.Set("p99_ms", obs::JsonValue::Number(r.p99_ms));
+    row.Set("cold_pool_misses",
+            obs::JsonValue::Number(static_cast<double>(r.cold_pool_misses)));
+    row.Set("warm_pool_misses",
+            obs::JsonValue::Number(static_cast<double>(r.warm_pool_misses)));
+    row.Set("warm_pool_hits",
+            obs::JsonValue::Number(static_cast<double>(r.warm_pool_hits)));
+    arr.Append(std::move(row));
+  }
+  doc.Set("results", std::move(arr));
+  std::ofstream out(path);
+  out << doc.Dump() << "\n";
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+void Run(const std::string& json_out, size_t threads) {
+  bench::PrintBanner("Inference serving: steady-state QPS and latency",
+                     "serving extension (no paper figure)");
+  const double scale = bench::BenchScale();
+  Dataset data = LoadDataset("cora", 0.7 * scale, /*seed=*/1);
+  std::printf("graph: %zu nodes, %zu edges; batch %zu, %zu steady "
+              "requests, %zu threads\n",
+              data.num_nodes(), data.graph.num_edges(), kBatchSize,
+              kSteadyRequests, threads);
+
+  std::vector<ModelResult> results;
+  bench::TablePrinter table({18, 10, 10, 10, 10, 12, 12});
+  table.Row({"model", "QPS", "mean ms", "p50 ms", "p99 ms", "cold miss",
+             "warm miss"});
+  table.Rule();
+  for (const char* name : {"gcn", "lasagne-weighted", "gat"}) {
+    ModelResult r = BenchOne(name, data);
+    char buf[7][32];
+    std::snprintf(buf[0], sizeof(buf[0]), "%.1f", r.qps);
+    std::snprintf(buf[1], sizeof(buf[1]), "%.2f", r.mean_ms);
+    std::snprintf(buf[2], sizeof(buf[2]), "%.2f", r.p50_ms);
+    std::snprintf(buf[3], sizeof(buf[3]), "%.2f", r.p99_ms);
+    std::snprintf(buf[4], sizeof(buf[4]), "%llu",
+                  static_cast<unsigned long long>(r.cold_pool_misses));
+    std::snprintf(buf[5], sizeof(buf[5]), "%llu",
+                  static_cast<unsigned long long>(r.warm_pool_misses));
+    table.Row({r.model, buf[0], buf[1], buf[2], buf[3], buf[4], buf[5]});
+    std::fflush(stdout);
+    results.push_back(r);
+  }
+  table.Rule();
+  std::printf(
+      "\nInvariant: warm-request pool misses collapse >= 10x below the\n"
+      "cold phase (pool trimmed before each cold request); gated by\n"
+      "tools/check_bench_regression.py --inference-*.\n");
+  WriteJson(json_out, threads, scale, results);
+}
+
+}  // namespace
+}  // namespace lasagne
+
+int main(int argc, char** argv) {
+  const size_t threads = lasagne::bench::ApplyThreadsFlag(argc, argv);
+  lasagne::bench::ApplyObservabilityFlags(argc, argv);
+  std::string json_out = "BENCH_inference.json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json-out") json_out = argv[i + 1];
+  }
+  lasagne::Run(json_out, threads);
+  return 0;
+}

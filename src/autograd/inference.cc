@@ -1,0 +1,35 @@
+#include "autograd/inference.h"
+
+namespace lasagne::ag {
+
+namespace {
+
+thread_local bool t_inference_mode = false;
+thread_local TapeStats t_tape_stats;
+
+}  // namespace
+
+bool InferenceModeEnabled() { return t_inference_mode; }
+
+NoGradGuard::NoGradGuard() : previous_(t_inference_mode) {
+  t_inference_mode = true;
+}
+
+NoGradGuard::~NoGradGuard() { t_inference_mode = previous_; }
+
+TapeStats GetTapeStats() { return t_tape_stats; }
+
+void ResetTapeStats() { t_tape_stats = TapeStats{}; }
+
+namespace internal {
+
+void CountOpNode(uint64_t parent_links) {
+  ++t_tape_stats.nodes_created;
+  t_tape_stats.parent_links += parent_links;
+}
+
+void CountClosure() { ++t_tape_stats.closures_retained; }
+
+}  // namespace internal
+
+}  // namespace lasagne::ag

@@ -1,0 +1,60 @@
+#ifndef LASAGNE_AUTOGRAD_INFERENCE_H_
+#define LASAGNE_AUTOGRAD_INFERENCE_H_
+
+#include <cstdint>
+
+namespace lasagne::ag {
+
+/// True while the calling thread is inside a NoGradGuard scope.
+///
+/// Under inference mode, MakeOpNode builds value-only nodes: the
+/// output's `requires_grad` is forced to false, parents are not
+/// retained, and backward closures handed to `Node::set_backward_fn`
+/// are discarded instead of stored. The forward *values* are computed
+/// by exactly the same kernels as in training mode, so inference-mode
+/// logits are bitwise identical to the tape-building forward; only the
+/// graph bookkeeping disappears, which lets every intermediate tensor
+/// return to the BufferPool as soon as its consumer has run.
+bool InferenceModeEnabled();
+
+/// RAII scope that switches the calling thread into inference mode.
+/// Nestable; the destructor restores the previous state. Calling
+/// ag::Backward / ag::BackwardWithGrad while a guard is active aborts
+/// (there is no tape to traverse).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Per-thread tape-construction counters, used by tests and the
+/// inference bench to prove that a forward pass under NoGradGuard
+/// allocates no autograd bookkeeping.
+struct TapeStats {
+  uint64_t nodes_created = 0;      // tape-building interior nodes
+  uint64_t closures_retained = 0;  // backward closures actually stored
+  uint64_t parent_links = 0;       // parent shared_ptrs retained
+};
+
+/// Counters for the calling thread since the last ResetTapeStats().
+TapeStats GetTapeStats();
+void ResetTapeStats();
+
+namespace internal {
+
+/// Bumps the per-thread counters (called by MakeOpNode /
+/// Node::set_backward_fn).
+void CountOpNode(uint64_t parent_links);
+void CountClosure();
+
+}  // namespace internal
+
+}  // namespace lasagne::ag
+
+#endif  // LASAGNE_AUTOGRAD_INFERENCE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "autograd/inference.h"
 #include "common/check.h"
 #include "common/parallel_config.h"
 #include "common/thread_pool.h"
@@ -12,11 +13,24 @@ namespace lasagne::ag {
 
 Variable MakeOpNode(Tensor value, std::vector<Variable> parents,
                     const char* op_name) {
+  if (InferenceModeEnabled()) {
+    // Value-only node: no requires_grad propagation, no parent
+    // retention, and set_backward_fn discards the op's closure, so the
+    // tape never materializes and each intermediate frees as soon as
+    // its consumer has run.
+    for (const Variable& p : parents) LASAGNE_CHECK(p != nullptr);
+    auto node = std::make_shared<Node>(std::move(value),
+                                       /*requires_grad=*/false,
+                                       /*grad_enabled=*/false);
+    node->set_op_name(op_name);
+    return node;
+  }
   bool requires_grad = false;
   for (const Variable& p : parents) {
     LASAGNE_CHECK(p != nullptr);
     requires_grad = requires_grad || p->requires_grad();
   }
+  internal::CountOpNode(parents.size());
   auto node = std::make_shared<Node>(std::move(value), requires_grad);
   node->set_parents(std::move(parents));
   node->set_op_name(op_name);

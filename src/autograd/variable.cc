@@ -2,10 +2,17 @@
 
 #include <unordered_set>
 
+#include "autograd/inference.h"
 #include "common/check.h"
 #include "obs/trace.h"
 
 namespace lasagne::ag {
+
+void Node::set_backward_fn(std::function<void(const Tensor&)> fn) {
+  if (!grad_enabled_) return;
+  internal::CountClosure();
+  backward_fn_ = std::move(fn);
+}
 
 void Node::AccumulateGrad(const Tensor& g) {
   if (!requires_grad_) return;
@@ -58,7 +65,11 @@ void TopologicalOrder(const Variable& root, std::vector<Node*>& order) {
 
 void BackwardWithGrad(const Variable& root, const Tensor& seed) {
   LASAGNE_TRACE_SCOPE("backward");
+  LASAGNE_CHECK_MSG(!InferenceModeEnabled(),
+                    "Backward called inside a NoGradGuard scope");
   LASAGNE_CHECK(root != nullptr);
+  LASAGNE_CHECK_MSG(root->grad_enabled(),
+                    "Backward called on a value-only (inference-mode) node");
   LASAGNE_CHECK_EQ(seed.rows(), root->value().rows());
   LASAGNE_CHECK_EQ(seed.cols(), root->value().cols());
   std::vector<Node*> order;

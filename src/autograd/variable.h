@@ -22,10 +22,17 @@ using Variable = std::shared_ptr<Node>;
 
 /// One node of the computation graph: a value, an optional gradient and
 /// the backward closure that routes `grad` into the parents' grads.
+///
+/// Nodes built while the calling thread is in inference mode (see
+/// autograd/inference.h) are value-only: `grad_enabled()` is false and
+/// `set_backward_fn` discards the closure instead of storing it, so no
+/// tape is retained.
 class Node {
  public:
-  Node(Tensor value, bool requires_grad)
-      : value_(std::move(value)), requires_grad_(requires_grad) {}
+  Node(Tensor value, bool requires_grad, bool grad_enabled = true)
+      : value_(std::move(value)),
+        requires_grad_(requires_grad),
+        grad_enabled_(grad_enabled) {}
 
   const Tensor& value() const { return value_; }
   Tensor& mutable_value() { return value_; }
@@ -38,6 +45,9 @@ class Node {
   Tensor& mutable_grad() { return grad_; }
 
   bool requires_grad() const { return requires_grad_; }
+
+  /// False for value-only nodes built under inference mode.
+  bool grad_enabled() const { return grad_enabled_; }
 
   /// Adds `g` into this node's gradient (allocating on first use).
   void AccumulateGrad(const Tensor& g);
@@ -55,10 +65,11 @@ class Node {
   }
   const std::vector<Variable>& parents() const { return parents_; }
 
-  /// `fn` receives this node's gradient and must accumulate into parents.
-  void set_backward_fn(std::function<void(const Tensor&)> fn) {
-    backward_fn_ = std::move(fn);
-  }
+  /// `fn` receives this node's gradient and must accumulate into
+  /// parents. Discarded (not stored) when `grad_enabled()` is false:
+  /// inference-mode closures would capture raw pointers to parents the
+  /// node does not retain.
+  void set_backward_fn(std::function<void(const Tensor&)> fn);
   const std::function<void(const Tensor&)>& backward_fn() const {
     return backward_fn_;
   }
@@ -70,6 +81,7 @@ class Node {
   Tensor value_;
   Tensor grad_;
   bool requires_grad_;
+  bool grad_enabled_ = true;
   std::vector<Variable> parents_;
   std::function<void(const Tensor&)> backward_fn_;
   std::string op_name_;

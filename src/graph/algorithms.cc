@@ -269,7 +269,15 @@ double AverageClusteringCoefficient(const Graph& graph) {
   if (n == 0) return 0.0;
   double total = 0.0;
   for (uint32_t v = 0; v < n; ++v) {
-    const size_t deg = graph.Degree(v);
+    // The triangle scan below skips self-loops, so the pair count in
+    // the denominator must come from the self-loop-excluded degree —
+    // the raw degree would understate the coefficient of any node with
+    // a self-loop.
+    size_t deg = 0;
+    for (const uint32_t* a = graph.NeighborsBegin(v);
+         a != graph.NeighborsEnd(v); ++a) {
+      if (*a != v) ++deg;
+    }
     if (deg < 2) continue;
     size_t closed = 0;
     for (const uint32_t* a = graph.NeighborsBegin(v);

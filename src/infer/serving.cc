@@ -1,0 +1,101 @@
+#include "infer/serving.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "common/buffer_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lasagne::infer {
+
+double ServeStats::MeanLatencyMs() const {
+  return requests > 0 ? total_latency_ms / static_cast<double>(requests)
+                      : 0.0;
+}
+
+double ServeStats::LatencyPercentileMs(double q) const {
+  if (latency_ms.empty()) return 0.0;
+  std::vector<double> sorted = latency_ms;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::min(std::max(q, 0.0), 1.0);
+  const double rank = std::ceil(clamped * static_cast<double>(sorted.size()));
+  const size_t index = rank < 1.0 ? 0 : static_cast<size_t>(rank) - 1;
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+double ServeStats::Qps() const {
+  return total_latency_ms > 0.0
+             ? static_cast<double>(requests) / (total_latency_ms / 1000.0)
+             : 0.0;
+}
+
+InferenceSession::InferenceSession(Model& model, ServeOptions options)
+    : model_(model), options_(options), rng_(options.seed) {}
+
+void InferenceSession::ResetStats() { stats_ = ServeStats{}; }
+
+StatusOr<Tensor> InferenceSession::ServeBatch(
+    const std::vector<uint32_t>& query_nodes) {
+  if (query_nodes.empty()) {
+    return Status(StatusCode::kInvalidArgument, "empty query batch");
+  }
+  const size_t num_nodes = model_.data().num_nodes();
+  std::vector<size_t> rows;
+  rows.reserve(query_nodes.size());
+  for (uint32_t id : query_nodes) {
+    if (id >= num_nodes) {
+      return Status(StatusCode::kInvalidArgument,
+                    "query node " + std::to_string(id) +
+                        " out of range [0, " + std::to_string(num_nodes) +
+                        ")");
+    }
+    rows.push_back(id);
+  }
+
+  LASAGNE_TRACE_SCOPE("infer.request");
+  const BufferPool::Stats pool_before = BufferPool::Global().GetStats();
+  const auto start = std::chrono::steady_clock::now();
+
+  nn::ForwardContext ctx{/*training=*/false, &rng_};
+  Tensor logits = model_.Predict(ctx);
+  Tensor out = logits.GatherRows(rows);
+  if (options_.softmax_outputs) out = ag::SoftmaxRows(out);
+
+  const auto end = std::chrono::steady_clock::now();
+  const double latency_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  const BufferPool::Stats pool_after = BufferPool::Global().GetStats();
+
+  ++stats_.requests;
+  stats_.nodes_served += query_nodes.size();
+  stats_.total_latency_ms += latency_ms;
+  stats_.latency_ms.push_back(latency_ms);
+  stats_.pool_hits += pool_after.hits - pool_before.hits;
+  stats_.pool_misses += pool_after.misses - pool_before.misses;
+
+  if (obs::MetricsEnabled()) {
+    static obs::Counter& requests =
+        obs::MetricsRegistry::Global().GetCounter("infer.requests");
+    static obs::Counter& nodes =
+        obs::MetricsRegistry::Global().GetCounter("infer.nodes_served");
+    static obs::Histogram& latency =
+        obs::MetricsRegistry::Global().GetHistogram("infer.request_ms");
+    requests.Increment();
+    nodes.Increment(query_nodes.size());
+    latency.Record(latency_ms);
+  }
+  return out;
+}
+
+Tensor InferenceSession::ServeAll() {
+  std::vector<uint32_t> all(model_.data().num_nodes());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<uint32_t>(i);
+  StatusOr<Tensor> result = ServeBatch(all);
+  LASAGNE_CHECK_MSG(result.ok(), result.status().ToString());
+  return std::move(result).value();
+}
+
+}  // namespace lasagne::infer

@@ -1,0 +1,85 @@
+#ifndef LASAGNE_INFER_SERVING_H_
+#define LASAGNE_INFER_SERVING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "models/model.h"
+#include "tensor/rng.h"
+
+namespace lasagne::infer {
+
+/// Serving configuration for an InferenceSession.
+struct ServeOptions {
+  /// Row-softmax the gathered logits into class probabilities.
+  bool softmax_outputs = false;
+  /// RNG seed for the eval-mode forward context. Evaluation-mode
+  /// forwards consume no randomness (dropout / stochastic aggregation
+  /// / DropEdge are all training-only), so this only matters if a
+  /// future model samples at inference time.
+  uint64_t seed = 1;
+};
+
+/// Aggregate statistics over the requests a session has served.
+struct ServeStats {
+  uint64_t requests = 0;
+  uint64_t nodes_served = 0;
+  double total_latency_ms = 0.0;
+  std::vector<double> latency_ms;  // per-request, in arrival order
+
+  /// BufferPool activity attributed to served requests (deltas of the
+  /// global pool counters across each ServeBatch call). After a warm-up
+  /// request has populated the pool buckets, steady-state requests
+  /// should be (almost) miss-free — the serving analogue of the
+  /// warm-epoch behavior in tests/buffer_pool_test.cc.
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+
+  double MeanLatencyMs() const;
+  /// Latency percentile (q in [0, 1]) over the served requests; 0 when
+  /// no request has completed. Exact (sorts a copy), not bucketed.
+  double LatencyPercentileMs(double q) const;
+  /// Requests per second of pure serving time (excludes caller think
+  /// time): requests / total_latency.
+  double Qps() const;
+};
+
+/// Forward-only serving driver: executes repeated tape-free forward
+/// passes (Model::Predict) over batches of query nodes, reusing
+/// BufferPool storage across requests.
+///
+/// The zoo's models are full-graph ("transductive") classifiers, so a
+/// request runs one full forward pass and gathers the rows of the
+/// requested query nodes; batching queries amortizes that pass. The
+/// session is a pure reader of the model: it never touches parameters,
+/// gradients or hidden-state analysis, and it owns a private Rng so
+/// serving interleaved with training cannot perturb a training RNG
+/// stream. Not thread-safe; use one session per serving thread.
+class InferenceSession {
+ public:
+  explicit InferenceSession(Model& model, ServeOptions options = {});
+
+  /// Serves one batch: logits (or probabilities, see
+  /// ServeOptions::softmax_outputs) for the given query nodes as a
+  /// (batch x num_classes) tensor, row i belonging to query_nodes[i].
+  /// Duplicate ids are allowed. InvalidArgument on an empty batch or an
+  /// out-of-range node id.
+  StatusOr<Tensor> ServeBatch(const std::vector<uint32_t>& query_nodes);
+
+  /// Convenience: full-graph logits for all N nodes (one request).
+  Tensor ServeAll();
+
+  const ServeStats& stats() const { return stats_; }
+  void ResetStats();
+
+ private:
+  Model& model_;
+  ServeOptions options_;
+  Rng rng_;
+  ServeStats stats_;
+};
+
+}  // namespace lasagne::infer
+
+#endif  // LASAGNE_INFER_SERVING_H_

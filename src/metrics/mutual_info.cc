@@ -66,6 +66,7 @@ std::vector<uint32_t> KMeansCluster(const Tensor& points, size_t k,
   }
 
   std::vector<uint32_t> assignment(n, 0);
+  std::vector<double> point_dist(n, 0.0);
   for (size_t iter = 0; iter < max_iters; ++iter) {
     bool changed = false;
     for (size_t i = 0; i < n; ++i) {
@@ -80,6 +81,7 @@ std::vector<uint32_t> KMeansCluster(const Tensor& points, size_t k,
           best = c;
         }
       }
+      point_dist[i] = best_dist;
       if (assignment[i] != best) {
         assignment[i] = static_cast<uint32_t>(best);
         changed = true;
@@ -100,6 +102,26 @@ std::vector<uint32_t> KMeansCluster(const Tensor& points, size_t k,
       float* row = centroids.RowPtr(c);
       const float inv = 1.0f / static_cast<float>(counts[c]);
       for (size_t j = 0; j < d; ++j) row[j] *= inv;
+    }
+    // A cluster that lost all its points must not keep the zero
+    // centroid SetZero() left behind (it would silently attract
+    // near-origin points on later iterations). Reseed each empty
+    // cluster from the point farthest from its current centroid —
+    // deterministic: ties break toward the lowest point index, and
+    // a reseeded point is not reused for another empty cluster.
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] > 0) continue;
+      size_t farthest = 0;
+      double farthest_dist = -1.0;
+      for (size_t i = 0; i < n; ++i) {
+        if (point_dist[i] > farthest_dist) {
+          farthest_dist = point_dist[i];
+          farthest = i;
+        }
+      }
+      std::copy(points.RowPtr(farthest), points.RowPtr(farthest) + d,
+                centroids.RowPtr(c));
+      point_dist[farthest] = -1.0;
     }
   }
   return assignment;

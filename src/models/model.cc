@@ -1,10 +1,22 @@
 #include "models/model.h"
 
+#include "autograd/inference.h"
+
 namespace lasagne {
 
 ag::Variable Model::TrainingLoss(const nn::ForwardContext& ctx) {
   ag::Variable logits = Forward(ctx);
   return ag::SoftmaxCrossEntropy(logits, data_.labels, data_.train_mask);
+}
+
+Tensor Model::Predict(const nn::ForwardContext& ctx) {
+  ag::NoGradGuard guard;
+  ag::Variable logits = Forward(ctx);
+  // Inference-mode nodes retain no children, so when this handle is
+  // the only owner the value can be moved out instead of copied. A
+  // model returning a cached member node keeps its tensor intact.
+  if (logits.use_count() == 1) return std::move(logits->mutable_value());
+  return logits->value();
 }
 
 }  // namespace lasagne

@@ -62,6 +62,14 @@ class Model {
   /// Differentiable training objective for one step.
   virtual ag::Variable TrainingLoss(const nn::ForwardContext& ctx);
 
+  /// Forward-only logits: runs Forward under ag::NoGradGuard, so no
+  /// autograd tape (parents, backward closures, requires_grad interior
+  /// nodes) is built and every intermediate returns to the BufferPool
+  /// as soon as its consumer has run. Values are bitwise identical to
+  /// Forward(ctx)->value(). This is the evaluation / serving entry
+  /// point (EvaluateAccuracy, infer::InferenceSession).
+  Tensor Predict(const nn::ForwardContext& ctx);
+
   /// All trainable parameters.
   virtual std::vector<ag::Variable> Parameters() const = 0;
 

@@ -35,8 +35,11 @@ double EvaluateAccuracy(Model& model, const std::vector<float>& mask,
                         Rng& rng) {
   LASAGNE_TRACE_SCOPE("evaluate");
   nn::ForwardContext ctx{/*training=*/false, &rng};
-  ag::Variable logits = model.Forward(ctx);
-  return MaskedAccuracy(logits->value(), model.data().labels, mask);
+  // Forward-only path: no autograd tape is built for evaluation (the
+  // values are bitwise identical to the tape-building forward; see
+  // tests/inference_test.cc).
+  Tensor logits = model.Predict(ctx);
+  return MaskedAccuracy(logits, model.data().labels, mask);
 }
 
 namespace {
@@ -319,9 +322,15 @@ TrainResult TrainModel(Model& model, const TrainOptions& options) {
   }
   result.final_loss =
       result.loss_history.empty() ? 0.0 : result.loss_history.back();
+  // `total_time_ms` only covers epochs executed by THIS invocation, so
+  // the mean must divide by that count, not by the absolute
+  // `epochs_run` (which includes pre-resume epochs and would
+  // underestimate the mean after --resume).
+  result.epochs_executed =
+      result.epochs_run > start_epoch ? result.epochs_run - start_epoch : 0;
   result.mean_epoch_time_ms =
-      result.epochs_run > 0
-          ? total_time_ms / static_cast<double>(result.epochs_run)
+      result.epochs_executed > 0
+          ? total_time_ms / static_cast<double>(result.epochs_executed)
           : 0.0;
   result.test_accuracy =
       EvaluateAccuracy(model, model.data().test_mask, rng);

@@ -79,6 +79,10 @@ struct TrainResult {
   double train_accuracy = 0.0;
   double final_loss = 0.0;
   size_t epochs_run = 0;
+  /// Epochs executed by THIS invocation (epochs_run minus the epochs a
+  /// --resume checkpoint already covered). mean_epoch_time_ms averages
+  /// over these, since only they were timed by this run.
+  size_t epochs_executed = 0;
   double mean_epoch_time_ms = 0.0;
   std::vector<double> loss_history;
   std::vector<double> val_accuracy_history;

@@ -8,6 +8,7 @@
 
 #include "common/fault_injection.h"
 #include "data/registry.h"
+#include "obs/telemetry.h"
 #include "train/experiment.h"
 #include "train/serialization.h"
 #include "train/trainer.h"
@@ -137,6 +138,52 @@ TEST_F(FaultToleranceTest, ResumeIsBitwiseIdenticalToUninterruptedRun) {
         << "parameter " << i << " diverged after resume";
   }
   EXPECT_EQ(second.test_accuracy, ref_result.test_accuracy);
+}
+
+// mean_epoch_time_ms must average over the epochs THIS invocation
+// executed: a resumed run only timed the post-resume epochs, and the
+// pre-fix code divided their total by the absolute epoch counter
+// (pre-resume epochs included), underreporting the mean by the resume
+// ratio. The telemetry sink records the exact per-epoch wall times the
+// trainer accumulated, so the expected mean is recomputable.
+TEST_F(FaultToleranceTest, ResumedRunTimingCoversOnlyExecutedEpochs) {
+  Dataset data = LoadDataset("cora", 0.2, 45);
+  const std::string path = ::testing::TempDir() + "/timing_resume.ckpt";
+  std::remove(path.c_str());
+
+  ModelConfig config = SmallGcnConfig();
+  TrainOptions options = BaseOptions();
+  options.max_epochs = 6;
+  options.checkpoint_path = path;
+  options.checkpoint_interval = 6;
+  std::unique_ptr<Model> first_model = MakeModel("gcn", data, config);
+  TrainResult first = TrainModel(*first_model, options);
+  ASSERT_EQ(first.epochs_run, 6u);
+  EXPECT_EQ(first.epochs_executed, 6u);
+
+  obs::TelemetryWriter telemetry;
+  TrainOptions resume_options = BaseOptions();
+  resume_options.max_epochs = 8;
+  resume_options.checkpoint_path = path;
+  resume_options.checkpoint_interval = 1000;  // no further writes
+  resume_options.resume = true;
+  resume_options.telemetry = &telemetry;
+  std::unique_ptr<Model> resumed = MakeModel("gcn", data, config);
+  TrainResult second = TrainModel(*resumed, resume_options);
+  ASSERT_TRUE(second.resume_status.ok())
+      << second.resume_status.ToString();
+  ASSERT_EQ(second.resumed_from_epoch, 6u);
+  ASSERT_EQ(second.epochs_run, 8u);
+  EXPECT_EQ(second.epochs_executed, 2u);
+
+  ASSERT_EQ(telemetry.epochs().size(), 2u);
+  double timed_total_ms = 0.0;
+  for (const obs::EpochTelemetry& e : telemetry.epochs()) {
+    timed_total_ms += e.epoch_time_ms;
+  }
+  ASSERT_GT(timed_total_ms, 0.0);
+  // Divided by the 2 executed epochs, not the absolute count 8.
+  EXPECT_DOUBLE_EQ(second.mean_epoch_time_ms, timed_total_ms / 2.0);
 }
 
 TEST_F(FaultToleranceTest, ResumeFromCorruptCheckpointStartsFresh) {

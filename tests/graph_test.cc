@@ -216,6 +216,19 @@ TEST(AlgorithmsTest, ClusteringCoefficientClosedForms) {
               (1.0 / 3.0 + 1.0 + 1.0 + 0.0) / 4.0, 1e-9);
 }
 
+TEST(AlgorithmsTest, ClusteringCoefficientIgnoresSelfLoops) {
+  // Triangle plus a self-loop on node 0: the self-loop adds a neighbor
+  // entry but no closable pairs, so node 0's coefficient stays 1 (its
+  // only real pair {1, 2} is closed). The pre-fix denominator used the
+  // raw degree 3 and reported 1/3 for node 0.
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}, {0, 0}});
+  EXPECT_NEAR(AverageClusteringCoefficient(g), 1.0, 1e-9);
+  // A node whose only neighbors are itself and one other has fewer
+  // than two real neighbors and contributes 0.
+  Graph h = Graph::FromEdges(3, {{0, 1}, {0, 0}});
+  EXPECT_NEAR(AverageClusteringCoefficient(h), 0.0, 1e-9);
+}
+
 TEST(AlgorithmsTest, EdgeHomophilyCounts) {
   Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
   std::vector<int32_t> labels = {0, 0, 1, 1};

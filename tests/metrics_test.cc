@@ -1,6 +1,8 @@
 #include "metrics/mutual_info.h"
 
 #include <cmath>
+#include <set>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -28,6 +30,35 @@ TEST(KMeansTest, KLargerThanNClamps) {
   auto assign = KMeansCluster(points, 10, 5, rng);
   EXPECT_EQ(assign.size(), 3u);
   for (uint32_t a : assign) EXPECT_LT(a, 3u);
+}
+
+TEST(KMeansTest, EmptyClusterReseedsFromFarthestPoint) {
+  // Deterministic scenario (found by seed search) where Lloyd iteration
+  // strands one of the four k-means++ centroids: after the first
+  // centroid update every point defects to another cluster. The
+  // pre-fix code left the stranded centroid at the origin (the
+  // SetZero() residue), silently returning only three populated
+  // clusters with (-2.54, 2.19) folded into the cluster of
+  // (2.57, 1.54) / (1.70, 0.54). Reseeding from the farthest point
+  // must revive the empty cluster instead.
+  const float kPts[7][2] = {
+      {3.87943149f, -2.68116093f}, {4.25574923f, -3.84387279f},
+      {2.56921554f, 1.53694904f},  {-2.53733277f, 2.19059634f},
+      {1.6975944f, 0.538806856f},  {-1.60887933f, -2.54599404f},
+      {-2.43461037f, -4.11840153f}};
+  Tensor points(7, 2);
+  for (size_t i = 0; i < 7; ++i) {
+    points(i, 0) = kPts[i][0];
+    points(i, 1) = kPts[i][1];
+  }
+  Rng rng(54);
+  auto assign = KMeansCluster(points, 4, 50, rng);
+  const std::vector<uint32_t> expected = {1, 1, 2, 0, 2, 3, 3};
+  EXPECT_EQ(assign, expected);
+  // Every requested cluster is populated; the pre-fix result used
+  // only {1, 2, 3}.
+  std::set<uint32_t> ids(assign.begin(), assign.end());
+  EXPECT_EQ(ids.size(), 4u);
 }
 
 TEST(DiscreteMiTest, EntropyOfUniform) {

@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Guard against single-thread kernel perf regressions.
+"""Guard against bench perf regressions (kernels and inference serving).
 
-Runs ``bench_micro_kernels --benchmark_filter=Large`` fresh and compares
-each kernel's single-thread ``items_per_second`` against the committed
+Kernel mode (``--bench-binary`` / ``--bench-json``): runs
+``bench_micro_kernels --benchmark_filter=Large`` fresh and compares each
+kernel's single-thread ``items_per_second`` against the committed
 baseline in BENCH_kernels.json.  Fails (exit 1) if any kernel regresses
 by more than --tolerance (default 15%).
 
@@ -11,9 +12,19 @@ shared CI hosts (the committed baseline was itself taken on a 1-core
 container), while single-thread throughput of these compute-bound
 kernels is stable enough to gate on.
 
+Inference mode (``--inference-binary`` / ``--inference-json``): runs
+``bench_inference_qps`` fresh and, against the committed
+BENCH_inference.json baseline, enforces per model:
+  * the structural invariant that warm-request BufferPool misses stay
+    >= 10x below the cold phase's (same request count, pool trimmed
+    before each cold request; hardware independent, strict), and
+  * steady-state QPS within --inference-tolerance (default 50%; QPS is
+    wall-clock and very noisy on shared hosts) of the baseline.
+
 Usage:
   tools/check_bench_regression.py --bench-binary build/bench/bench_micro_kernels
   tools/check_bench_regression.py --bench-json fresh.json   # pre-recorded run
+  tools/check_bench_regression.py --inference-binary build/bench/bench_inference_qps
 
 Kernels present in the fresh run but absent from the baseline (newly
 added benchmarks) are reported and skipped; kernels present in the
@@ -27,9 +38,11 @@ import os
 import re
 import subprocess
 import sys
+import tempfile
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_kernels.json")
+DEFAULT_INFERENCE_BASELINE = os.path.join(REPO_ROOT, "BENCH_inference.json")
 
 # Matches plain runs ("BM_Foo/threads:1") and aggregate rows from
 # --benchmark_repetitions ("BM_Foo/threads:1_median").
@@ -84,6 +97,61 @@ def run_fresh(bench_binary):
     return json.loads(proc.stdout)
 
 
+def run_fresh_inference(bench_binary):
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "fresh_inference.json")
+        proc = subprocess.run([bench_binary, "--json-out", out],
+                              capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            raise SystemExit(
+                f"inference bench run failed (exit {proc.returncode})")
+        with open(out) as f:
+            return json.load(f)
+
+
+def inference_rows(doc):
+    return {r["model"]: r for r in doc.get("results", [])}
+
+
+def check_inference(fresh_doc, baseline_path, tolerance):
+    """Returns a list of failure strings (empty on success)."""
+    with open(baseline_path) as f:
+        baseline = inference_rows(json.load(f))
+    fresh = inference_rows(fresh_doc)
+    failures = []
+    for model in sorted(set(fresh) | set(baseline)):
+        if model not in baseline:
+            print(f"  NEW   {model}: {fresh[model]['qps']:.1f} QPS "
+                  "(no baseline; add it to BENCH_inference.json)")
+            continue
+        if model not in fresh:
+            failures.append(f"{model}: present in baseline but missing "
+                            "from the fresh run")
+            continue
+        row = fresh[model]
+        # Structural invariant: warm requests reuse pooled buffers.
+        cold = row["cold_pool_misses"]
+        warm = max(row["warm_pool_misses"], 1)
+        if cold < 10 * warm:
+            failures.append(
+                f"{model}: warm pool misses did not collapse "
+                f"(cold={cold:.0f}, warm={warm:.0f}, need >= 10x)")
+            pool_status = "POOL!"
+        else:
+            pool_status = "OK"
+        ratio = row["qps"] / baseline[model]["qps"]
+        qps_status = "OK" if ratio >= 1.0 - tolerance else "SLOW"
+        print(f"  {qps_status:<5} {model}: {row['qps']:.1f} vs baseline "
+              f"{baseline[model]['qps']:.1f} QPS ({ratio:.2f}x), "
+              f"pool {pool_status} (cold={cold:.0f} warm={warm:.0f})")
+        if qps_status == "SLOW":
+            failures.append(
+                f"{model}: {ratio:.2f}x of baseline QPS "
+                f"(allowed >= {1.0 - tolerance:.2f}x)")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--bench-binary",
@@ -94,7 +162,38 @@ def main():
                     help="committed baseline (default: BENCH_kernels.json)")
     ap.add_argument("--tolerance", type=float, default=0.15,
                     help="max allowed fractional slowdown (default 0.15)")
+    ap.add_argument("--inference-binary",
+                    help="path to the bench_inference_qps executable")
+    ap.add_argument("--inference-json",
+                    help="pre-recorded bench_inference_qps JSON")
+    ap.add_argument("--inference-baseline",
+                    default=DEFAULT_INFERENCE_BASELINE,
+                    help="committed baseline (default: BENCH_inference.json)")
+    ap.add_argument("--inference-tolerance", type=float, default=0.5,
+                    help="max allowed fractional QPS slowdown (default 0.5)")
     args = ap.parse_args()
+
+    inference_mode = bool(args.inference_binary) or bool(args.inference_json)
+    if inference_mode:
+        if bool(args.inference_binary) == bool(args.inference_json):
+            ap.error("exactly one of --inference-binary / --inference-json "
+                     "is required")
+        if args.inference_json:
+            with open(args.inference_json) as f:
+                fresh_doc = json.load(f)
+        else:
+            fresh_doc = run_fresh_inference(args.inference_binary)
+        failures = check_inference(fresh_doc, args.inference_baseline,
+                                   args.inference_tolerance)
+        if failures:
+            print("\nFAIL: inference serving regression", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        print("\nPASS: pool-miss collapse holds and no model below "
+              f"{(1.0 - args.inference_tolerance) * 100:.0f}% of baseline "
+              "QPS")
+        return 0
 
     if bool(args.bench_binary) == bool(args.bench_json):
         ap.error("exactly one of --bench-binary / --bench-json is required")
