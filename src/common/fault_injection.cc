@@ -7,38 +7,119 @@ FaultInjector& FaultInjector::Global() {
   return *instance;
 }
 
+void FaultInjector::UpdateArmedFlag() {
+  any_armed_.store(write_failures_armed_ > 0 || nan_gradients_armed_ > 0 ||
+                       serve_stalls_armed_ > 0 || serve_failures_armed_ > 0,
+                   std::memory_order_relaxed);
+}
+
 void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
   write_failures_armed_ = 0;
   write_fail_offset_ = 0;
   nan_gradients_armed_ = 0;
   nan_gradient_epoch_ = 0;
+  serve_stalls_armed_ = 0;
+  serve_stall_ms_ = 0.0;
+  serve_failures_armed_ = 0;
+  serve_failure_worker_ = -1;
   write_failures_injected_ = 0;
   nan_gradients_injected_ = 0;
+  serve_stalls_injected_ = 0;
+  serve_failures_injected_ = 0;
+  UpdateArmedFlag();
 }
 
 void FaultInjector::ArmWriteFailure(size_t byte_offset, int count) {
+  std::lock_guard<std::mutex> lock(mutex_);
   write_fail_offset_ = byte_offset;
   write_failures_armed_ = count;
+  UpdateArmedFlag();
 }
 
 bool FaultInjector::ConsumeWriteFailure(size_t* fail_after_bytes) {
+  if (!AnyArmed()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
   if (write_failures_armed_ <= 0) return false;
   --write_failures_armed_;
   ++write_failures_injected_;
   *fail_after_bytes = write_fail_offset_;
+  UpdateArmedFlag();
   return true;
 }
 
 void FaultInjector::ArmNanGradient(size_t epoch, int count) {
+  std::lock_guard<std::mutex> lock(mutex_);
   nan_gradient_epoch_ = epoch;
   nan_gradients_armed_ = count;
+  UpdateArmedFlag();
 }
 
 bool FaultInjector::ConsumeNanGradient(size_t epoch) {
+  if (!AnyArmed()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
   if (nan_gradients_armed_ <= 0 || epoch != nan_gradient_epoch_) return false;
   --nan_gradients_armed_;
   ++nan_gradients_injected_;
+  UpdateArmedFlag();
   return true;
+}
+
+void FaultInjector::ArmServeStall(double stall_ms, int count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  serve_stall_ms_ = stall_ms;
+  serve_stalls_armed_ = count;
+  UpdateArmedFlag();
+}
+
+bool FaultInjector::ConsumeServeStall(double* stall_ms) {
+  if (!AnyArmed()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (serve_stalls_armed_ <= 0) return false;
+  --serve_stalls_armed_;
+  ++serve_stalls_injected_;
+  *stall_ms = serve_stall_ms_;
+  UpdateArmedFlag();
+  return true;
+}
+
+void FaultInjector::ArmServeFailure(int worker, int count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  serve_failure_worker_ = worker;
+  serve_failures_armed_ = count;
+  UpdateArmedFlag();
+}
+
+bool FaultInjector::ConsumeServeFailure(int worker) {
+  if (!AnyArmed()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (serve_failures_armed_ <= 0 || worker != serve_failure_worker_) {
+    return false;
+  }
+  --serve_failures_armed_;
+  ++serve_failures_injected_;
+  UpdateArmedFlag();
+  return true;
+}
+
+size_t FaultInjector::write_failures_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return write_failures_injected_;
+}
+
+size_t FaultInjector::nan_gradients_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return nan_gradients_injected_;
+}
+
+size_t FaultInjector::serve_stalls_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return serve_stalls_injected_;
+}
+
+size_t FaultInjector::serve_failures_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return serve_failures_injected_;
 }
 
 }  // namespace lasagne

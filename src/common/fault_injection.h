@@ -1,23 +1,34 @@
 #ifndef LASAGNE_COMMON_FAULT_INJECTION_H_
 #define LASAGNE_COMMON_FAULT_INJECTION_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 
 namespace lasagne {
 
 /// Deterministic fault-injection hook for exercising recovery paths.
 ///
 /// Production code consults the global injector at the few places where
-/// the fault-tolerant runtime must handle failure: checkpoint writes
-/// (simulating a crash or full disk after N bytes) and gradient
-/// computation (simulating numerical divergence at a chosen epoch).
-/// All arming is one-shot-per-count and disabled by default, so the
-/// injector is a no-op outside tests. Not thread-safe; tests arm it
-/// from the thread that trains.
+/// the runtime must handle failure: checkpoint writes (simulating a
+/// crash or full disk after N bytes), gradient computation (simulating
+/// numerical divergence at a chosen epoch), and the concurrent serving
+/// front end (simulating a stalled dequeue or a poisoned worker; see
+/// docs/SERVING.md). All arming is one-shot-per-count and disabled by
+/// default, so the injector is a no-op outside tests.
+///
+/// Thread-safe: arm/consume/Reset may be called from any thread
+/// (serving workers consume concurrently while a test thread arms).
+/// AnyArmed() is a single relaxed atomic load, so the trainer-side
+/// consult sites stay free. The serial-fallback contract for
+/// experiment trials is unchanged: RunRepeatedExperiment checks
+/// AnyArmed() and runs trials serially while any fault is armed, since
+/// which trial consumes an armed count would otherwise be a race.
 class FaultInjector {
  public:
-  /// Process-wide instance consulted by serialization and the trainer.
+  /// Process-wide instance consulted by serialization, the trainer and
+  /// the serving workers.
   static FaultInjector& Global();
 
   /// Returns every knob to the disabled state and clears counters.
@@ -46,28 +57,66 @@ class FaultInjector {
   /// returns true when `epoch` matches the armed epoch.
   bool ConsumeNanGradient(size_t epoch);
 
-  /// True while any fault is armed. Coarse-grained parallelism (e.g.
-  /// concurrent experiment trials) falls back to serial execution when
-  /// faults are armed, since which trial consumes an armed count would
-  /// otherwise be a race.
+  // -- Serving faults ------------------------------------------------------
+
+  /// Arms the next `count` dequeued serving batches (on whichever
+  /// worker dequeues them) to stall for `stall_ms` before computing —
+  /// a slow request. The stall happens before the forward pass, so a
+  /// victim's latency degrades while other workers keep serving.
+  void ArmServeStall(double stall_ms, int count = 1);
+
+  /// Consulted by a serving worker per dequeued batch. When armed,
+  /// consumes one count, stores the stall in `*stall_ms` and returns
+  /// true; the worker must sleep that long before serving.
+  bool ConsumeServeStall(double* stall_ms);
+
+  /// Arms the next `count` batches dequeued by worker `worker` to fail:
+  /// the worker resolves every request in the batch with an INTERNAL
+  /// error instead of running the forward pass (a poisoned worker).
+  void ArmServeFailure(int worker, int count = 1);
+
+  /// Consulted by serving worker `worker` per dequeued batch. Consumes
+  /// one count and returns true only when `worker` matches the armed
+  /// worker index.
+  bool ConsumeServeFailure(int worker);
+
+  /// True while any fault is armed (one relaxed atomic load).
+  /// Coarse-grained parallelism (e.g. concurrent experiment trials)
+  /// falls back to serial execution when faults are armed, since which
+  /// trial consumes an armed count would otherwise be a race.
   bool AnyArmed() const {
-    return write_failures_armed_ > 0 || nan_gradients_armed_ > 0;
+    return any_armed_.load(std::memory_order_relaxed);
   }
 
   // -- Observability -------------------------------------------------------
 
-  size_t write_failures_injected() const { return write_failures_injected_; }
-  size_t nan_gradients_injected() const { return nan_gradients_injected_; }
+  size_t write_failures_injected() const;
+  size_t nan_gradients_injected() const;
+  size_t serve_stalls_injected() const;
+  size_t serve_failures_injected() const;
 
  private:
   FaultInjector() = default;
+
+  /// Recomputes the any_armed_ fast-path flag; callers hold mutex_.
+  void UpdateArmedFlag();
+
+  mutable std::mutex mutex_;
+  std::atomic<bool> any_armed_{false};
 
   int write_failures_armed_ = 0;
   size_t write_fail_offset_ = 0;
   int nan_gradients_armed_ = 0;
   size_t nan_gradient_epoch_ = 0;
+  int serve_stalls_armed_ = 0;
+  double serve_stall_ms_ = 0.0;
+  int serve_failures_armed_ = 0;
+  int serve_failure_worker_ = -1;
+
   size_t write_failures_injected_ = 0;
   size_t nan_gradients_injected_ = 0;
+  size_t serve_stalls_injected_ = 0;
+  size_t serve_failures_injected_ = 0;
 };
 
 }  // namespace lasagne

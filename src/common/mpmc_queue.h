@@ -1,0 +1,122 @@
+#ifndef LASAGNE_COMMON_MPMC_QUEUE_H_
+#define LASAGNE_COMMON_MPMC_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace lasagne {
+
+/// Bounded multi-producer multi-consumer queue for the serving front
+/// end (docs/SERVING.md).
+///
+/// Design constraints, in order:
+///   * Producers never block. Admission control is the caller's job:
+///     TryPush reports kFull / kClosed and the caller turns that into a
+///     ResourceExhausted / Unavailable response instead of holding the
+///     client thread hostage.
+///   * Consumers block (Pop) or bounded-block (PopFor) — a serving
+///     worker with nothing to do should sleep on the condvar, not spin.
+///   * Close() is drain-friendly: items already queued remain poppable;
+///     Pop returns kClosed only once the queue is closed AND empty, so
+///     a worker loop `while (Pop(&x) == kItem)` naturally drains the
+///     backlog before exiting.
+///
+/// A mutex + condvar implementation is deliberate: request payloads are
+/// milliseconds of work, so queue overhead is noise, and the simple
+/// lock keeps the structure trivially TSan-clean.
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  enum class PushResult { kOk, kFull, kClosed };
+  enum class PopResult { kItem, kClosed, kTimeout };
+
+  explicit BoundedMpmcQueue(size_t capacity)
+      : capacity_(capacity > 0 ? capacity : 1) {}
+
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  /// Non-blocking enqueue; kFull when at capacity, kClosed after
+  /// Close(). Never waits.
+  PushResult TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return PushResult::kClosed;
+      if (items_.size() >= capacity_) return PushResult::kFull;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Blocks until an item is available (kItem) or the queue is closed
+  /// and fully drained (kClosed).
+  PopResult Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return PopResult::kClosed;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return PopResult::kItem;
+  }
+
+  /// Pop bounded by `timeout`; used by the batching window so a worker
+  /// coalesces whatever arrives before the window closes.
+  PopResult PopFor(T* out, std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const bool got = not_empty_.wait_for(
+        lock, timeout, [&] { return !items_.empty() || closed_; });
+    if (!got) return PopResult::kTimeout;
+    if (items_.empty()) return PopResult::kClosed;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return PopResult::kItem;
+  }
+
+  /// Non-blocking pop (opportunistic coalescing of an already-queued
+  /// backlog).
+  bool TryPop(T* out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Rejects all future pushes and wakes every blocked popper. Queued
+  /// items stay poppable (drain); call repeatedly without harm.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace lasagne
+
+#endif  // LASAGNE_COMMON_MPMC_QUEUE_H_

@@ -25,8 +25,11 @@ enum class StatusCode {
   kDataLoss = 3,          // file exists but is corrupt (checksum, truncation)
   kFailedPrecondition = 4,  // operation needs different prior state
   kIOError = 5,           // read/write/rename failed
-  kResourceExhausted = 6,  // retry/recovery budget spent
+  kResourceExhausted = 6,  // retry/recovery budget spent, or queue full
   kInternal = 7,          // invariant violation reported instead of aborting
+  kDeadlineExceeded = 8,  // work finished (or was abandoned) past its deadline
+  kCancelled = 9,         // caller or shutdown cancelled the operation
+  kUnavailable = 10,      // service is shutting down / not accepting work
 };
 
 /// Human-readable name of a code ("kDataLoss" -> "DATA_LOSS").
@@ -79,6 +82,15 @@ inline Status ResourceExhaustedError(std::string message) {
 }
 inline Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+inline Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+inline Status CancelledError(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
+}
+inline Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 /// Either a value or the error that prevented producing one. Accessing

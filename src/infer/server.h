@@ -1,0 +1,282 @@
+#ifndef LASAGNE_INFER_SERVER_H_
+#define LASAGNE_INFER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_queue.h"
+#include "common/status.h"
+#include "infer/serving.h"
+#include "models/model.h"
+
+namespace lasagne::infer {
+
+/// Per-request serving options.
+struct RequestOptions {
+  /// Relative deadline in milliseconds from submission; <= 0 means the
+  /// server default (ServerOptions::default_deadline_ms), which in turn
+  /// may mean "no deadline". Deadlines are enforced twice: a request
+  /// whose deadline passed while queued is rejected at dequeue without
+  /// a forward pass, and a request that finishes late is delivered but
+  /// flagged DEADLINE_EXCEEDED.
+  double deadline_ms = 0.0;
+};
+
+/// Terminal outcome of one submitted request. Exactly one of these is
+/// delivered per Submit call — served, rejected, expired, cancelled or
+/// failed — never zero (dropped) and never two.
+struct ServeResult {
+  /// OK                  — served within deadline; `logits` valid.
+  /// DEADLINE_EXCEEDED   — expired in queue (no logits) or finished
+  ///                       late (`has_logits` true: delivered, flagged).
+  /// RESOURCE_EXHAUSTED  — rejected at admission, queue full;
+  ///                       `retry_after_ms` carries the backoff hint.
+  /// UNAVAILABLE         — rejected, server shutting down.
+  /// INVALID_ARGUMENT    — empty batch / out-of-range node id.
+  /// CANCELLED           — shutdown(kCancelPending) drained it unserved.
+  /// INTERNAL            — worker failure (fault injection / defect).
+  Status status;
+  /// (num query nodes x num_classes) logits or probabilities; rows in
+  /// query order. Valid iff `has_logits`.
+  Tensor logits;
+  bool has_logits = false;
+  /// Worker that executed the forward pass; -1 when none did.
+  int worker = -1;
+  /// Number of requests coalesced into the forward pass that served
+  /// this one (1 = no coalescing; 0 when no forward pass ran).
+  size_t batch_requests = 0;
+  double queue_ms = 0.0;    // submission -> dequeue
+  double compute_ms = 0.0;  // forward + gather of the coalesced batch
+  double total_ms = 0.0;    // submission -> resolution
+  /// On RESOURCE_EXHAUSTED: suggested client backoff before retrying,
+  /// derived from queue depth and recent batch latency.
+  double retry_after_ms = 0.0;
+};
+
+namespace internal {
+struct ServeFutureState;
+}  // namespace internal
+
+/// One-shot completion handle for a submitted request. Copyable;
+/// Wait/WaitFor may be called from any thread. A default-constructed
+/// future is invalid.
+class ServeFuture {
+ public:
+  ServeFuture() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  /// True once the terminal ServeResult is available (non-blocking).
+  bool ready() const;
+  /// Blocks until resolved, then returns the result (stable reference,
+  /// valid for the future's lifetime).
+  const ServeResult& Wait() const;
+  /// Bounded wait; true when resolved within `timeout_ms`.
+  bool WaitFor(double timeout_ms) const;
+
+ private:
+  friend class InferenceServer;
+  explicit ServeFuture(std::shared_ptr<internal::ServeFutureState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<internal::ServeFutureState> state_;
+};
+
+/// Configuration for an InferenceServer.
+struct ServerOptions {
+  size_t num_workers = 2;
+  /// Bound of the MPMC request queue. Submissions beyond it are
+  /// rejected with RESOURCE_EXHAUSTED (admission control) instead of
+  /// blocking the producer.
+  size_t queue_capacity = 64;
+  /// Cross-request batching: after dequeuing a request, a worker keeps
+  /// collecting requests for up to this window (and immediately
+  /// coalesces any backlog already queued), then serves the group with
+  /// one forward pass. 0 = opportunistic backlog coalescing only.
+  double batch_window_ms = 0.0;
+  /// Max requests coalesced into one forward pass (1 = no coalescing).
+  size_t max_batch_requests = 8;
+  /// Default relative deadline applied when RequestOptions carries
+  /// none; <= 0 = no deadline.
+  double default_deadline_ms = 0.0;
+  /// Row-softmax served logits into class probabilities.
+  bool softmax_outputs = false;
+  /// Base RNG seed; worker w serves with seed + w (eval-mode forwards
+  /// consume no randomness, see ServeOptions::seed).
+  uint64_t seed = 1;
+  /// When false the server is constructed stopped: requests can be
+  /// staged into the queue deterministically and no worker runs until
+  /// Start() (or Shutdown(), which starts workers to drain). Tests use
+  /// this to exercise queue-full admission and deadline-at-dequeue
+  /// without racing the workers.
+  bool autostart = true;
+};
+
+/// Shutdown behavior for in-queue requests (in-flight forward passes
+/// always run to completion either way).
+enum class DrainMode {
+  /// Serve everything already admitted (deadline checks still apply).
+  kDrain,
+  /// Resolve queued-but-unstarted requests with CANCELLED.
+  kCancelPending,
+};
+
+/// Merged server statistics (Snapshot()). Worker-side fields are
+/// aggregated from the shared-nothing per-worker blocks at scrape time.
+struct ServerStats {
+  // Admission (producer side).
+  uint64_t submitted = 0;            // every Submit call
+  uint64_t accepted = 0;             // entered the queue
+  uint64_t rejected_queue_full = 0;  // RESOURCE_EXHAUSTED
+  uint64_t rejected_shutdown = 0;    // UNAVAILABLE
+  uint64_t rejected_invalid = 0;     // INVALID_ARGUMENT
+
+  // Worker side.
+  uint64_t served_ok = 0;
+  uint64_t expired_at_dequeue = 0;    // DEADLINE_EXCEEDED, no forward pass
+  uint64_t late_at_completion = 0;    // DEADLINE_EXCEEDED, logits delivered
+  uint64_t cancelled = 0;             // CANCELLED at shutdown
+  uint64_t failed = 0;                // INTERNAL worker failures
+  uint64_t batches = 0;               // forward passes executed
+  uint64_t coalesced_requests = 0;    // requests served by those passes
+  double total_queue_ms = 0.0;        // summed over dequeued requests
+
+  /// Per-request end-to-end latency / pool stats of requests that went
+  /// through a forward pass (served_ok + late_at_completion).
+  ServeStats serve;
+
+  /// Requests that have reached a terminal outcome.
+  uint64_t TerminalOutcomes() const {
+    return rejected_queue_full + rejected_shutdown + rejected_invalid +
+           served_ok + expired_at_dequeue + late_at_completion + cancelled +
+           failed;
+  }
+  /// After Shutdown: true iff every submitted request got exactly one
+  /// terminal outcome (the zero-drop invariant the tests and the bench
+  /// regression gate enforce).
+  bool Accounted() const { return TerminalOutcomes() == submitted; }
+};
+
+/// Builds the model a worker serves with. Called once per worker at
+/// construction time; workers are shared-nothing, so each gets its own
+/// instance (Model::Forward mutates per-model scratch state).
+using ModelFactory = std::function<std::unique_ptr<Model>(size_t worker)>;
+
+/// Resilient concurrent serving front end around the forward-only
+/// inference path (docs/SERVING.md).
+///
+/// Producers Submit() query-node batches into a bounded MPMC queue and
+/// get a ServeFuture; N worker threads each own a private Model (same
+/// seed => identical parameters) and per-worker ServeStats, dequeue
+/// requests, coalesce those arriving within the batching window into
+/// one forward pass, and resolve every future with exactly one
+/// terminal outcome. Overload never blocks producers (queue-full =>
+/// immediate RESOURCE_EXHAUSTED with a retry-after hint) and shutdown
+/// is deterministic: every admitted request is either served or
+/// CANCELLED, never dropped. Workers run their forwards inside a
+/// ParallelRegionGuard, so inner kernels execute inline and serial —
+/// worker-level concurrency scales across cores without oversubscribing
+/// the shared pool, and each worker's arithmetic matches a
+/// single-threaded run bit for bit (docs/THREADING.md).
+class InferenceServer {
+ public:
+  InferenceServer(ModelFactory factory, ServerOptions options = {});
+  /// Convenience: one `model_name` model per worker over `data` (which
+  /// must outlive the server).
+  InferenceServer(const std::string& model_name, const Dataset& data,
+                  const ModelConfig& config, ServerOptions options = {});
+  /// Runs Shutdown(kDrain) if the server is still accepting work.
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Starts the worker threads (no-op when already started). Only
+  /// needed with ServerOptions::autostart = false.
+  void Start();
+
+  /// Admits one request. Never blocks: returns a future that is either
+  /// queued for a worker or already resolved with the rejection
+  /// (RESOURCE_EXHAUSTED / UNAVAILABLE / INVALID_ARGUMENT).
+  ServeFuture Submit(std::vector<uint32_t> query_nodes,
+                     RequestOptions request = {});
+
+  /// Stops admission, resolves every queued request per `mode`, joins
+  /// the workers. Idempotent; only the first call's mode applies. If
+  /// the server was never Start()ed, workers are started to perform the
+  /// drain, so the outcome is deterministic either way.
+  void Shutdown(DrainMode mode = DrainMode::kDrain);
+
+  /// Merged statistics. Safe to call at any time; per-worker blocks are
+  /// read under their own locks (scrapes contend with at most one
+  /// worker each, never serialize workers against each other).
+  ServerStats Snapshot() const;
+
+  size_t queue_depth() const { return queue_.size(); }
+  size_t queue_capacity() const { return queue_.capacity(); }
+  size_t num_workers() const { return workers_.size(); }
+
+ private:
+  struct Request {
+    std::shared_ptr<internal::ServeFutureState> state;
+    std::vector<uint32_t> nodes;
+    std::chrono::steady_clock::time_point submit_time;
+    std::chrono::steady_clock::time_point deadline;  // max() = none
+    bool has_deadline = false;
+  };
+
+  /// Shared-nothing per-worker block: the worker thread is the only
+  /// writer; `mutex` lets Snapshot read a consistent view.
+  struct Worker {
+    std::unique_ptr<Model> model;
+    Rng rng{1};
+    std::thread thread;
+
+    mutable std::mutex mutex;  // guards the stats below
+    ServeStats serve;
+    uint64_t served_ok = 0;
+    uint64_t expired_at_dequeue = 0;
+    uint64_t late_at_completion = 0;
+    uint64_t cancelled = 0;
+    uint64_t failed = 0;
+    uint64_t batches = 0;
+    uint64_t coalesced_requests = 0;
+    double total_queue_ms = 0.0;
+  };
+
+  void WorkerLoop(size_t worker_index);
+  /// Runs one coalesced batch on `worker`: forward + gather + resolve.
+  void ServeBatchOnWorker(size_t worker_index,
+                          std::vector<Request>& batch);
+  void UpdateQueueDepthGauge() const;
+  double RetryAfterHintMs() const;
+
+  ServerOptions options_;
+  BoundedMpmcQueue<Request> queue_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::mutex lifecycle_mutex_;  // guards Start/Shutdown transitions
+  bool started_ = false;
+  bool shutdown_ = false;
+  std::atomic<bool> cancel_pending_{false};
+
+  // Admission counters (producer threads).
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_queue_full_{0};
+  std::atomic<uint64_t> rejected_shutdown_{0};
+  std::atomic<uint64_t> rejected_invalid_{0};
+
+  /// EWMA of recent batch compute time, feeding the retry-after hint.
+  std::atomic<double> ewma_batch_ms_{1.0};
+};
+
+}  // namespace lasagne::infer
+
+#endif  // LASAGNE_INFER_SERVER_H_

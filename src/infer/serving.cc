@@ -11,19 +11,78 @@
 
 namespace lasagne::infer {
 
+void ServeStats::RecordLatency(double latency_ms) {
+  if (requests == 0) {
+    min_latency_ms = latency_ms;
+    max_latency_ms = latency_ms;
+  } else {
+    min_latency_ms = std::min(min_latency_ms, latency_ms);
+    max_latency_ms = std::max(max_latency_ms, latency_ms);
+  }
+  ++requests;
+  total_latency_ms += latency_ms;
+  if (latency_reservoir.size() < kLatencyReservoir) {
+    latency_reservoir.push_back(latency_ms);
+  }
+  ++latency_buckets[obs::Histogram::BucketFor(latency_ms)];
+}
+
+void ServeStats::Merge(const ServeStats& other) {
+  if (other.requests > 0) {
+    if (requests == 0) {
+      min_latency_ms = other.min_latency_ms;
+      max_latency_ms = other.max_latency_ms;
+    } else {
+      min_latency_ms = std::min(min_latency_ms, other.min_latency_ms);
+      max_latency_ms = std::max(max_latency_ms, other.max_latency_ms);
+    }
+  }
+  requests += other.requests;
+  nodes_served += other.nodes_served;
+  total_latency_ms += other.total_latency_ms;
+  pool_hits += other.pool_hits;
+  pool_misses += other.pool_misses;
+  for (double sample : other.latency_reservoir) {
+    if (latency_reservoir.size() >= kLatencyReservoir) break;
+    latency_reservoir.push_back(sample);
+  }
+  for (size_t i = 0; i < latency_buckets.size(); ++i) {
+    latency_buckets[i] += other.latency_buckets[i];
+  }
+}
+
 double ServeStats::MeanLatencyMs() const {
   return requests > 0 ? total_latency_ms / static_cast<double>(requests)
                       : 0.0;
 }
 
 double ServeStats::LatencyPercentileMs(double q) const {
-  if (latency_ms.empty()) return 0.0;
-  std::vector<double> sorted = latency_ms;
-  std::sort(sorted.begin(), sorted.end());
+  if (requests == 0) return 0.0;
   const double clamped = std::min(std::max(q, 0.0), 1.0);
-  const double rank = std::ceil(clamped * static_cast<double>(sorted.size()));
-  const size_t index = rank < 1.0 ? 0 : static_cast<size_t>(rank) - 1;
-  return sorted[std::min(index, sorted.size() - 1)];
+  if (requests <= latency_reservoir.size()) {
+    // Every sample is in the reservoir: exact.
+    std::vector<double> sorted = latency_reservoir;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank =
+        std::ceil(clamped * static_cast<double>(sorted.size()));
+    const size_t index = rank < 1.0 ? 0 : static_cast<size_t>(rank) - 1;
+    return sorted[std::min(index, sorted.size() - 1)];
+  }
+  // Bucket estimate (upper edge of the target bucket), clamped to the
+  // observed range so p0/p100 stay meaningful.
+  const double target = clamped * static_cast<double>(requests);
+  uint64_t running = 0;
+  double estimate = max_latency_ms;
+  for (size_t i = 0; i < latency_buckets.size(); ++i) {
+    running += latency_buckets[i];
+    if (static_cast<double>(running) >= target && latency_buckets[i] > 0) {
+      estimate = i + 1 < obs::Histogram::kBuckets
+                     ? obs::Histogram::BucketLowerEdge(i + 1)
+                     : max_latency_ms;
+      break;
+    }
+  }
+  return std::min(std::max(estimate, min_latency_ms), max_latency_ms);
 }
 
 double ServeStats::Qps() const {
@@ -69,10 +128,8 @@ StatusOr<Tensor> InferenceSession::ServeBatch(
       std::chrono::duration<double, std::milli>(end - start).count();
   const BufferPool::Stats pool_after = BufferPool::Global().GetStats();
 
-  ++stats_.requests;
+  stats_.RecordLatency(latency_ms);
   stats_.nodes_served += query_nodes.size();
-  stats_.total_latency_ms += latency_ms;
-  stats_.latency_ms.push_back(latency_ms);
   stats_.pool_hits += pool_after.hits - pool_before.hits;
   stats_.pool_misses += pool_after.misses - pool_before.misses;
 

@@ -1,11 +1,13 @@
 #ifndef LASAGNE_INFER_SERVING_H_
 #define LASAGNE_INFER_SERVING_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "common/status.h"
 #include "models/model.h"
+#include "obs/metrics.h"
 #include "tensor/rng.h"
 
 namespace lasagne::infer {
@@ -21,12 +23,31 @@ struct ServeOptions {
   uint64_t seed = 1;
 };
 
-/// Aggregate statistics over the requests a session has served.
+/// Aggregate statistics over the requests a session (or one serving
+/// worker; see infer::InferenceServer) has served.
+///
+/// Memory is bounded for long-running servers: the first
+/// `kLatencyReservoir` per-request latencies are kept exactly, and
+/// every latency additionally lands in log2-scale buckets (the same
+/// bucketing as obs::Histogram). While the reservoir still holds every
+/// sample — i.e. any test-sized run — percentiles are exact; past that
+/// point they fall back to the bucket estimate, clamped to the observed
+/// [min, max].
 struct ServeStats {
+  /// Exact samples retained before falling back to buckets (32 KiB of
+  /// doubles — the cap that replaced the one-double-per-request-forever
+  /// growth of the original `latency_ms` vector).
+  static constexpr size_t kLatencyReservoir = 4096;
+
   uint64_t requests = 0;
   uint64_t nodes_served = 0;
   double total_latency_ms = 0.0;
-  std::vector<double> latency_ms;  // per-request, in arrival order
+  double min_latency_ms = 0.0;
+  double max_latency_ms = 0.0;
+  /// First kLatencyReservoir per-request latencies, in arrival order.
+  std::vector<double> latency_reservoir;
+  /// All latencies, log2-bucketed (obs::Histogram::BucketFor).
+  std::array<uint64_t, obs::Histogram::kBuckets> latency_buckets{};
 
   /// BufferPool activity attributed to served requests (deltas of the
   /// global pool counters across each ServeBatch call). After a warm-up
@@ -36,9 +57,18 @@ struct ServeStats {
   uint64_t pool_hits = 0;
   uint64_t pool_misses = 0;
 
+  /// Accounts one served request of `latency_ms` milliseconds.
+  void RecordLatency(double latency_ms);
+
+  /// Folds another stats block into this one (scrape-time merging of
+  /// shared-nothing per-worker stats). Reservoir samples are kept up to
+  /// kLatencyReservoir; buckets and counters always merge exactly.
+  void Merge(const ServeStats& other);
+
   double MeanLatencyMs() const;
   /// Latency percentile (q in [0, 1]) over the served requests; 0 when
-  /// no request has completed. Exact (sorts a copy), not bucketed.
+  /// no request has completed. Exact (sorts a reservoir copy) while
+  /// requests <= kLatencyReservoir, bucket-estimated beyond.
   double LatencyPercentileMs(double q) const;
   /// Requests per second of pure serving time (excludes caller think
   /// time): requests / total_latency.

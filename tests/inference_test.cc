@@ -265,7 +265,7 @@ TEST(InferenceServingTest, StatsAccumulateAndReset) {
   const infer::ServeStats& stats = session.stats();
   EXPECT_EQ(stats.requests, 2u);
   EXPECT_EQ(stats.nodes_served, 3u);
-  EXPECT_EQ(stats.latency_ms.size(), 2u);
+  EXPECT_EQ(stats.latency_reservoir.size(), 2u);
   EXPECT_GT(stats.total_latency_ms, 0.0);
   EXPECT_GT(stats.MeanLatencyMs(), 0.0);
   EXPECT_GT(stats.Qps(), 0.0);
@@ -275,14 +275,14 @@ TEST(InferenceServingTest, StatsAccumulateAndReset) {
   const double p100 = stats.LatencyPercentileMs(1.0);
   EXPECT_LE(p0, p50);
   EXPECT_LE(p50, p100);
-  EXPECT_EQ(p0, *std::min_element(stats.latency_ms.begin(),
-                                  stats.latency_ms.end()));
-  EXPECT_EQ(p100, *std::max_element(stats.latency_ms.begin(),
-                                    stats.latency_ms.end()));
+  EXPECT_EQ(p0, *std::min_element(stats.latency_reservoir.begin(),
+                                  stats.latency_reservoir.end()));
+  EXPECT_EQ(p100, *std::max_element(stats.latency_reservoir.begin(),
+                                    stats.latency_reservoir.end()));
 
   session.ResetStats();
   EXPECT_EQ(session.stats().requests, 0u);
-  EXPECT_EQ(session.stats().latency_ms.size(), 0u);
+  EXPECT_EQ(session.stats().latency_reservoir.size(), 0u);
 }
 
 TEST(InferenceServingTest, ServeAllMatchesFullForward) {

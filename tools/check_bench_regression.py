@@ -21,10 +21,24 @@ BENCH_inference.json baseline, enforces per model:
   * steady-state QPS within --inference-tolerance (default 50%; QPS is
     wall-clock and very noisy on shared hosts) of the baseline.
 
+Serving mode (``--serving-binary`` / ``--serving-json``): runs
+``bench_serving_load`` fresh and, against the committed
+BENCH_serving.json baseline, enforces per worker-sweep row:
+  * the robustness invariants, strictly and hardware independent:
+    ``accounting_ok`` (every submitted request got exactly one terminal
+    outcome — zero silent drops), ``drained`` (shutdown left an empty
+    queue — no deadlocked workers), and zero INTERNAL failures on rows
+    without fault injection, and
+  * sustained QPS within --serving-tolerance (default 50%) of baseline
+    and p99 latency within --serving-p99-factor (default 5x) of
+    baseline — generous, because both are wall-clock dependent on
+    shared hosts.
+
 Usage:
   tools/check_bench_regression.py --bench-binary build/bench/bench_micro_kernels
   tools/check_bench_regression.py --bench-json fresh.json   # pre-recorded run
   tools/check_bench_regression.py --inference-binary build/bench/bench_inference_qps
+  tools/check_bench_regression.py --serving-binary build/bench/bench_serving_load
 
 Kernels present in the fresh run but absent from the baseline (newly
 added benchmarks) are reported and skipped; kernels present in the
@@ -43,6 +57,7 @@ import tempfile
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_kernels.json")
 DEFAULT_INFERENCE_BASELINE = os.path.join(REPO_ROOT, "BENCH_inference.json")
+DEFAULT_SERVING_BASELINE = os.path.join(REPO_ROOT, "BENCH_serving.json")
 
 # Matches plain runs ("BM_Foo/threads:1") and aggregate rows from
 # --benchmark_repetitions ("BM_Foo/threads:1_median").
@@ -152,6 +167,84 @@ def check_inference(fresh_doc, baseline_path, tolerance):
     return failures
 
 
+def run_fresh_serving(bench_binary):
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "fresh_serving.json")
+        proc = subprocess.run([bench_binary, "--json-out", out],
+                              capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            raise SystemExit(
+                f"serving bench run failed (exit {proc.returncode})")
+        with open(out) as f:
+            return json.load(f)
+
+
+def serving_rows(doc):
+    return {r["config"]: r for r in doc.get("results", [])}
+
+
+def check_serving(fresh_doc, baseline_path, tolerance, p99_factor):
+    """Returns a list of failure strings (empty on success).
+
+    The correctness invariants (accounting, drain, no unfaulted
+    failures) gate strictly on the FRESH run alone; the baseline is only
+    consulted for the wall-clock comparisons.
+    """
+    with open(baseline_path) as f:
+        baseline = serving_rows(json.load(f))
+    fresh = serving_rows(fresh_doc)
+    failures = []
+    for config in sorted(set(fresh) | set(baseline)):
+        if config not in fresh:
+            failures.append(f"{config}: present in baseline but missing "
+                            "from the fresh run")
+            continue
+        row = fresh[config]
+        # Strict, hardware-independent robustness invariants.
+        invariants = []
+        if not row.get("accounting_ok"):
+            invariants.append("requests dropped (accounting_ok false)")
+        if not row.get("drained"):
+            invariants.append("shutdown did not drain (drained false)")
+        if not row.get("faulted") and row.get("failed", 0) > 0:
+            invariants.append(
+                f"{row['failed']:.0f} INTERNAL failures without fault "
+                "injection")
+        if row.get("served_ok", 0) <= 0:
+            invariants.append("no request served successfully")
+        for problem in invariants:
+            failures.append(f"{config}: {problem}")
+        inv_status = "OK" if not invariants else "INV!"
+        if config not in baseline:
+            print(f"  NEW   {config}: {row['qps']:.1f} QPS, "
+                  f"p99 {row['p99_ms']:.2f} ms, invariants {inv_status} "
+                  "(no baseline; add it to BENCH_serving.json)")
+            continue
+        # Generous wall-clock comparisons.
+        base = baseline[config]
+        qps_ratio = row["qps"] / base["qps"] if base["qps"] > 0 else 1.0
+        qps_ok = qps_ratio >= 1.0 - tolerance
+        p99_ratio = (row["p99_ms"] / base["p99_ms"]
+                     if base["p99_ms"] > 0 else 1.0)
+        p99_ok = p99_ratio <= p99_factor
+        status = "OK" if qps_ok and p99_ok and not invariants else "SLOW" \
+            if not invariants else "INV!"
+        print(f"  {status:<5} {config}: {row['qps']:.1f} vs baseline "
+              f"{base['qps']:.1f} QPS ({qps_ratio:.2f}x), p99 "
+              f"{row['p99_ms']:.2f} vs {base['p99_ms']:.2f} ms "
+              f"({p99_ratio:.2f}x), invariants {inv_status}")
+        if not qps_ok:
+            failures.append(
+                f"{config}: {qps_ratio:.2f}x of baseline QPS "
+                f"(allowed >= {1.0 - tolerance:.2f}x)")
+        if not p99_ok:
+            failures.append(
+                f"{config}: p99 {p99_ratio:.2f}x of baseline "
+                f"(allowed <= {p99_factor:.1f}x)")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--bench-binary",
@@ -171,7 +264,40 @@ def main():
                     help="committed baseline (default: BENCH_inference.json)")
     ap.add_argument("--inference-tolerance", type=float, default=0.5,
                     help="max allowed fractional QPS slowdown (default 0.5)")
+    ap.add_argument("--serving-binary",
+                    help="path to the bench_serving_load executable")
+    ap.add_argument("--serving-json",
+                    help="pre-recorded bench_serving_load JSON")
+    ap.add_argument("--serving-baseline", default=DEFAULT_SERVING_BASELINE,
+                    help="committed baseline (default: BENCH_serving.json)")
+    ap.add_argument("--serving-tolerance", type=float, default=0.5,
+                    help="max allowed fractional QPS slowdown (default 0.5)")
+    ap.add_argument("--serving-p99-factor", type=float, default=5.0,
+                    help="max allowed p99 growth vs baseline (default 5x)")
     args = ap.parse_args()
+
+    serving_mode = bool(args.serving_binary) or bool(args.serving_json)
+    if serving_mode:
+        if bool(args.serving_binary) == bool(args.serving_json):
+            ap.error("exactly one of --serving-binary / --serving-json "
+                     "is required")
+        if args.serving_json:
+            with open(args.serving_json) as f:
+                fresh_doc = json.load(f)
+        else:
+            fresh_doc = run_fresh_serving(args.serving_binary)
+        failures = check_serving(fresh_doc, args.serving_baseline,
+                                 args.serving_tolerance,
+                                 args.serving_p99_factor)
+        if failures:
+            print("\nFAIL: serving regression", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        print("\nPASS: zero drops, deterministic drain, and every config "
+              f"within {(1.0 - args.serving_tolerance) * 100:.0f}% QPS / "
+              f"{args.serving_p99_factor:.0f}x p99 of baseline")
+        return 0
 
     inference_mode = bool(args.inference_binary) or bool(args.inference_json)
     if inference_mode:
