@@ -11,6 +11,13 @@
 // because inference-mode nodes release buffers mid-request; the
 // aggregate over N requests is the meaningful contrast.)
 //
+// Every model runs in two modes: "eager" (execution plans disabled —
+// the NoGradGuard Forward walk) and "plan" (the default static
+// execution plan compiled by infer::ExecutionPlan, interpreted through
+// a pre-reserved workspace). Plan-mode warm requests must be exactly
+// miss-free and at least as fast as eager; both are gated by
+// tools/check_bench_regression.py --plan-*.
+//
 // Writes a machine-readable baseline to BENCH_inference.json
 // (override with --json-out PATH); tools/check_bench_regression.py
 // compares a fresh run against the committed baseline and enforces the
@@ -29,6 +36,7 @@
 #include "common/buffer_pool.h"
 #include "common/thread_pool.h"
 #include "data/registry.h"
+#include "infer/plan.h"
 #include "infer/serving.h"
 #include "models/model.h"
 #include "obs/json.h"
@@ -43,6 +51,7 @@ constexpr size_t kSteadyRequests = 40;
 
 struct ModelResult {
   std::string model;
+  std::string mode;  // "eager" (plan disabled) or "plan"
   double qps = 0.0;
   double mean_ms = 0.0;
   double p50_ms = 0.0;
@@ -50,6 +59,8 @@ struct ModelResult {
   uint64_t cold_pool_misses = 0;  // total over kSteadyRequests trimmed requests
   uint64_t warm_pool_misses = 0;  // total over kSteadyRequests primed requests
   uint64_t warm_pool_hits = 0;
+  bool plan_compiled = false;     // plan mode actually used a compiled plan
+  uint64_t workspace_bytes = 0;   // plan's pre-reserved slab size
 };
 
 std::vector<uint32_t> MakeBatch(size_t num_nodes, Rng& rng) {
@@ -60,17 +71,20 @@ std::vector<uint32_t> MakeBatch(size_t num_nodes, Rng& rng) {
   return batch;
 }
 
-ModelResult BenchOne(const std::string& name, const Dataset& data) {
+ModelResult BenchOne(const std::string& name, const Dataset& data,
+                     bool use_plan) {
   ModelConfig config;
   config.depth = 2;
   config.hidden_dim = 32;
   config.seed = 3;
   std::unique_ptr<Model> model = MakeModel(name, data, config);
+  model->set_use_execution_plan(use_plan);
   infer::InferenceSession session(*model);
   Rng batch_rng(17);
 
   ModelResult out;
   out.model = name;
+  out.mode = use_plan ? "plan" : "eager";
 
   // Cold phase: trim the freelists before every request, so each one
   // pays the no-cross-request-reuse allocation cost.
@@ -96,6 +110,10 @@ ModelResult BenchOne(const std::string& name, const Dataset& data) {
   out.p99_ms = stats.LatencyPercentileMs(0.99);
   out.warm_pool_misses = stats.pool_misses;
   out.warm_pool_hits = stats.pool_hits;
+  if (use_plan && model->execution_plan() != nullptr) {
+    out.plan_compiled = true;
+    out.workspace_bytes = model->execution_plan()->info().workspace_bytes;
+  }
   return out;
 }
 
@@ -125,6 +143,10 @@ void WriteJson(const std::string& path, size_t threads, double scale,
   for (const ModelResult& r : results) {
     obs::JsonValue row = obs::JsonValue::Object();
     row.Set("model", obs::JsonValue::String(r.model));
+    row.Set("mode", obs::JsonValue::String(r.mode));
+    row.Set("plan_compiled", obs::JsonValue::Bool(r.plan_compiled));
+    row.Set("workspace_bytes",
+            obs::JsonValue::Number(static_cast<double>(r.workspace_bytes)));
     row.Set("requests",
             obs::JsonValue::Number(static_cast<double>(kSteadyRequests)));
     row.Set("batch_size",
@@ -158,30 +180,35 @@ void Run(const std::string& json_out, size_t threads) {
               kSteadyRequests, threads);
 
   std::vector<ModelResult> results;
-  bench::TablePrinter table({18, 10, 10, 10, 10, 12, 12});
-  table.Row({"model", "QPS", "mean ms", "p50 ms", "p99 ms", "cold miss",
-             "warm miss"});
+  bench::TablePrinter table({18, 7, 10, 10, 10, 10, 12, 12});
+  table.Row({"model", "mode", "QPS", "mean ms", "p50 ms", "p99 ms",
+             "cold miss", "warm miss"});
   table.Rule();
   for (const char* name : {"gcn", "lasagne-weighted", "gat"}) {
-    ModelResult r = BenchOne(name, data);
-    char buf[7][32];
-    std::snprintf(buf[0], sizeof(buf[0]), "%.1f", r.qps);
-    std::snprintf(buf[1], sizeof(buf[1]), "%.2f", r.mean_ms);
-    std::snprintf(buf[2], sizeof(buf[2]), "%.2f", r.p50_ms);
-    std::snprintf(buf[3], sizeof(buf[3]), "%.2f", r.p99_ms);
-    std::snprintf(buf[4], sizeof(buf[4]), "%llu",
-                  static_cast<unsigned long long>(r.cold_pool_misses));
-    std::snprintf(buf[5], sizeof(buf[5]), "%llu",
-                  static_cast<unsigned long long>(r.warm_pool_misses));
-    table.Row({r.model, buf[0], buf[1], buf[2], buf[3], buf[4], buf[5]});
-    std::fflush(stdout);
-    results.push_back(r);
+    for (const bool use_plan : {false, true}) {
+      ModelResult r = BenchOne(name, data, use_plan);
+      char buf[6][32];
+      std::snprintf(buf[0], sizeof(buf[0]), "%.1f", r.qps);
+      std::snprintf(buf[1], sizeof(buf[1]), "%.2f", r.mean_ms);
+      std::snprintf(buf[2], sizeof(buf[2]), "%.2f", r.p50_ms);
+      std::snprintf(buf[3], sizeof(buf[3]), "%.2f", r.p99_ms);
+      std::snprintf(buf[4], sizeof(buf[4]), "%llu",
+                    static_cast<unsigned long long>(r.cold_pool_misses));
+      std::snprintf(buf[5], sizeof(buf[5]), "%llu",
+                    static_cast<unsigned long long>(r.warm_pool_misses));
+      table.Row({r.model, r.mode, buf[0], buf[1], buf[2], buf[3], buf[4],
+                 buf[5]});
+      std::fflush(stdout);
+      results.push_back(r);
+    }
   }
   table.Rule();
   std::printf(
-      "\nInvariant: warm-request pool misses collapse >= 10x below the\n"
-      "cold phase (pool trimmed before each cold request); gated by\n"
-      "tools/check_bench_regression.py --inference-*.\n");
+      "\nInvariants: eager warm-request pool misses collapse >= 10x below\n"
+      "the cold phase (pool trimmed before each cold request), and plan\n"
+      "mode serves warm requests with ZERO pool misses from its\n"
+      "pre-reserved workspace at >= eager QPS; gated by\n"
+      "tools/check_bench_regression.py --inference-* / --plan-*.\n");
   WriteJson(json_out, threads, scale, results);
 }
 

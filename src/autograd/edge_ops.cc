@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "autograd/forward_trace.h"
 #include "autograd/ops.h"
 #include "common/check.h"
 
@@ -72,6 +73,22 @@ Variable GatherEdgeScores(const Variable& dst_scores,
       ps->AccumulateGrad(ds);
     }
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {dst_scores, src_scores},
+        [edges](const std::vector<const Tensor*>& in) {
+          Tensor y(edges->num_edges(), 1);
+          for (size_t i = 0; i < edges->num_nodes; ++i) {
+            const float d = (*in[0])(i, 0);
+            for (size_t k = edges->row_ptr[i]; k < edges->row_ptr[i + 1];
+                 ++k) {
+              y(k, 0) = d + (*in[1])(edges->src[k], 0);
+            }
+          }
+          return y;
+        },
+        "GatherEdgeScores");
+  }
   return out;
 }
 
@@ -84,6 +101,16 @@ Variable AddEdgeBias(const Variable& edge_scores,
   Variable out = MakeOpNode(std::move(y), {edge_scores}, "AddEdgeBias");
   Node* pe = edge_scores.get();
   out->set_backward_fn([pe](const Tensor& g) { pe->AccumulateGrad(g); });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {edge_scores},
+        [bias](const std::vector<const Tensor*>& in) {
+          Tensor y = *in[0];
+          for (size_t k = 0; k < bias->size(); ++k) y(k, 0) += (*bias)[k];
+          return y;
+        },
+        "AddEdgeBias");
+  }
   return out;
 }
 
@@ -125,6 +152,31 @@ Variable EdgeSoftmax(const Variable& edge_scores,
     }
     pe->AccumulateGrad(dx);
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {edge_scores},
+        [edges](const std::vector<const Tensor*>& in) {
+          Tensor y = *in[0];
+          for (size_t i = 0; i < edges->num_nodes; ++i) {
+            const size_t begin = edges->row_ptr[i];
+            const size_t end = edges->row_ptr[i + 1];
+            if (begin == end) continue;
+            float max_v = y(begin, 0);
+            for (size_t k = begin + 1; k < end; ++k) {
+              max_v = std::max(max_v, y(k, 0));
+            }
+            double total = 0.0;
+            for (size_t k = begin; k < end; ++k) {
+              y(k, 0) = std::exp(y(k, 0) - max_v);
+              total += y(k, 0);
+            }
+            const float inv = static_cast<float>(1.0 / total);
+            for (size_t k = begin; k < end; ++k) y(k, 0) *= inv;
+          }
+          return y;
+        },
+        "EdgeSoftmax");
+  }
   return out;
 }
 
@@ -175,6 +227,25 @@ Variable EdgeWeightedAggregate(const Variable& edge_weights,
       pf->AccumulateGrad(df);
     }
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {edge_weights, features},
+        [edges](const std::vector<const Tensor*>& in) {
+          const size_t d = in[1]->cols();
+          Tensor y(edges->num_nodes, d);
+          for (size_t i = 0; i < edges->num_nodes; ++i) {
+            float* out_row = y.RowPtr(i);
+            for (size_t k = edges->row_ptr[i]; k < edges->row_ptr[i + 1];
+                 ++k) {
+              const float w = (*in[0])(k, 0);
+              const float* f_row = in[1]->RowPtr(edges->src[k]);
+              for (size_t j = 0; j < d; ++j) out_row[j] += w * f_row[j];
+            }
+          }
+          return y;
+        },
+        "EdgeWeightedAggregate");
+  }
   return out;
 }
 

@@ -1,7 +1,10 @@
 #include "autograd/fm_op.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "autograd/forward_trace.h"
 #include "autograd/ops.h"
 #include "common/check.h"
 #include "obs/trace.h"
@@ -125,6 +128,51 @@ Variable FmInteraction(const Variable& x, const Variable& w,
     if (need_dx) px->AccumulateGrad(dx);
     if (need_dv) pv->AccumulateGrad(dv);
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {x, w, v},
+        [offsets, k](const std::vector<const Tensor*>& in) {
+          const Tensor& xv = *in[0];
+          const Tensor& vv = *in[2];
+          const size_t n = xv.rows();
+          const size_t f = in[1]->cols();
+          const size_t p_fields = offsets->size() - 1;
+          Tensor y = xv.MatMul(*in[1]);
+          // Per-(i, j) scratch replaces the backward t_cache; each
+          // accumulation chain is identical to the eager forward's.
+          std::vector<float> t(p_fields * k);
+          for (size_t i = 0; i < n; ++i) {
+            const float* x_row = xv.RowPtr(i);
+            for (size_t j = 0; j < f; ++j) {
+              std::fill(t.begin(), t.end(), 0.0f);
+              for (size_t p = 0; p < p_fields; ++p) {
+                float* t_p = t.data() + p * k;
+                for (size_t mm = (*offsets)[p]; mm < (*offsets)[p + 1];
+                     ++mm) {
+                  const float xim = x_row[mm];
+                  if (xim == 0.0f) continue;
+                  const float* v_row = vv.RowPtr(mm) + j * k;
+                  for (size_t tt = 0; tt < k; ++tt) t_p[tt] += xim * v_row[tt];
+                }
+              }
+              double cross = 0.0;
+              for (size_t tt = 0; tt < k; ++tt) {
+                double s = 0.0;
+                double sq = 0.0;
+                for (size_t p = 0; p < p_fields; ++p) {
+                  const double val = t[p * k + tt];
+                  s += val;
+                  sq += val * val;
+                }
+                cross += 0.5 * (s * s - sq);
+              }
+              y(i, j) += static_cast<float>(cross);
+            }
+          }
+          return y;
+        },
+        "FmInteraction");
+  }
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "autograd/forward_trace.h"
 #include "autograd/inference.h"
 #include "common/check.h"
 #include "common/parallel_config.h"
@@ -23,6 +24,9 @@ Variable MakeOpNode(Tensor value, std::vector<Variable> parents,
                                        /*requires_grad=*/false,
                                        /*grad_enabled=*/false);
     node->set_op_name(op_name);
+    if (internal::ForwardTraceActive()) {
+      internal::TraceNoteNode(node.get(), op_name);
+    }
     return node;
   }
   bool requires_grad = false;
@@ -41,6 +45,12 @@ Variable MakeOpNode(Tensor value, std::vector<Variable> parents,
 // Elementwise / arithmetic
 // ---------------------------------------------------------------------------
 
+// Every op that can appear in an evaluation-mode forward registers a
+// replay closure with the active ForwardTrace (plan compiler capture,
+// src/infer/plan.h). The closure reruns exactly the eager arithmetic on
+// the current input tensors; the ForwardTraceActive() branch keeps the
+// untraced path at one thread-local load per op.
+
 Variable Add(const Variable& a, const Variable& b) {
   Variable out = MakeOpNode(a->value() + b->value(), {a, b}, "Add");
   Node* pa = a.get();
@@ -49,6 +59,12 @@ Variable Add(const Variable& a, const Variable& b) {
     pa->AccumulateGrad(g);
     pb->AccumulateGrad(g);
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {a, b},
+        [](const std::vector<const Tensor*>& in) { return *in[0] + *in[1]; },
+        "Add");
+  }
   return out;
 }
 
@@ -63,6 +79,16 @@ Variable AddMany(const std::vector<Variable>& inputs) {
   out->set_backward_fn([raw](const Tensor& g) {
     for (Node* n : raw) n->AccumulateGrad(g);
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, inputs,
+        [](const std::vector<const Tensor*>& in) {
+          Tensor total = *in[0];
+          for (size_t i = 1; i < in.size(); ++i) total += *in[i];
+          return total;
+        },
+        "AddMany");
+  }
   return out;
 }
 
@@ -74,6 +100,12 @@ Variable Sub(const Variable& a, const Variable& b) {
     pa->AccumulateGrad(g);
     pb->AccumulateGrad(g * -1.0f);
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {a, b},
+        [](const std::vector<const Tensor*>& in) { return *in[0] - *in[1]; },
+        "Sub");
+  }
   return out;
 }
 
@@ -85,6 +117,12 @@ Variable Mul(const Variable& a, const Variable& b) {
     pa->AccumulateGrad(g * pb->value());
     pb->AccumulateGrad(g * pa->value());
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {a, b},
+        [](const std::vector<const Tensor*>& in) { return *in[0] * *in[1]; },
+        "Mul");
+  }
   return out;
 }
 
@@ -94,6 +132,14 @@ Variable ScalarMul(const Variable& x, float scalar) {
   out->set_backward_fn([px, scalar](const Tensor& g) {
     px->AccumulateGrad(g * scalar);
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {x},
+        [scalar](const std::vector<const Tensor*>& in) {
+          return *in[0] * scalar;
+        },
+        "ScalarMul");
+  }
   return out;
 }
 
@@ -112,6 +158,12 @@ Variable UnaryOp(const Variable& x, const char* name,
   out->set_backward_fn([px, pout, bwd](const Tensor& g) {
     px->AccumulateGrad(bwd(g, px->value(), pout->value()));
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {x},
+        [fwd](const std::vector<const Tensor*>& in) { return in[0]->Map(fwd); },
+        name);
+  }
   return out;
 }
 
@@ -136,6 +188,19 @@ Variable Relu(const Variable& x) {
     });
     px->AccumulateGrad(dx);
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {x},
+        [](const std::vector<const Tensor*>& in) {
+          Tensor y = Tensor::Uninitialized(in[0]->rows(), in[0]->cols());
+          ParallelFor(0, y.size(), kGrain, [&](size_t begin, size_t end) {
+            kernels::ReluForward(in[0]->data() + begin, y.data() + begin,
+                                 end - begin);
+          });
+          return y;
+        },
+        "Relu");
+  }
   return out;
 }
 
@@ -156,6 +221,19 @@ Variable LeakyRelu(const Variable& x, float alpha) {
     });
     px->AccumulateGrad(dx);
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {x},
+        [alpha](const std::vector<const Tensor*>& in) {
+          Tensor y = Tensor::Uninitialized(in[0]->rows(), in[0]->cols());
+          ParallelFor(0, y.size(), kGrain, [&](size_t begin, size_t end) {
+            kernels::LeakyReluForward(in[0]->data() + begin, alpha,
+                                      y.data() + begin, end - begin);
+          });
+          return y;
+        },
+        "LeakyRelu");
+  }
   return out;
 }
 
@@ -229,6 +307,14 @@ Variable MatMul(const Variable& a, const Variable& b) {
       pb->AccumulateGrad(pa->value().TransposedMatMul(g));
     }
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {a, b},
+        [](const std::vector<const Tensor*>& in) {
+          return in[0]->MatMul(*in[1]);
+        },
+        "MatMul");
+  }
   return out;
 }
 
@@ -238,6 +324,12 @@ Variable Transpose(const Variable& x) {
   out->set_backward_fn([px](const Tensor& g) {
     px->AccumulateGrad(g.Transpose());
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {x},
+        [](const std::vector<const Tensor*>& in) { return in[0]->Transpose(); },
+        "Transpose");
+  }
   return out;
 }
 
@@ -248,6 +340,14 @@ Variable SpMM(std::shared_ptr<const CsrMatrix> matrix, const Variable& x) {
   out->set_backward_fn([matrix, px](const Tensor& g) {
     px->AccumulateGrad(matrix->TransposedMultiply(g));
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {x},
+        [matrix](const std::vector<const Tensor*>& in) {
+          return matrix->Multiply(*in[0]);
+        },
+        "SpMM");
+  }
   return out;
 }
 
@@ -276,6 +376,22 @@ Variable AddRowVector(const Variable& x, const Variable& bias) {
       pb->AccumulateGrad(db);
     }
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {x, bias},
+        [](const std::vector<const Tensor*>& in) {
+          const size_t cols = in[0]->cols();
+          Tensor y = Tensor::Uninitialized(in[0]->rows(), cols);
+          ParallelFor(0, in[0]->rows(), RowGrain(cols),
+                      [&](size_t row_begin, size_t row_end) {
+                        kernels::AddRowVector(in[0]->data(), in[1]->data(),
+                                              y.data(), cols, row_begin,
+                                              row_end);
+                      });
+          return y;
+        },
+        "AddRowVector");
+  }
   return out;
 }
 
@@ -313,6 +429,20 @@ Variable RowScale(const Variable& x, const Variable& c) {
       pc->AccumulateGrad(dc);
     }
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {x, c},
+        [](const std::vector<const Tensor*>& in) {
+          Tensor y = *in[0];
+          for (size_t r = 0; r < y.rows(); ++r) {
+            const float f = (*in[1])(r, 0);
+            float* row = y.RowPtr(r);
+            for (size_t j = 0; j < y.cols(); ++j) row[j] *= f;
+          }
+          return y;
+        },
+        "RowScale");
+  }
   return out;
 }
 
@@ -362,6 +492,23 @@ Variable RowDivide(const Variable& x, const Variable& d, float eps) {
       pd->AccumulateGrad(dd);
     }
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {x, d},
+        [eps](const std::vector<const Tensor*>& in) {
+          Tensor y = *in[0];
+          for (size_t r = 0; r < y.rows(); ++r) {
+            const float denom = (*in[1])(r, 0);
+            const float inv = 1.0f / (std::fabs(denom) > eps
+                                          ? denom
+                                          : (denom < 0 ? -eps : eps));
+            float* row = y.RowPtr(r);
+            for (size_t j = 0; j < y.cols(); ++j) row[j] *= inv;
+          }
+          return y;
+        },
+        "RowDivide");
+  }
   return out;
 }
 
@@ -387,6 +534,23 @@ Variable RowMax(const Variable& x) {
     }
     px->AccumulateGrad(dx);
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {x},
+        [](const std::vector<const Tensor*>& in) {
+          Tensor y(in[0]->rows(), 1);
+          for (size_t r = 0; r < in[0]->rows(); ++r) {
+            const float* row = in[0]->RowPtr(r);
+            size_t best = 0;
+            for (size_t j = 1; j < in[0]->cols(); ++j) {
+              if (row[j] > row[best]) best = j;
+            }
+            y(r, 0) = row[best];
+          }
+          return y;
+        },
+        "RowMax");
+  }
   return out;
 }
 
@@ -428,6 +592,26 @@ Variable ConcatCols(const std::vector<Variable>& inputs) {
       n->AccumulateGrad(dx);
     }
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, inputs,
+        [](const std::vector<const Tensor*>& in) {
+          const size_t rows = in[0]->rows();
+          size_t total_cols = 0;
+          for (const Tensor* t : in) total_cols += t->cols();
+          Tensor y(rows, total_cols);
+          size_t offset = 0;
+          for (const Tensor* t : in) {
+            for (size_t r = 0; r < rows; ++r) {
+              std::copy(t->RowPtr(r), t->RowPtr(r) + t->cols(),
+                        y.RowPtr(r) + offset);
+            }
+            offset += t->cols();
+          }
+          return y;
+        },
+        "ConcatCols");
+  }
   return out;
 }
 
@@ -447,6 +631,19 @@ Variable SliceCols(const Variable& x, size_t start, size_t len) {
     }
     px->AccumulateGrad(dx);
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {x},
+        [start, len](const std::vector<const Tensor*>& in) {
+          Tensor y(in[0]->rows(), len);
+          for (size_t r = 0; r < in[0]->rows(); ++r) {
+            std::copy(in[0]->RowPtr(r) + start,
+                      in[0]->RowPtr(r) + start + len, y.RowPtr(r));
+          }
+          return y;
+        },
+        "SliceCols");
+  }
   return out;
 }
 
@@ -464,6 +661,14 @@ Variable GatherRows(const Variable& x, std::vector<size_t> indices) {
     }
     px->AccumulateGrad(dx);
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {x},
+        [idx](const std::vector<const Tensor*>& in) {
+          return in[0]->GatherRows(*idx);
+        },
+        "GatherRows");
+  }
   return out;
 }
 
@@ -501,6 +706,21 @@ Variable MaxOverSet(const std::vector<Variable>& inputs) {
       if (raw[k]->requires_grad()) raw[k]->AccumulateGrad(grads[k]);
     }
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, inputs,
+        [](const std::vector<const Tensor*>& in) {
+          Tensor y = *in[0];
+          for (size_t k = 1; k < in.size(); ++k) {
+            const Tensor& v = *in[k];
+            for (size_t i = 0; i < y.size(); ++i) {
+              if (v.data()[i] > y.data()[i]) y.data()[i] = v.data()[i];
+            }
+          }
+          return y;
+        },
+        "MaxOverSet");
+  }
   return out;
 }
 
@@ -523,6 +743,20 @@ Variable MeanRows(const Variable& x) {
     }
     px->AccumulateGrad(dx);
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {x},
+        [](const std::vector<const Tensor*>& in) {
+          Tensor y(1, in[0]->cols());
+          for (size_t r = 0; r < in[0]->rows(); ++r) {
+            const float* row = in[0]->RowPtr(r);
+            for (size_t j = 0; j < in[0]->cols(); ++j) y(0, j) += row[j];
+          }
+          y *= 1.0f / static_cast<float>(in[0]->rows());
+          return y;
+        },
+        "MeanRows");
+  }
   return out;
 }
 
@@ -538,6 +772,16 @@ Variable Sum(const Variable& x) {
   out->set_backward_fn([px](const Tensor& g) {
     px->AccumulateGrad(Tensor::Full(px->rows(), px->cols(), g(0, 0)));
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {x},
+        [](const std::vector<const Tensor*>& in) {
+          Tensor y(1, 1);
+          y(0, 0) = in[0]->Sum();
+          return y;
+        },
+        "Sum");
+  }
   return out;
 }
 
@@ -552,6 +796,16 @@ Variable Mean(const Variable& x) {
         g(0, 0) / static_cast<float>(px->value().size());
     px->AccumulateGrad(Tensor::Full(px->rows(), px->cols(), scale));
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {x},
+        [](const std::vector<const Tensor*>& in) {
+          Tensor y(1, 1);
+          y(0, 0) = in[0]->Mean();
+          return y;
+        },
+        "Mean");
+  }
   return out;
 }
 
@@ -563,6 +817,16 @@ Variable SquaredSum(const Variable& x) {
   out->set_backward_fn([px](const Tensor& g) {
     px->AccumulateGrad(px->value() * (2.0f * g(0, 0)));
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {x},
+        [](const std::vector<const Tensor*>& in) {
+          Tensor y(1, 1);
+          y(0, 0) = in[0]->SquaredNorm();
+          return y;
+        },
+        "SquaredSum");
+  }
   return out;
 }
 
@@ -604,6 +868,14 @@ Variable BernoulliStraightThrough(const Variable& probs, Rng& rng,
       MakeOpNode(std::move(y), {probs}, "BernoulliStraightThrough");
   Node* pp = probs.get();
   out->set_backward_fn([pp](const Tensor& g) { pp->AccumulateGrad(g); });
+  // Only the deterministic eval path (identity) is replayable; the
+  // training path consumes RNG state and stays untraced.
+  if (!training && internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {probs},
+        [](const std::vector<const Tensor*>& in) { return *in[0]; },
+        "BernoulliStraightThrough");
+  }
   return out;
 }
 
@@ -673,6 +945,35 @@ Variable PairNorm(const Variable& x, float scale, float eps) {
     px->AccumulateGrad(dc);
     (void)scale;
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {x},
+        [scale, eps](const std::vector<const Tensor*>& in) {
+          const size_t n = in[0]->rows();
+          const size_t d = in[0]->cols();
+          Tensor col_mean(1, d);
+          for (size_t r = 0; r < n; ++r) {
+            const float* row = in[0]->RowPtr(r);
+            for (size_t j = 0; j < d; ++j) col_mean(0, j) += row[j];
+          }
+          col_mean *= 1.0f / static_cast<float>(n);
+          Tensor y(n, d);
+          for (size_t r = 0; r < n; ++r) {
+            const float* row = in[0]->RowPtr(r);
+            float* y_row = y.RowPtr(r);
+            double sq = 0.0;
+            for (size_t j = 0; j < d; ++j) {
+              y_row[j] = row[j] - col_mean(0, j);
+              sq += static_cast<double>(y_row[j]) * y_row[j];
+            }
+            const float inv =
+                scale / std::sqrt(static_cast<float>(sq) + eps);
+            for (size_t j = 0; j < d; ++j) y_row[j] *= inv;
+          }
+          return y;
+        },
+        "PairNorm");
+  }
   return out;
 }
 
@@ -726,11 +1027,44 @@ Variable BatchNormColumns(const Variable& x, float eps) {
     }
     px->AccumulateGrad(dx);
   });
+  if (internal::ForwardTraceActive()) {
+    internal::TraceRecordOp(
+        out, {x},
+        [eps](const std::vector<const Tensor*>& in) {
+          const size_t n = in[0]->rows();
+          const size_t d = in[0]->cols();
+          Tensor mean(1, d);
+          Tensor inv_std(1, d);
+          for (size_t j = 0; j < d; ++j) {
+            double mu = 0.0;
+            for (size_t i = 0; i < n; ++i) mu += (*in[0])(i, j);
+            mu /= static_cast<double>(n);
+            double var = 0.0;
+            for (size_t i = 0; i < n; ++i) {
+              const double diff = (*in[0])(i, j) - mu;
+              var += diff * diff;
+            }
+            var /= static_cast<double>(n);
+            mean(0, j) = static_cast<float>(mu);
+            inv_std(0, j) = static_cast<float>(
+                1.0 / std::sqrt(var + static_cast<double>(eps)));
+          }
+          Tensor y(n, d);
+          for (size_t i = 0; i < n; ++i) {
+            for (size_t j = 0; j < d; ++j) {
+              y(i, j) = ((*in[0])(i, j) - mean(0, j)) * inv_std(0, j);
+            }
+          }
+          return y;
+        },
+        "BatchNormColumns");
+  }
   return out;
 }
 
 // ---------------------------------------------------------------------------
-// Losses
+// Losses (deliberately untraced: a loss in an eval forward forces the
+// eager fallback, which is correct — plans serve logits, not losses)
 // ---------------------------------------------------------------------------
 
 Tensor SoftmaxRows(const Tensor& logits) {

@@ -55,6 +55,17 @@ size_t BucketLog2(size_t capacity) {
   return log2;
 }
 
+// Per-thread mirrors of the global hit/miss traffic this thread caused.
+// Workspace-served acquires bump neither (they are invisible to the
+// pool by design).
+thread_local uint64_t t_thread_hits = 0;
+thread_local uint64_t t_thread_misses = 0;
+
+#if !LASAGNE_POOL_BYPASS
+// Workspace installed on this thread by WorkspaceScope (null = none).
+thread_local BufferPool::Workspace* t_workspace = nullptr;
+#endif
+
 }  // namespace
 
 BufferPool& BufferPool::Global() {
@@ -76,6 +87,14 @@ float* BufferPool::Acquire(size_t count) {
 #if !LASAGNE_POOL_BYPASS
   const size_t bucket = BucketLog2(capacity) - kMinBucketLog2;
   LASAGNE_DCHECK(bucket < kNumBuckets);
+  if (Workspace* ws = t_workspace; ws != nullptr) {
+    // Workspace-served acquires bypass the pool entirely — no mutex,
+    // no stats. A recording workspace tracks the request and returns
+    // nullptr; a dry finalized one counts an overflow. Both fall
+    // through to the global path.
+    float* p = ws->AcquireChunk(bucket);
+    if (p != nullptr) return p;
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     std::vector<float*>& list = free_lists_[bucket];
@@ -85,12 +104,14 @@ float* BufferPool::Acquire(size_t count) {
       cached_bytes_.fetch_sub(capacity * sizeof(float),
                               std::memory_order_relaxed);
       hits_.fetch_add(1, std::memory_order_relaxed);
+      ++t_thread_hits;
       CountHit();
       return p;
     }
   }
 #endif
   misses_.fetch_add(1, std::memory_order_relaxed);
+  ++t_thread_misses;
   CountMiss();
   return AlignedAlloc(capacity);
 }
@@ -100,10 +121,14 @@ void BufferPool::Release(float* ptr, size_t count) {
   const size_t capacity = BucketCapacity(count);
   const uint64_t bytes = capacity * sizeof(float);
 #if !LASAGNE_POOL_BYPASS
+  const size_t bucket = BucketLog2(capacity) - kMinBucketLog2;
+  LASAGNE_DCHECK(bucket < kNumBuckets);
+  if (Workspace* ws = t_workspace;
+      ws != nullptr && ws->ReleaseChunk(ptr, bucket)) {
+    return;  // chunk returned to the workspace slab
+  }
   if (cached_bytes_.load(std::memory_order_relaxed) + bytes <=
       limit_.load(std::memory_order_relaxed)) {
-    const size_t bucket = BucketLog2(capacity) - kMinBucketLog2;
-    LASAGNE_DCHECK(bucket < kNumBuckets);
     std::lock_guard<std::mutex> lock(mutex_);
     free_lists_[bucket].push_back(ptr);
     cached_bytes_.fetch_add(bytes, std::memory_order_relaxed);
@@ -112,6 +137,13 @@ void BufferPool::Release(float* ptr, size_t count) {
   evictions_.fetch_add(1, std::memory_order_relaxed);
 #endif
   std::free(ptr);
+}
+
+BufferPool::ThreadStats BufferPool::GetThreadStats() {
+  ThreadStats s;
+  s.hits = t_thread_hits;
+  s.misses = t_thread_misses;
+  return s;
 }
 
 BufferPool::Stats BufferPool::GetStats() const {
@@ -141,6 +173,86 @@ void BufferPool::Trim() {
 
 void BufferPool::SetCachedBytesLimit(uint64_t bytes) {
   limit_.store(bytes, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Workspace
+// ---------------------------------------------------------------------------
+
+BufferPool::Workspace::~Workspace() { std::free(slab_); }
+
+float* BufferPool::Workspace::AcquireChunk(size_t bucket) {
+  if (!finalized_) {
+    // Recording phase: track the working set, let the global pool
+    // serve the request.
+    if (++live_[bucket] > high_water_[bucket]) {
+      high_water_[bucket] = live_[bucket];
+    }
+    return nullptr;
+  }
+  std::vector<float*>& stack = free_[bucket];
+  if (stack.empty()) {
+    ++overflow_;
+    return nullptr;
+  }
+  float* p = stack.back();
+  stack.pop_back();
+  return p;
+}
+
+bool BufferPool::Workspace::ReleaseChunk(float* ptr, size_t bucket) {
+  if (!finalized_) {
+    if (live_[bucket] > 0) --live_[bucket];
+    return false;  // buffer came from the global pool
+  }
+  if (slab_ == nullptr || ptr < slab_ || ptr >= slab_ + slab_floats_) {
+    return false;  // overflow buffer owned by the global pool
+  }
+  free_[bucket].push_back(ptr);
+  return true;
+}
+
+void BufferPool::Workspace::Finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  size_t total_floats = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    total_floats += static_cast<size_t>(high_water_[b])
+                    << (b + kMinBucketLog2);
+  }
+  if (total_floats == 0) return;
+  // Chunk capacities are multiples of 64 floats (256 bytes), so
+  // sequential carving keeps every chunk 64-byte aligned.
+  slab_ = AlignedAlloc(total_floats);
+  slab_floats_ = total_floats;
+  float* cursor = slab_;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    const size_t capacity = size_t{1} << (b + kMinBucketLog2);
+    free_[b].reserve(high_water_[b]);
+    for (uint32_t i = 0; i < high_water_[b]; ++i) {
+      free_[b].push_back(cursor);
+      cursor += capacity;
+    }
+  }
+}
+
+uint64_t BufferPool::Workspace::reserved_bytes() const {
+  return static_cast<uint64_t>(slab_floats_) * sizeof(float);
+}
+
+BufferPool::WorkspaceScope::WorkspaceScope(Workspace* ws) {
+#if !LASAGNE_POOL_BYPASS
+  previous_ = t_workspace;
+  t_workspace = ws;
+#else
+  (void)ws;
+#endif
+}
+
+BufferPool::WorkspaceScope::~WorkspaceScope() {
+#if !LASAGNE_POOL_BYPASS
+  t_workspace = previous_;
+#endif
 }
 
 }  // namespace lasagne

@@ -42,7 +42,96 @@ class BufferPool {
     uint64_t cached_bytes = 0;  // bytes currently sitting in freelists
   };
 
+  /// Monotonic per-thread view of the global pool traffic this thread
+  /// generated (workspace-served acquires are invisible to it). Unlike
+  /// GetStats(), deltas of these are meaningful under concurrency:
+  /// another thread's allocations can never leak into this thread's
+  /// before/after window.
+  struct ThreadStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
+  // log2(BucketCapacity): buckets 6 (64 floats) .. 40 (2^40 floats).
+  static constexpr size_t kMinBucketLog2 = 6;
+  static constexpr size_t kNumBuckets = 35;
+
   static BufferPool& Global();
+
+  /// Stats for the calling thread only. Thread-safe by construction.
+  static ThreadStats GetThreadStats();
+
+  /// Pre-reserved arena that can satisfy a fixed working set of pool
+  /// requests without touching the global pool (no mutex, no stats —
+  /// `tensor.alloc.pool_hits/misses` stay flat while it serves).
+  ///
+  /// Two-phase: while a non-finalized workspace is installed via
+  /// WorkspaceScope, acquires are *recorded* (per-bucket high-water
+  /// marks) but still served by the global pool. Finalize() then
+  /// allocates one contiguous 64-byte-aligned slab sized to the
+  /// high-water marks and carves it into per-bucket free stacks; under
+  /// a finalized scope, acquires pop from those stacks. A finalized
+  /// workspace that runs dry (workload grew beyond the recording)
+  /// counts an overflow and falls back to the global pool — correct,
+  /// just no longer free of pool traffic.
+  ///
+  /// Buffers served by a workspace MUST be released while the same
+  /// workspace is still installed on the releasing thread (the release
+  /// returns the chunk to the workspace's free stack; the global pool
+  /// never sees it). The execution-plan interpreter (src/infer/plan.h)
+  /// guarantees this by scoping every intermediate inside Run(). Not
+  /// thread-safe: one workspace serves one thread at a time. Under the
+  /// ASan pool bypass the workspace is inert (never consulted).
+  class Workspace {
+   public:
+    Workspace() = default;
+    ~Workspace();
+
+    Workspace(const Workspace&) = delete;
+    Workspace& operator=(const Workspace&) = delete;
+
+    /// Ends the recording phase: reserves the slab. Idempotent.
+    void Finalize();
+
+    bool finalized() const { return finalized_; }
+    /// Slab size in bytes (0 before Finalize or when nothing was
+    /// recorded).
+    uint64_t reserved_bytes() const;
+    /// Finalized acquires that could not be served from the slab.
+    uint64_t overflow_acquires() const { return overflow_; }
+
+   private:
+    friend class BufferPool;
+
+    /// Finalized: pop a chunk or count an overflow. Recording: track
+    /// the high-water mark and return nullptr (global pool serves).
+    float* AcquireChunk(size_t bucket);
+    /// True when `ptr` belongs to the slab (chunk returned to the free
+    /// stack); false sends the buffer back to the global pool.
+    bool ReleaseChunk(float* ptr, size_t bucket);
+
+    bool finalized_ = false;
+    std::array<uint32_t, kNumBuckets> live_{};
+    std::array<uint32_t, kNumBuckets> high_water_{};
+    std::array<std::vector<float*>, kNumBuckets> free_;
+    float* slab_ = nullptr;
+    size_t slab_floats_ = 0;
+    uint64_t overflow_ = 0;
+  };
+
+  /// RAII: installs `ws` as the calling thread's workspace for the
+  /// scope's lifetime (restores the previous one on exit).
+  class WorkspaceScope {
+   public:
+    explicit WorkspaceScope(Workspace* ws);
+    ~WorkspaceScope();
+
+    WorkspaceScope(const WorkspaceScope&) = delete;
+    WorkspaceScope& operator=(const WorkspaceScope&) = delete;
+
+   private:
+    Workspace* previous_ = nullptr;
+  };
 
   /// Returns a 64-byte-aligned buffer with capacity for at least
   /// `count` floats. Contents are uninitialized. `count == 0` returns
@@ -76,10 +165,6 @@ class BufferPool {
 
  private:
   BufferPool() = default;
-
-  // log2(BucketCapacity): buckets 6 (64 floats) .. 40 (2^40 floats).
-  static constexpr size_t kMinBucketLog2 = 6;
-  static constexpr size_t kNumBuckets = 35;
 
   std::mutex mutex_;  // guards free_lists_
   std::array<std::vector<float*>, kNumBuckets> free_lists_;

@@ -1,0 +1,174 @@
+#include "infer/plan.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "autograd/inference.h"
+#include "common/check.h"
+#include "models/model.h"
+#include "nn/layers.h"
+#include "tensor/rng.h"
+
+namespace lasagne::infer {
+
+StatusOr<std::unique_ptr<ExecutionPlan>> ExecutionPlan::Compile(
+    Model& model) {
+  auto plan = std::unique_ptr<ExecutionPlan>(new ExecutionPlan());
+
+  // Phase 1: trace one evaluation-mode forward. The trace owns every
+  // node it saw (records retain the Variables), so node addresses stay
+  // unique for the lifetime of this function.
+  ag::Variable root;
+  std::vector<ag::TraceRecord> records;
+  {
+    ag::NoGradGuard guard;
+    ag::ForwardTrace trace;
+    Rng rng(1);
+    nn::ForwardContext ctx;
+    ctx.training = false;
+    ctx.rng = &rng;
+    root = model.Forward(ctx);
+    LASAGNE_CHECK(root != nullptr);
+    if (!trace.complete()) {
+      return FailedPreconditionError(
+          "model '" + model.name() + "' is not plan-compilable: op '" +
+          trace.first_untraced_op() + "' has no replay closure (" +
+          std::to_string(trace.untraced_ops()) + " untraced op(s))");
+    }
+    records = trace.TakeRecords();
+  }
+
+  // Phase 2: slot assignment. Records are execution-ordered, so any
+  // input not produced by an earlier record must be a leaf (a
+  // parameter or a cached constant node owned by the model). Leaves
+  // get the contiguous slot range [0, num_leaves) — they can appear
+  // anywhere in the record stream (a deep model discovers the layer-2
+  // weight after the layer-1 output), so discovery needs its own pass
+  // before slots are numbered.
+  std::unordered_set<const ag::Node*> known;
+  for (const ag::TraceRecord& rec : records) {
+    for (const ag::Variable& input : rec.inputs) {
+      if (known.insert(input.get()).second) plan->leaves_.push_back(input);
+    }
+    // An output node address can't collide with a leaf or an earlier
+    // output: the records retain every Variable, so addresses are not
+    // reused while the trace is alive.
+    if (!known.insert(rec.output.get()).second) {
+      return InternalError("trace produced the same node twice: " +
+                           std::string(rec.op_name));
+    }
+  }
+  std::unordered_map<const ag::Node*, uint32_t> slot_of;
+  slot_of.reserve(known.size());
+  for (size_t i = 0; i < plan->leaves_.size(); ++i) {
+    slot_of.emplace(plan->leaves_[i].get(), static_cast<uint32_t>(i));
+  }
+  for (const ag::TraceRecord& rec : records) {
+    slot_of.emplace(rec.output.get(), static_cast<uint32_t>(slot_of.size()));
+  }
+  const size_t num_leaves = plan->leaves_.size();
+  const size_t num_slots = slot_of.size();
+
+  const auto root_it = slot_of.find(root.get());
+  if (root_it == slot_of.end()) {
+    // Possible only when the forward returned a node created before
+    // tracing began — keep the degenerate case out of the interpreter.
+    return FailedPreconditionError("model '" + model.name() +
+                                   "' returned an untraced root node");
+  }
+  plan->root_slot_ = root_it->second;
+  plan->root_is_leaf_ = plan->root_slot_ < num_leaves;
+
+  // Phase 3: bind slot addresses. Leaf slots alias the model's node
+  // values (in-place parameter updates flow through); intermediate
+  // slots point into slot_values_, which never resizes.
+  plan->slot_values_.resize(num_slots);
+  plan->slot_ptr_.resize(num_slots);
+  for (uint32_t s = 0; s < num_leaves; ++s) {
+    plan->slot_ptr_[s] = &plan->leaves_[s]->value();
+  }
+  for (uint32_t s = static_cast<uint32_t>(num_leaves); s < num_slots; ++s) {
+    plan->slot_ptr_[s] = &plan->slot_values_[s];
+  }
+
+  // Phase 4: lower records to steps with pre-bound input addresses.
+  plan->steps_.reserve(records.size());
+  std::vector<uint32_t> last_use(num_slots, 0);
+  std::vector<uint32_t> producer(num_slots, 0);
+  for (size_t i = 0; i < records.size(); ++i) {
+    ag::TraceRecord& rec = records[i];
+    Step step;
+    step.replay = std::move(rec.replay);
+    step.op_name = rec.op_name;
+    step.input_ptrs.reserve(rec.inputs.size());
+    for (const ag::Variable& input : rec.inputs) {
+      const uint32_t slot = slot_of.at(input.get());
+      step.input_ptrs.push_back(plan->slot_ptr_[slot]);
+      last_use[slot] = static_cast<uint32_t>(i);
+    }
+    const uint32_t out_slot = slot_of.at(rec.output.get());
+    step.output_slot = out_slot;
+    producer[out_slot] = static_cast<uint32_t>(i);
+    plan->steps_.push_back(std::move(step));
+  }
+
+  // Phase 5: lifetime analysis. An intermediate dies after the later
+  // of its producing step and its last consuming step (a produced-but-
+  // never-read value is dropped immediately). The root survives the
+  // whole pass; leaves are owned by the model and never released.
+  for (uint32_t s = static_cast<uint32_t>(num_leaves); s < num_slots; ++s) {
+    if (s == plan->root_slot_) continue;
+    const uint32_t release_at = std::max(producer[s], last_use[s]);
+    plan->steps_[release_at].release_after.push_back(s);
+  }
+
+  // Phase 6: pre-allocate the persistent output (global pool, outside
+  // any workspace scope), then size the workspace with a recording run
+  // and verify the interpreter reproduces the traced forward bitwise.
+  const Tensor& root_value = root->value();
+  plan->output_ = Tensor::Uninitialized(root_value.rows(), root_value.cols());
+  {
+    BufferPool::WorkspaceScope scope(&plan->workspace_);
+    plan->ExecuteSteps();
+  }
+  if (std::memcmp(plan->output_.data(), root_value.data(),
+                  root_value.size() * sizeof(float)) != 0) {
+    return InternalError("plan self-check failed for model '" + model.name() +
+                         "': interpreted logits differ from the eager "
+                         "forward");
+  }
+  plan->workspace_.Finalize();
+  return plan;
+}
+
+void ExecutionPlan::ExecuteSteps() {
+  for (Step& step : steps_) {
+    slot_values_[step.output_slot] = step.replay(step.input_ptrs);
+    for (const uint32_t dead : step.release_after) {
+      slot_values_[dead] = Tensor();
+    }
+  }
+  const Tensor& root = *slot_ptr_[root_slot_];
+  LASAGNE_DCHECK(root.SameShape(output_));
+  std::memcpy(output_.data(), root.data(), root.size() * sizeof(float));
+  if (!root_is_leaf_) slot_values_[root_slot_] = Tensor();
+}
+
+const Tensor& ExecutionPlan::Run() {
+  BufferPool::WorkspaceScope scope(&workspace_);
+  ExecuteSteps();
+  return output_;
+}
+
+PlanInfo ExecutionPlan::info() const {
+  PlanInfo info;
+  info.steps = steps_.size();
+  info.slots = slot_ptr_.size();
+  info.leaves = leaves_.size();
+  info.workspace_bytes = workspace_.reserved_bytes();
+  return info;
+}
+
+}  // namespace lasagne::infer

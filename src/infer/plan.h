@@ -1,0 +1,113 @@
+#ifndef LASAGNE_INFER_PLAN_H_
+#define LASAGNE_INFER_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/forward_trace.h"
+#include "common/buffer_pool.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace lasagne {
+class Model;
+}
+
+namespace lasagne::infer {
+
+/// Compile-time summary of an ExecutionPlan, for logs and tests.
+struct PlanInfo {
+  size_t steps = 0;    // interpreted ops per Run()
+  size_t slots = 0;    // value slots (leaves + intermediates)
+  size_t leaves = 0;   // parameter/constant inputs bound by reference
+  uint64_t workspace_bytes = 0;  // pre-reserved slab size
+};
+
+/// Static execution plan for one (model, graph) pair.
+///
+/// `Compile` traces the model's evaluation-mode forward once
+/// (ag::ForwardTrace under ag::NoGradGuard) into a flat, execution-
+/// ordered op list, then runs ahead-of-time buffer lifetime analysis:
+/// each intermediate's live range is [producing step, last consuming
+/// step], dead slots are dropped at their release point, and a sizing
+/// run records the per-bucket high-water working set into a
+/// BufferPool::Workspace that is then finalized into a single
+/// pre-reserved slab. `Run` replays the op list through that slab —
+/// no autograd nodes, no Forward re-walk, and zero global BufferPool
+/// traffic on the steady-state hot path (the `tensor.alloc.pool_*`
+/// counters stay flat).
+///
+/// Replay closures rerun exactly the eager arithmetic, so plan logits
+/// are bitwise identical to `Forward(ctx)->value()`; Compile verifies
+/// this against the traced forward's own output and refuses to return
+/// a plan that disagrees. Leaf inputs (parameters, cached feature
+/// constants) are bound by reference to the model's nodes, so in-place
+/// parameter updates (optimizer steps, checkpoint restores) flow into
+/// subsequent runs without recompiling. Recompile (via
+/// Model::InvalidateExecutionPlan) when the *structure* changes.
+///
+/// Not thread-safe: one plan serves one thread (the server gives each
+/// worker its own model and therefore its own plan, preserving the
+/// per-worker determinism contract in docs/THREADING.md).
+class ExecutionPlan {
+ public:
+  /// Traces `model`'s eval forward and compiles it. Fails with
+  /// FAILED_PRECONDITION when the forward executes an op with no
+  /// replay closure (training-only or uninstrumented ops) and
+  /// INTERNAL when the compiled plan fails its bitwise self-check;
+  /// callers fall back to the eager forward on any error.
+  static StatusOr<std::unique_ptr<ExecutionPlan>> Compile(Model& model);
+
+  /// Executes the plan and returns the logits. The reference stays
+  /// valid (and its contents stable) until the next Run.
+  const Tensor& Run();
+
+  PlanInfo info() const;
+
+  /// Acquires the finalized workspace could not serve (0 in steady
+  /// state; nonzero means the recorded working set was exceeded and
+  /// the global pool absorbed the difference).
+  uint64_t overflow_acquires() const {
+    return workspace_.overflow_acquires();
+  }
+
+  ExecutionPlan(const ExecutionPlan&) = delete;
+  ExecutionPlan& operator=(const ExecutionPlan&) = delete;
+
+ private:
+  ExecutionPlan() = default;
+
+  struct Step {
+    ag::TraceFn replay;
+    std::vector<const Tensor*> input_ptrs;  // pre-bound slot addresses
+    uint32_t output_slot = 0;
+    std::vector<uint32_t> release_after;  // slots dead after this step
+    std::string op_name;
+  };
+
+  /// One interpreter pass: execute every step, drop dead slots at
+  /// their release points, copy the root into `output_`.
+  void ExecuteSteps();
+
+  std::vector<Step> steps_;
+  /// Keeps leaf nodes (params, constants) alive; slot pointers for
+  /// leaf slots alias their value() tensors.
+  std::vector<ag::Variable> leaves_;
+  /// Storage for intermediate slots (leaf slots stay empty). Sized at
+  /// compile time and never resized, so element addresses are stable.
+  std::vector<Tensor> slot_values_;
+  /// Per-slot value address: &leaf->value() or &slot_values_[slot].
+  std::vector<const Tensor*> slot_ptr_;
+  uint32_t root_slot_ = 0;
+  bool root_is_leaf_ = false;
+  /// Persistent, global-pool-backed output the root is copied into
+  /// (plan intermediates never escape the workspace scope).
+  Tensor output_;
+  BufferPool::Workspace workspace_;
+};
+
+}  // namespace lasagne::infer
+
+#endif  // LASAGNE_INFER_PLAN_H_

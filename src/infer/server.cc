@@ -354,7 +354,10 @@ void InferenceServer::ServeBatchOnWorker(size_t worker_index,
   uint64_t pool_misses = 0;
   if (!live.empty() && !injected_failure) {
     LASAGNE_TRACE_SCOPE("serve.batch");
-    const BufferPool::Stats pool_before = BufferPool::Global().GetStats();
+    // This worker's own pool traffic only: the kernels run inline on
+    // this thread (ParallelRegionGuard), so thread-local deltas see
+    // every allocation of this batch and nothing from sibling workers.
+    const BufferPool::ThreadStats pool_before = BufferPool::GetThreadStats();
     const auto compute_start = Clock::now();
     std::vector<size_t> rows;
     size_t total_nodes = 0;
@@ -368,7 +371,7 @@ void InferenceServer::ServeBatchOnWorker(size_t worker_index,
     gathered = logits.GatherRows(rows);
     if (options_.softmax_outputs) gathered = ag::SoftmaxRows(gathered);
     compute_ms = MsBetween(compute_start, Clock::now());
-    const BufferPool::Stats pool_after = BufferPool::Global().GetStats();
+    const BufferPool::ThreadStats pool_after = BufferPool::GetThreadStats();
     pool_hits = pool_after.hits - pool_before.hits;
     pool_misses = pool_after.misses - pool_before.misses;
     const double prev = ewma_batch_ms_.load(std::memory_order_relaxed);
@@ -431,7 +434,10 @@ void InferenceServer::ServeBatchOnWorker(size_t worker_index,
     } else {
       ++w.served_ok;
     }
-    w.serve.RecordLatency(result.total_ms);
+    w.serve.RecordLatencyAt(
+        result.total_ms,
+        std::chrono::duration<double, std::milli>(done.time_since_epoch())
+            .count());
     w.serve.nodes_served += req.nodes.size();
 
     if (obs::MetricsEnabled()) {

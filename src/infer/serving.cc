@@ -11,7 +11,33 @@
 
 namespace lasagne::infer {
 
+namespace {
+
+double NowSteadyMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Deterministic evenly-strided subsample of `k` elements preserving
+/// arrival order: element i of the result is source index i*n/k.
+std::vector<double> Subsample(const std::vector<double>& source, size_t k) {
+  if (k >= source.size()) return source;
+  std::vector<double> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    out.push_back(source[i * source.size() / k]);
+  }
+  return out;
+}
+
+}  // namespace
+
 void ServeStats::RecordLatency(double latency_ms) {
+  RecordLatencyAt(latency_ms, NowSteadyMs());
+}
+
+void ServeStats::RecordLatencyAt(double latency_ms, double end_steady_ms) {
   if (requests == 0) {
     min_latency_ms = latency_ms;
     max_latency_ms = latency_ms;
@@ -19,15 +45,35 @@ void ServeStats::RecordLatency(double latency_ms) {
     min_latency_ms = std::min(min_latency_ms, latency_ms);
     max_latency_ms = std::max(max_latency_ms, latency_ms);
   }
+  const uint64_t arrival = requests;  // 0-based arrival index
   ++requests;
   total_latency_ms += latency_ms;
-  if (latency_reservoir.size() < kLatencyReservoir) {
+  window_begin_ms = std::min(window_begin_ms, end_steady_ms - latency_ms);
+  window_end_ms = std::max(window_end_ms, end_steady_ms);
+  if (arrival % reservoir_stride == 0) {
+    if (latency_reservoir.size() >= kLatencyReservoir) {
+      // Decimate: keep every 2nd sample (arrival indices divisible by
+      // the doubled stride) and coarsen the stride. Deterministic, no
+      // RNG, and the kept samples stay evenly spread over the run.
+      std::vector<double> kept;
+      kept.reserve((latency_reservoir.size() + 1) / 2);
+      for (size_t i = 0; i < latency_reservoir.size(); i += 2) {
+        kept.push_back(latency_reservoir[i]);
+      }
+      latency_reservoir = std::move(kept);
+      reservoir_stride *= 2;
+      if (arrival % reservoir_stride != 0) {
+        ++latency_buckets[obs::Histogram::BucketFor(latency_ms)];
+        return;
+      }
+    }
     latency_reservoir.push_back(latency_ms);
   }
   ++latency_buckets[obs::Histogram::BucketFor(latency_ms)];
 }
 
 void ServeStats::Merge(const ServeStats& other) {
+  const uint64_t self_requests = requests;
   if (other.requests > 0) {
     if (requests == 0) {
       min_latency_ms = other.min_latency_ms;
@@ -42,10 +88,43 @@ void ServeStats::Merge(const ServeStats& other) {
   total_latency_ms += other.total_latency_ms;
   pool_hits += other.pool_hits;
   pool_misses += other.pool_misses;
-  for (double sample : other.latency_reservoir) {
-    if (latency_reservoir.size() >= kLatencyReservoir) break;
-    latency_reservoir.push_back(sample);
+  // Union of serving windows (infinity sentinels are identities).
+  window_begin_ms = std::min(window_begin_ms, other.window_begin_ms);
+  window_end_ms = std::max(window_end_ms, other.window_end_ms);
+  // Reservoir merge: when the combined samples overflow the cap, each
+  // side contributes in proportion to the requests it actually served
+  // (deterministic even stride, arrival order preserved) — merging
+  // first no longer means owning the whole reservoir.
+  if (latency_reservoir.size() + other.latency_reservoir.size() <=
+      kLatencyReservoir) {
+    latency_reservoir.insert(latency_reservoir.end(),
+                             other.latency_reservoir.begin(),
+                             other.latency_reservoir.end());
+  } else {
+    const uint64_t total = self_requests + other.requests;
+    size_t self_quota =
+        total > 0 ? static_cast<size_t>(kLatencyReservoir * self_requests /
+                                        total)
+                  : kLatencyReservoir / 2;
+    size_t other_quota = kLatencyReservoir - self_quota;
+    // Redistribute quota a side cannot fill.
+    if (self_quota > latency_reservoir.size()) {
+      other_quota += self_quota - latency_reservoir.size();
+      self_quota = latency_reservoir.size();
+    }
+    if (other_quota > other.latency_reservoir.size()) {
+      self_quota = std::min(latency_reservoir.size(),
+                            self_quota + other_quota -
+                                other.latency_reservoir.size());
+      other_quota = other.latency_reservoir.size();
+    }
+    latency_reservoir = Subsample(latency_reservoir, self_quota);
+    const std::vector<double> merged_in =
+        Subsample(other.latency_reservoir, other_quota);
+    latency_reservoir.insert(latency_reservoir.end(), merged_in.begin(),
+                             merged_in.end());
   }
+  reservoir_stride = std::max(reservoir_stride, other.reservoir_stride);
   for (size_t i = 0; i < latency_buckets.size(); ++i) {
     latency_buckets[i] += other.latency_buckets[i];
   }
@@ -59,14 +138,19 @@ double ServeStats::MeanLatencyMs() const {
 double ServeStats::LatencyPercentileMs(double q) const {
   if (requests == 0) return 0.0;
   const double clamped = std::min(std::max(q, 0.0), 1.0);
-  if (requests <= latency_reservoir.size()) {
-    // Every sample is in the reservoir: exact.
+  if (!latency_reservoir.empty()) {
+    // Exact while every sample is present; otherwise a rank estimate
+    // over the decimated (still representative) reservoir, clamped to
+    // the exact observed range.
+    const bool exact = requests <= latency_reservoir.size();
     std::vector<double> sorted = latency_reservoir;
     std::sort(sorted.begin(), sorted.end());
     const double rank =
         std::ceil(clamped * static_cast<double>(sorted.size()));
     const size_t index = rank < 1.0 ? 0 : static_cast<size_t>(rank) - 1;
-    return sorted[std::min(index, sorted.size() - 1)];
+    const double value = sorted[std::min(index, sorted.size() - 1)];
+    if (exact) return value;
+    return std::min(std::max(value, min_latency_ms), max_latency_ms);
   }
   // Bucket estimate (upper edge of the target bucket), clamped to the
   // observed range so p0/p100 stay meaningful.
@@ -86,6 +170,13 @@ double ServeStats::LatencyPercentileMs(double q) const {
 }
 
 double ServeStats::Qps() const {
+  if (requests == 0) return 0.0;
+  const double span_ms = window_end_ms - window_begin_ms;
+  if (span_ms > 0.0 && std::isfinite(span_ms)) {
+    return static_cast<double>(requests) / (span_ms / 1000.0);
+  }
+  // Degenerate window: a single instantaneous request, or stats built
+  // without timestamps. Summed latency is the best signal left.
   return total_latency_ms > 0.0
              ? static_cast<double>(requests) / (total_latency_ms / 1000.0)
              : 0.0;
@@ -115,7 +206,11 @@ StatusOr<Tensor> InferenceSession::ServeBatch(
   }
 
   LASAGNE_TRACE_SCOPE("infer.request");
-  const BufferPool::Stats pool_before = BufferPool::Global().GetStats();
+  // Per-thread counters: a concurrent worker's allocations can never
+  // land in this request's before/after delta (the global-stats delta
+  // used previously attributed every thread's traffic to whichever
+  // requests happened to be in flight).
+  const BufferPool::ThreadStats pool_before = BufferPool::GetThreadStats();
   const auto start = std::chrono::steady_clock::now();
 
   nn::ForwardContext ctx{/*training=*/false, &rng_};
@@ -126,9 +221,12 @@ StatusOr<Tensor> InferenceSession::ServeBatch(
   const auto end = std::chrono::steady_clock::now();
   const double latency_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
-  const BufferPool::Stats pool_after = BufferPool::Global().GetStats();
+  const BufferPool::ThreadStats pool_after = BufferPool::GetThreadStats();
 
-  stats_.RecordLatency(latency_ms);
+  stats_.RecordLatencyAt(
+      latency_ms,
+      std::chrono::duration<double, std::milli>(end.time_since_epoch())
+          .count());
   stats_.nodes_served += query_nodes.size();
   stats_.pool_hits += pool_after.hits - pool_before.hits;
   stats_.pool_misses += pool_after.misses - pool_before.misses;

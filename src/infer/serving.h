@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/status.h"
@@ -26,17 +27,18 @@ struct ServeOptions {
 /// Aggregate statistics over the requests a session (or one serving
 /// worker; see infer::InferenceServer) has served.
 ///
-/// Memory is bounded for long-running servers: the first
-/// `kLatencyReservoir` per-request latencies are kept exactly, and
-/// every latency additionally lands in log2-scale buckets (the same
-/// bucketing as obs::Histogram). While the reservoir still holds every
-/// sample — i.e. any test-sized run — percentiles are exact; past that
-/// point they fall back to the bucket estimate, clamped to the observed
-/// [min, max].
+/// Memory is bounded for long-running servers: per-request latencies
+/// land in a `kLatencyReservoir`-sample decimating reservoir (every
+/// sample while the run is short, then a deterministic every-2nd /
+/// every-4th / ... systematic subsample — no RNG) and additionally in
+/// log2-scale buckets (the same bucketing as obs::Histogram). While
+/// the reservoir still holds every sample — i.e. any test-sized run —
+/// percentiles are exact; past that point they are estimated from the
+/// subsampled reservoir, clamped to the observed [min, max].
 struct ServeStats {
-  /// Exact samples retained before falling back to buckets (32 KiB of
-  /// doubles — the cap that replaced the one-double-per-request-forever
-  /// growth of the original `latency_ms` vector).
+  /// Reservoir capacity (32 KiB of doubles — the cap that replaced the
+  /// one-double-per-request-forever growth of the original
+  /// `latency_ms` vector).
   static constexpr size_t kLatencyReservoir = 4096;
 
   uint64_t requests = 0;
@@ -44,34 +46,62 @@ struct ServeStats {
   double total_latency_ms = 0.0;
   double min_latency_ms = 0.0;
   double max_latency_ms = 0.0;
-  /// First kLatencyReservoir per-request latencies, in arrival order.
+  /// Systematic subsample of per-request latencies in arrival order:
+  /// every `reservoir_stride`-th request (by arrival index), capped at
+  /// kLatencyReservoir. stride 1 while requests <= capacity.
   std::vector<double> latency_reservoir;
+  uint64_t reservoir_stride = 1;
   /// All latencies, log2-bucketed (obs::Histogram::BucketFor).
   std::array<uint64_t, obs::Histogram::kBuckets> latency_buckets{};
 
+  /// Wall-clock serving window: steady-clock time (ms since the
+  /// steady epoch) of the earliest request start and latest request
+  /// completion this block has seen. Merge takes the union, so
+  /// merged multi-worker stats report throughput over real elapsed
+  /// time instead of double-counting overlapping per-request
+  /// latencies. Sentinels (+inf / -inf) until the first record.
+  double window_begin_ms = std::numeric_limits<double>::infinity();
+  double window_end_ms = -std::numeric_limits<double>::infinity();
+
   /// BufferPool activity attributed to served requests (deltas of the
-  /// global pool counters across each ServeBatch call). After a warm-up
-  /// request has populated the pool buckets, steady-state requests
-  /// should be (almost) miss-free — the serving analogue of the
-  /// warm-epoch behavior in tests/buffer_pool_test.cc.
+  /// *calling thread's* pool counters across each ServeBatch call, so
+  /// concurrent workers never attribute each other's allocations).
+  /// After a warm-up request has populated the pool buckets — or a
+  /// compiled execution plan serves from its workspace — steady-state
+  /// requests should be (almost) miss-free.
   uint64_t pool_hits = 0;
   uint64_t pool_misses = 0;
 
-  /// Accounts one served request of `latency_ms` milliseconds.
+  /// Accounts one served request of `latency_ms` milliseconds that
+  /// completed "now" (steady clock).
   void RecordLatency(double latency_ms);
 
+  /// Accounts one served request that completed at `end_steady_ms`
+  /// (std::chrono::steady_clock milliseconds since its epoch). The
+  /// request's start is taken as `end_steady_ms - latency_ms` for the
+  /// wall-clock window.
+  void RecordLatencyAt(double latency_ms, double end_steady_ms);
+
   /// Folds another stats block into this one (scrape-time merging of
-  /// shared-nothing per-worker stats). Reservoir samples are kept up to
-  /// kLatencyReservoir; buckets and counters always merge exactly.
+  /// shared-nothing per-worker stats). Counters, buckets and the
+  /// wall-clock window merge exactly; when the combined reservoirs
+  /// exceed kLatencyReservoir, each side contributes a deterministic
+  /// evenly-strided subsample proportional to its request count, so
+  /// no worker's tail is dropped just because it merged later.
   void Merge(const ServeStats& other);
 
   double MeanLatencyMs() const;
   /// Latency percentile (q in [0, 1]) over the served requests; 0 when
   /// no request has completed. Exact (sorts a reservoir copy) while
-  /// requests <= kLatencyReservoir, bucket-estimated beyond.
+  /// requests <= reservoir size; beyond that, estimated from the
+  /// decimated reservoir (bucket estimate only if the reservoir is
+  /// somehow empty), clamped to [min, max].
   double LatencyPercentileMs(double q) const;
-  /// Requests per second of pure serving time (excludes caller think
-  /// time): requests / total_latency.
+  /// Requests per second of wall-clock serving time:
+  /// requests / (window_end - window_begin). Concurrent workers'
+  /// overlapping requests count once, not once per worker. Falls back
+  /// to requests / total_latency when the window is degenerate (a
+  /// single request, or hand-built stats without timestamps).
   double Qps() const;
 };
 

@@ -1,8 +1,63 @@
 #include "models/model.h"
 
+#include <atomic>
+#include <cstdlib>
+#include <utility>
+
 #include "autograd/inference.h"
+#include "infer/plan.h"
 
 namespace lasagne {
+
+namespace {
+
+bool PlanDefaultFromEnv() {
+  const char* env = std::getenv("LASAGNE_DISABLE_PLAN");
+  const bool disabled =
+      env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+  return !disabled;
+}
+
+std::atomic<bool>& PlanDefaultFlag() {
+  static std::atomic<bool> flag{PlanDefaultFromEnv()};
+  return flag;
+}
+
+}  // namespace
+
+Model::Model(std::string name, const Dataset& data)
+    : name_(std::move(name)), data_(data) {}
+
+Model::~Model() = default;
+
+void Model::SetExecutionPlanDefault(bool enabled) {
+  PlanDefaultFlag().store(enabled, std::memory_order_relaxed);
+}
+
+bool Model::ExecutionPlanDefault() {
+  return PlanDefaultFlag().load(std::memory_order_relaxed);
+}
+
+void Model::InvalidateExecutionPlan() {
+  plan_.reset();
+  plan_status_ = Status::OK();
+  plan_compile_failed_ = false;
+}
+
+bool Model::EnsureExecutionPlan() {
+  if (plan_ != nullptr) return true;
+  if (plan_compile_failed_) return false;
+  StatusOr<std::unique_ptr<infer::ExecutionPlan>> compiled =
+      infer::ExecutionPlan::Compile(*this);
+  if (!compiled.ok()) {
+    plan_status_ = compiled.status();
+    plan_compile_failed_ = true;
+    return false;
+  }
+  plan_ = std::move(compiled).value();
+  plan_status_ = Status::OK();
+  return true;
+}
 
 ag::Variable Model::TrainingLoss(const nn::ForwardContext& ctx) {
   ag::Variable logits = Forward(ctx);
@@ -10,6 +65,12 @@ ag::Variable Model::TrainingLoss(const nn::ForwardContext& ctx) {
 }
 
 Tensor Model::Predict(const nn::ForwardContext& ctx) {
+  if (!ctx.training && use_execution_plan_ && EnsureExecutionPlan()) {
+    // Flat interpreter over the pre-reserved workspace: no Forward
+    // walk, no tape, no pool traffic. Returns a copy of the plan's
+    // persistent output buffer.
+    return plan_->Run();
+  }
   ag::NoGradGuard guard;
   ag::Variable logits = Forward(ctx);
   // Inference-mode nodes retain no children, so when this handle is

@@ -13,6 +13,10 @@
 
 namespace lasagne {
 
+namespace infer {
+class ExecutionPlan;
+}
+
 /// Hyper-parameters shared across the model zoo. Individual models read
 /// the subset they understand.
 struct ModelConfig {
@@ -47,9 +51,10 @@ struct ModelConfig {
 /// that add auxiliary terms.
 class Model {
  public:
-  Model(std::string name, const Dataset& data)
-      : name_(std::move(name)), data_(data) {}
-  virtual ~Model() = default;
+  // Ctor/dtor are out-of-line: Model owns a unique_ptr to the
+  // incomplete infer::ExecutionPlan type.
+  Model(std::string name, const Dataset& data);
+  virtual ~Model();
 
   Model(const Model&) = delete;
   Model& operator=(const Model&) = delete;
@@ -62,13 +67,49 @@ class Model {
   /// Differentiable training objective for one step.
   virtual ag::Variable TrainingLoss(const nn::ForwardContext& ctx);
 
-  /// Forward-only logits: runs Forward under ag::NoGradGuard, so no
-  /// autograd tape (parents, backward closures, requires_grad interior
-  /// nodes) is built and every intermediate returns to the BufferPool
-  /// as soon as its consumer has run. Values are bitwise identical to
-  /// Forward(ctx)->value(). This is the evaluation / serving entry
-  /// point (EvaluateAccuracy, infer::InferenceSession).
+  /// Forward-only logits, bitwise identical to Forward(ctx)->value().
+  /// This is the evaluation / serving entry point (EvaluateAccuracy,
+  /// infer::InferenceSession).
+  ///
+  /// When execution plans are enabled (the default; see
+  /// SetExecutionPlanDefault and the LASAGNE_DISABLE_PLAN env var) the
+  /// first eval-mode call compiles an infer::ExecutionPlan — a traced
+  /// flat op list replayed through a pre-reserved workspace — and
+  /// every later call interprets it, skipping the Forward re-walk and
+  /// all BufferPool traffic (docs/INFERENCE.md). Models whose forward
+  /// contains an op the plan compiler cannot replay fall back to the
+  /// eager path below, permanently and silently (plan_status() says
+  /// why). The eager path runs Forward under ag::NoGradGuard, so no
+  /// autograd tape is built and every intermediate returns to the
+  /// BufferPool as soon as its consumer has run.
+  ///
+  /// Note: a plan-served Predict does not refresh hidden_states()
+  /// (the analysis path uses Forward directly).
   Tensor Predict(const nn::ForwardContext& ctx);
+
+  /// Process-wide default for whether new Predict calls may compile
+  /// and use execution plans. Initialized from the environment: set
+  /// LASAGNE_DISABLE_PLAN to a non-empty value other than "0" to start
+  /// disabled. Instance opt-out: set_use_execution_plan(false).
+  static void SetExecutionPlanDefault(bool enabled);
+  static bool ExecutionPlanDefault();
+
+  void set_use_execution_plan(bool enabled) { use_execution_plan_ = enabled; }
+  bool use_execution_plan() const { return use_execution_plan_; }
+
+  /// The compiled plan, or nullptr when none has been compiled (plans
+  /// disabled, Predict never called, or compilation failed).
+  const infer::ExecutionPlan* execution_plan() const { return plan_.get(); }
+
+  /// OK until a compile attempt fails; then the reason Predict is on
+  /// the eager fallback.
+  const Status& plan_status() const { return plan_status_; }
+
+  /// Drops the compiled plan (and any remembered compile failure) so
+  /// the next eval Predict recompiles. Call after structural changes —
+  /// in-place parameter value updates do NOT need this: leaf slots are
+  /// bound by reference.
+  void InvalidateExecutionPlan();
 
   /// All trainable parameters.
   virtual std::vector<ag::Variable> Parameters() const = 0;
@@ -89,6 +130,16 @@ class Model {
   std::string name_;
   const Dataset& data_;
   std::vector<Tensor> hidden_states_;
+
+ private:
+  /// Compiles the plan on first use; remembers failure so a model that
+  /// cannot be planned pays the compile attempt once, not per call.
+  bool EnsureExecutionPlan();
+
+  std::unique_ptr<infer::ExecutionPlan> plan_;
+  Status plan_status_;
+  bool plan_compile_failed_ = false;
+  bool use_execution_plan_ = ExecutionPlanDefault();
 };
 
 /// Builds a model by registry name. Known names:

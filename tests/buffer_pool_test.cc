@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -119,6 +120,100 @@ TEST(BufferPoolTest, TensorStorageRoundTripsThroughPool) {
   const BufferPool::Stats stats = pool.GetStats();
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(BufferPoolTest, ThreadStatsAreThreadLocal) {
+  // Per-thread hit/miss counters are the attribution primitive for
+  // serving stats: traffic on one thread must never show up in
+  // another thread's delta.
+  BufferPool& pool = BufferPool::Global();
+  pool.Trim();
+  const BufferPool::ThreadStats main_before = BufferPool::GetThreadStats();
+  std::thread worker([&] {
+    // Fresh thread: counters start at zero. After a trim the first
+    // acquire misses; the release caches it; the second acquire hits.
+    float* p = pool.Acquire(256);
+    pool.Release(p, 256);
+    float* q = pool.Acquire(256);
+    pool.Release(q, 256);
+    const BufferPool::ThreadStats s = BufferPool::GetThreadStats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, 1u);
+  });
+  worker.join();
+  const BufferPool::ThreadStats main_after = BufferPool::GetThreadStats();
+  EXPECT_EQ(main_after.hits - main_before.hits, 0u);
+  EXPECT_EQ(main_after.misses - main_before.misses, 0u);
+  // The main thread's own traffic still counts.
+  float* p = pool.Acquire(256);
+  pool.Release(p, 256);
+  const BufferPool::ThreadStats own = BufferPool::GetThreadStats();
+  EXPECT_EQ((own.hits + own.misses) - (main_before.hits + main_before.misses),
+            1u);
+}
+
+TEST(BufferPoolTest, WorkspaceRecordsFinalizesAndServesWithoutPoolTraffic) {
+  BufferPool& pool = BufferPool::Global();
+  BufferPool::Workspace ws;
+  // Recording phase: the global pool serves every request while the
+  // workspace tracks the per-bucket high-water working set (two live
+  // 64-float chunks + one 4096-float chunk here).
+  {
+    BufferPool::WorkspaceScope scope(&ws);
+    float* a = pool.Acquire(64);
+    float* b = pool.Acquire(33);  // same 64-float bucket, live with a
+    float* c = pool.Acquire(4096);
+    pool.Release(b, 33);
+    pool.Release(a, 64);
+    pool.Release(c, 4096);
+  }
+  EXPECT_FALSE(ws.finalized());
+  EXPECT_EQ(ws.reserved_bytes(), 0u);
+  ws.Finalize();
+  EXPECT_TRUE(ws.finalized());
+  EXPECT_EQ(ws.reserved_bytes(), (64 + 64 + 4096) * sizeof(float));
+  ws.Finalize();  // idempotent
+  EXPECT_EQ(ws.reserved_bytes(), (64 + 64 + 4096) * sizeof(float));
+
+  // Finalized phase: the same working set is served entirely from the
+  // slab — the thread's pool counters do not move.
+  const BufferPool::ThreadStats before = BufferPool::GetThreadStats();
+  {
+    BufferPool::WorkspaceScope scope(&ws);
+    float* a = pool.Acquire(64);
+    float* b = pool.Acquire(64);
+    float* c = pool.Acquire(4000);  // rounds into the 4096 bucket
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    ASSERT_NE(c, nullptr);
+    EXPECT_NE(a, b);
+    a[0] = b[0] = c[0] = 1.0f;  // chunks are writable
+    pool.Release(a, 64);
+    pool.Release(b, 64);
+    pool.Release(c, 4000);
+  }
+  const BufferPool::ThreadStats after = BufferPool::GetThreadStats();
+  EXPECT_EQ(after.hits - before.hits, 0u);
+  EXPECT_EQ(after.misses - before.misses, 0u);
+  EXPECT_EQ(ws.overflow_acquires(), 0u);
+
+  // Exceeding the recorded working set overflows to the global pool
+  // (counted, attributed to this thread) instead of failing.
+  {
+    BufferPool::WorkspaceScope scope(&ws);
+    float* a = pool.Acquire(64);
+    float* b = pool.Acquire(64);
+    float* over = pool.Acquire(64);  // third live 64-float chunk
+    ASSERT_NE(over, nullptr);
+    pool.Release(over, 64);
+    pool.Release(b, 64);
+    pool.Release(a, 64);
+  }
+  EXPECT_EQ(ws.overflow_acquires(), 1u);
+  const BufferPool::ThreadStats overflowed = BufferPool::GetThreadStats();
+  EXPECT_EQ((overflowed.hits + overflowed.misses) -
+                (after.hits + after.misses),
+            1u);
 }
 
 #endif  // LASAGNE_POOL_CACHED

@@ -2,10 +2,12 @@
 // parity between Model::Predict and the tape-building Forward, and the
 // pooled batched serving driver (infer::InferenceSession).
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -330,6 +332,52 @@ TEST(InferenceServingTest, WarmRequestPoolMissesCollapse) {
   EXPECT_GT(warm_hits, 0u);
   // N warm requests together stay >= 10x below N cold requests.
   EXPECT_GE(cold_misses, 10 * std::max<uint64_t>(warm_misses, 1));
+}
+
+TEST(InferenceServingTest, ConcurrentPoolTrafficDoesNotContaminateStats) {
+  // Regression test for cross-thread pool-delta contamination: session
+  // stats used to be computed from the *global* pool counters, so a
+  // concurrent thread's allocation storm landed in whatever request
+  // happened to be in flight. With per-thread counters a warm session
+  // reports zero misses no matter how noisy its neighbors are.
+  Dataset data = LoadDataset("cora", 0.3, 47);
+  std::unique_ptr<Model> model = MakeModel("gcn", data, SmallConfig());
+  infer::InferenceSession session(*model);
+  BufferPool& pool = BufferPool::Global();
+
+  ASSERT_TRUE(session.ServeBatch({0, 1, 2, 3}).ok());  // compile + warm
+  ASSERT_TRUE(session.ServeBatch({0, 1, 2, 3}).ok());
+  session.ResetStats();
+
+  // The noisy thread provokes real misses by growing the number of
+  // simultaneously-held buffers of one bucket each round (one miss per
+  // round once the freelist is exhausted). The bucket (16384 floats)
+  // is one the serving path never touches, so the noise cannot eat the
+  // session's own warmed freelists.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> noise_misses{0};
+  std::thread noisy([&] {
+    const BufferPool::ThreadStats start = BufferPool::GetThreadStats();
+    std::vector<float*> held;
+    size_t batch = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (size_t i = 0; i < batch; ++i) held.push_back(pool.Acquire(16384));
+      for (float* p : held) pool.Release(p, 16384);
+      held.clear();
+      if (batch < 64) ++batch;
+    }
+    noise_misses.store(BufferPool::GetThreadStats().misses - start.misses);
+  });
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(session.ServeBatch({0, 1, 2, 3}).ok());
+  }
+  stop.store(true);
+  noisy.join();
+
+  EXPECT_GT(noise_misses.load(), 0u) << "noise thread generated no misses";
+  EXPECT_EQ(session.stats().pool_misses, 0u)
+      << "another thread's misses were attributed to this session";
+  EXPECT_GT(session.stats().pool_hits, 0u);
 }
 
 #endif  // LASAGNE_POOL_CACHED

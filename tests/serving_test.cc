@@ -169,8 +169,10 @@ TEST(ServingStatsTest, MemoryStaysBoundedBeyondReservoir) {
   }
   EXPECT_EQ(stats.requests, total);
   // The fix this test guards: the per-request record no longer grows
-  // one double per request forever.
-  EXPECT_EQ(stats.latency_reservoir.size(), ServeStats::kLatencyReservoir);
+  // one double per request forever. The decimating reservoir halves
+  // itself when full, so the size stays in (cap/2, cap].
+  EXPECT_LE(stats.latency_reservoir.size(), ServeStats::kLatencyReservoir);
+  EXPECT_GT(stats.latency_reservoir.size(), ServeStats::kLatencyReservoir / 2);
   uint64_t bucketed = 0;
   for (uint64_t c : stats.latency_buckets) bucketed += c;
   EXPECT_EQ(bucketed, total);
@@ -206,6 +208,73 @@ TEST(ServingStatsTest, MergeAggregatesWorkerBlocks) {
   uint64_t bucketed = 0;
   for (uint64_t c : a.latency_buckets) bucketed += c;
   EXPECT_EQ(bucketed, 5u);
+}
+
+TEST(ServingStatsTest, QpsUsesWallClockWindowNotSummedLatency) {
+  // Two workers, each serving ten 100 ms requests over the same 1 s
+  // wall-clock window. True throughput is 20 requests / 1 s = 20 QPS;
+  // the old requests / total_latency formula halved it to 10 because
+  // concurrent workers' latencies sum while their wall clocks overlap.
+  ServeStats a;
+  ServeStats b;
+  for (int i = 1; i <= 10; ++i) {
+    a.RecordLatencyAt(100.0, /*end_steady_ms=*/i * 100.0);
+    b.RecordLatencyAt(100.0, /*end_steady_ms=*/i * 100.0);
+  }
+  EXPECT_NEAR(a.Qps(), 10.0, 1e-9);  // one worker alone: 10 in 1 s
+  a.Merge(b);
+  EXPECT_EQ(a.requests, 20u);
+  EXPECT_NEAR(a.Qps(), 20.0, 1e-9);  // not 10: overlap counts once
+}
+
+TEST(ServingStatsTest, QpsFallsBackToSummedLatencyWithoutTimestamps) {
+  // Hand-built stats (no RecordLatencyAt timestamps, e.g. synthetic
+  // fixtures) keep the old requests / total_latency estimate instead
+  // of dividing by an empty window.
+  ServeStats stats;
+  stats.requests = 4;
+  stats.total_latency_ms = 2000.0;
+  EXPECT_NEAR(stats.Qps(), 2.0, 1e-9);
+  EXPECT_EQ(ServeStats{}.Qps(), 0.0);
+}
+
+TEST(ServingStatsTest, MergeSubsamplesReservoirsProportionally) {
+  // Both sides arrive with a full reservoir: a fast worker (1 ms) and a
+  // slow one (100 ms) with equal request counts. The old merge appended
+  // `other` only until the cap — already full, so the slow worker's
+  // samples were dropped entirely and merged p90 read 1 ms. The
+  // proportional merge gives each side ~half the cap.
+  ServeStats fast;
+  ServeStats slow;
+  for (size_t i = 0; i < ServeStats::kLatencyReservoir; ++i) {
+    fast.RecordLatency(1.0);
+    slow.RecordLatency(100.0);
+  }
+  fast.Merge(slow);
+  EXPECT_EQ(fast.latency_reservoir.size(), ServeStats::kLatencyReservoir);
+  const size_t slow_samples = static_cast<size_t>(
+      std::count(fast.latency_reservoir.begin(),
+                 fast.latency_reservoir.end(), 100.0));
+  EXPECT_EQ(slow_samples, ServeStats::kLatencyReservoir / 2);
+  EXPECT_EQ(fast.LatencyPercentileMs(0.9), 100.0);
+  EXPECT_EQ(fast.LatencyPercentileMs(0.1), 1.0);
+}
+
+TEST(ServingStatsTest, DecimatingReservoirStaysRepresentative) {
+  // A 10k-request ramp overflows the reservoir; the deterministic
+  // every-2nd decimation must keep the kept samples spread over the
+  // whole run (not biased toward early arrivals), so percentile
+  // estimates stay close to the exact values.
+  ServeStats stats;
+  const size_t total = 10000;
+  for (size_t i = 0; i < total; ++i) {
+    stats.RecordLatency(static_cast<double>(i) * 0.01);  // 0 .. 99.99
+  }
+  EXPECT_GT(stats.reservoir_stride, 1u);
+  EXPECT_LE(stats.latency_reservoir.size(), ServeStats::kLatencyReservoir);
+  EXPECT_NEAR(stats.LatencyPercentileMs(0.5), 50.0, 5.0);
+  EXPECT_NEAR(stats.LatencyPercentileMs(0.9), 90.0, 5.0);
+  EXPECT_NEAR(stats.LatencyPercentileMs(0.99), 99.0, 5.0);
 }
 
 // -- Admission control and deadlines ---------------------------------------

@@ -21,6 +21,19 @@ BENCH_inference.json baseline, enforces per model:
   * steady-state QPS within --inference-tolerance (default 50%; QPS is
     wall-clock and very noisy on shared hosts) of the baseline.
 
+Only eager-mode rows (``mode`` == "eager", or no ``mode`` field in
+older baselines) participate in the inference comparison; plan-mode
+rows have their own gate below.
+
+Plan mode (``--plan-binary`` / ``--plan-json``): runs
+``bench_inference_qps`` fresh and gates the static execution plan on
+that run alone (both sides of each comparison come from the same binary
+on the same host, so the gates are strict):
+  * every plan-mode row compiled a plan (no silent eager fallback) and
+    served its warm requests with exactly zero BufferPool misses — the
+    pre-reserved-workspace invariant, and
+  * on gcn, plan QPS >= eager QPS.
+
 Serving mode (``--serving-binary`` / ``--serving-json``): runs
 ``bench_serving_load`` fresh and, against the committed
 BENCH_serving.json baseline, enforces per worker-sweep row:
@@ -125,8 +138,14 @@ def run_fresh_inference(bench_binary):
             return json.load(f)
 
 
-def inference_rows(doc):
-    return {r["model"]: r for r in doc.get("results", [])}
+def inference_rows(doc, mode="eager"):
+    """Rows of one mode keyed by model. Rows without a ``mode`` field
+    predate the execution-plan split and are eager by definition."""
+    return {
+        r["model"]: r
+        for r in doc.get("results", [])
+        if r.get("mode", "eager") == mode
+    }
 
 
 def check_inference(fresh_doc, baseline_path, tolerance):
@@ -164,6 +183,51 @@ def check_inference(fresh_doc, baseline_path, tolerance):
             failures.append(
                 f"{model}: {ratio:.2f}x of baseline QPS "
                 f"(allowed >= {1.0 - tolerance:.2f}x)")
+    return failures
+
+
+def check_plan(fresh_doc):
+    """Returns a list of failure strings (empty on success).
+
+    Plan mode gates on the FRESH run alone — both invariants compare
+    rows produced seconds apart by the same binary on the same host, so
+    no cross-machine tolerance is needed:
+      * every plan-mode row must be served entirely from the plan's
+        pre-reserved workspace: warm_pool_misses == 0, strictly, and the
+        plan must actually have compiled (no silent eager fallback), and
+      * on gcn, plan QPS must be >= eager QPS from the same run.
+    """
+    eager = inference_rows(fresh_doc, "eager")
+    plan = inference_rows(fresh_doc, "plan")
+    failures = []
+    if not plan:
+        return ["no plan-mode rows in the fresh run"]
+    for model in sorted(plan):
+        row = plan[model]
+        problems = []
+        if not row.get("plan_compiled"):
+            problems.append("plan did not compile (silent eager fallback)")
+        if row["warm_pool_misses"] != 0:
+            problems.append(
+                f"{row['warm_pool_misses']:.0f} warm pool misses (must be 0)")
+        status = "OK" if not problems else "PLAN!"
+        print(f"  {status:<5} {model} [plan]: {row['qps']:.1f} QPS, "
+              f"warm misses {row['warm_pool_misses']:.0f}, workspace "
+              f"{row.get('workspace_bytes', 0) / 1024.0:.0f} KiB")
+        for problem in problems:
+            failures.append(f"{model}: {problem}")
+    if "gcn" not in plan or "gcn" not in eager:
+        failures.append("gcn missing from plan/eager rows; cannot gate "
+                        "plan-vs-eager QPS")
+    else:
+        ratio = plan["gcn"]["qps"] / eager["gcn"]["qps"]
+        status = "OK" if ratio >= 1.0 else "SLOW"
+        print(f"  {status:<5} gcn: plan {plan['gcn']['qps']:.1f} vs eager "
+              f"{eager['gcn']['qps']:.1f} QPS ({ratio:.2f}x)")
+        if ratio < 1.0:
+            failures.append(
+                f"gcn: plan QPS {ratio:.2f}x of eager (same-run; must be "
+                ">= 1.0x)")
     return failures
 
 
@@ -264,6 +328,13 @@ def main():
                     help="committed baseline (default: BENCH_inference.json)")
     ap.add_argument("--inference-tolerance", type=float, default=0.5,
                     help="max allowed fractional QPS slowdown (default 0.5)")
+    ap.add_argument("--plan-binary",
+                    help="path to the bench_inference_qps executable "
+                         "(gates plan mode: zero warm misses, "
+                         "plan >= eager QPS on gcn, same run)")
+    ap.add_argument("--plan-json",
+                    help="pre-recorded bench_inference_qps JSON for the "
+                         "plan gate")
     ap.add_argument("--serving-binary",
                     help="path to the bench_serving_load executable")
     ap.add_argument("--serving-json",
@@ -297,6 +368,26 @@ def main():
         print("\nPASS: zero drops, deterministic drain, and every config "
               f"within {(1.0 - args.serving_tolerance) * 100:.0f}% QPS / "
               f"{args.serving_p99_factor:.0f}x p99 of baseline")
+        return 0
+
+    plan_mode = bool(args.plan_binary) or bool(args.plan_json)
+    if plan_mode:
+        if bool(args.plan_binary) == bool(args.plan_json):
+            ap.error("exactly one of --plan-binary / --plan-json "
+                     "is required")
+        if args.plan_json:
+            with open(args.plan_json) as f:
+                fresh_doc = json.load(f)
+        else:
+            fresh_doc = run_fresh_inference(args.plan_binary)
+        failures = check_plan(fresh_doc)
+        if failures:
+            print("\nFAIL: execution-plan regression", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        print("\nPASS: every plan compiled, zero warm pool misses, and "
+              "plan >= eager QPS on gcn")
         return 0
 
     inference_mode = bool(args.inference_binary) or bool(args.inference_json)
