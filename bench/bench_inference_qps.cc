@@ -11,12 +11,13 @@
 // because inference-mode nodes release buffers mid-request; the
 // aggregate over N requests is the meaningful contrast.)
 //
-// Every model runs in two modes: "eager" (execution plans disabled —
-// the NoGradGuard Forward walk) and "plan" (the default static
-// execution plan compiled by infer::ExecutionPlan, interpreted through
-// a pre-reserved workspace). Plan-mode warm requests must be exactly
-// miss-free and at least as fast as eager; both are gated by
-// tools/check_bench_regression.py --plan-*.
+// Every model runs in three modes: "eager" (execution plans disabled —
+// the NoGradGuard Forward walk), "plan-nofuse" (a static execution
+// plan compiled with the op-chain fusion pass disabled), and "plan"
+// (the default fused plan). Plan-mode warm requests must be exactly
+// miss-free and at least as fast as eager, and the fused plan must be
+// at least as fast as the unfused one; gated by
+// tools/check_bench_regression.py --plan-* / --fusion-*.
 //
 // Writes a machine-readable baseline to BENCH_inference.json
 // (override with --json-out PATH); tools/check_bench_regression.py
@@ -51,7 +52,7 @@ constexpr size_t kSteadyRequests = 40;
 
 struct ModelResult {
   std::string model;
-  std::string mode;  // "eager" (plan disabled) or "plan"
+  std::string mode;  // "eager" (plan disabled), "plan-nofuse", or "plan"
   double qps = 0.0;
   double mean_ms = 0.0;
   double p50_ms = 0.0;
@@ -61,6 +62,9 @@ struct ModelResult {
   uint64_t warm_pool_hits = 0;
   bool plan_compiled = false;     // plan mode actually used a compiled plan
   uint64_t workspace_bytes = 0;   // plan's pre-reserved slab size
+  uint64_t plan_steps = 0;        // interpreted steps after fusion
+  uint64_t fused_steps = 0;       // steps covering more than one traced op
+  uint64_t ops_fused_away = 0;    // traced ops folded into a fused step
 };
 
 std::vector<uint32_t> MakeBatch(size_t num_nodes, Rng& rng) {
@@ -72,19 +76,21 @@ std::vector<uint32_t> MakeBatch(size_t num_nodes, Rng& rng) {
 }
 
 ModelResult BenchOne(const std::string& name, const Dataset& data,
-                     bool use_plan) {
+                     const std::string& mode) {
   ModelConfig config;
   config.depth = 2;
   config.hidden_dim = 32;
   config.seed = 3;
   std::unique_ptr<Model> model = MakeModel(name, data, config);
+  const bool use_plan = mode != "eager";
   model->set_use_execution_plan(use_plan);
+  model->set_use_plan_fusion(mode == "plan");
   infer::InferenceSession session(*model);
   Rng batch_rng(17);
 
   ModelResult out;
   out.model = name;
-  out.mode = use_plan ? "plan" : "eager";
+  out.mode = mode;
 
   // Cold phase: trim the freelists before every request, so each one
   // pays the no-cross-request-reuse allocation cost.
@@ -111,8 +117,12 @@ ModelResult BenchOne(const std::string& name, const Dataset& data,
   out.warm_pool_misses = stats.pool_misses;
   out.warm_pool_hits = stats.pool_hits;
   if (use_plan && model->execution_plan() != nullptr) {
+    const infer::PlanInfo& info = model->execution_plan()->info();
     out.plan_compiled = true;
-    out.workspace_bytes = model->execution_plan()->info().workspace_bytes;
+    out.workspace_bytes = info.workspace_bytes;
+    out.plan_steps = info.steps;
+    out.fused_steps = info.fused_steps;
+    out.ops_fused_away = info.ops_fused_away;
   }
   return out;
 }
@@ -147,6 +157,12 @@ void WriteJson(const std::string& path, size_t threads, double scale,
     row.Set("plan_compiled", obs::JsonValue::Bool(r.plan_compiled));
     row.Set("workspace_bytes",
             obs::JsonValue::Number(static_cast<double>(r.workspace_bytes)));
+    row.Set("plan_steps",
+            obs::JsonValue::Number(static_cast<double>(r.plan_steps)));
+    row.Set("fused_steps",
+            obs::JsonValue::Number(static_cast<double>(r.fused_steps)));
+    row.Set("ops_fused_away",
+            obs::JsonValue::Number(static_cast<double>(r.ops_fused_away)));
     row.Set("requests",
             obs::JsonValue::Number(static_cast<double>(kSteadyRequests)));
     row.Set("batch_size",
@@ -180,14 +196,14 @@ void Run(const std::string& json_out, size_t threads) {
               kSteadyRequests, threads);
 
   std::vector<ModelResult> results;
-  bench::TablePrinter table({18, 7, 10, 10, 10, 10, 12, 12});
+  bench::TablePrinter table({18, 12, 10, 10, 10, 10, 12, 12, 12});
   table.Row({"model", "mode", "QPS", "mean ms", "p50 ms", "p99 ms",
-             "cold miss", "warm miss"});
+             "cold miss", "warm miss", "steps(fused)"});
   table.Rule();
   for (const char* name : {"gcn", "lasagne-weighted", "gat"}) {
-    for (const bool use_plan : {false, true}) {
-      ModelResult r = BenchOne(name, data, use_plan);
-      char buf[6][32];
+    for (const char* mode : {"eager", "plan-nofuse", "plan"}) {
+      ModelResult r = BenchOne(name, data, mode);
+      char buf[7][32];
       std::snprintf(buf[0], sizeof(buf[0]), "%.1f", r.qps);
       std::snprintf(buf[1], sizeof(buf[1]), "%.2f", r.mean_ms);
       std::snprintf(buf[2], sizeof(buf[2]), "%.2f", r.p50_ms);
@@ -196,8 +212,15 @@ void Run(const std::string& json_out, size_t threads) {
                     static_cast<unsigned long long>(r.cold_pool_misses));
       std::snprintf(buf[5], sizeof(buf[5]), "%llu",
                     static_cast<unsigned long long>(r.warm_pool_misses));
+      if (r.plan_compiled) {
+        std::snprintf(buf[6], sizeof(buf[6]), "%llu(%llu)",
+                      static_cast<unsigned long long>(r.plan_steps),
+                      static_cast<unsigned long long>(r.fused_steps));
+      } else {
+        std::snprintf(buf[6], sizeof(buf[6]), "-");
+      }
       table.Row({r.model, r.mode, buf[0], buf[1], buf[2], buf[3], buf[4],
-                 buf[5]});
+                 buf[5], buf[6]});
       std::fflush(stdout);
       results.push_back(r);
     }
@@ -207,8 +230,10 @@ void Run(const std::string& json_out, size_t threads) {
       "\nInvariants: eager warm-request pool misses collapse >= 10x below\n"
       "the cold phase (pool trimmed before each cold request), and plan\n"
       "mode serves warm requests with ZERO pool misses from its\n"
-      "pre-reserved workspace at >= eager QPS; gated by\n"
-      "tools/check_bench_regression.py --inference-* / --plan-*.\n");
+      "pre-reserved workspace at >= eager QPS; the fused plan fuses every\n"
+      "expected op chain and is >= the unfused plan's QPS on gcn and\n"
+      "lasagne-weighted; gated by tools/check_bench_regression.py\n"
+      "--inference-* / --plan-* / --fusion-*.\n");
   WriteJson(json_out, threads, scale, results);
 }
 

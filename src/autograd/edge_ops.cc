@@ -87,7 +87,8 @@ Variable GatherEdgeScores(const Variable& dst_scores,
           }
           return y;
         },
-        "GatherEdgeScores");
+        "GatherEdgeScores",
+        TraceOpMeta::Edge(TraceOpKind::kGatherEdgeScores, edges));
   }
   return out;
 }
@@ -175,7 +176,7 @@ Variable EdgeSoftmax(const Variable& edge_scores,
           }
           return y;
         },
-        "EdgeSoftmax");
+        "EdgeSoftmax", TraceOpMeta::Edge(TraceOpKind::kEdgeSoftmax, edges));
   }
   return out;
 }
@@ -244,7 +245,8 @@ Variable EdgeWeightedAggregate(const Variable& edge_weights,
           }
           return y;
         },
-        "EdgeWeightedAggregate");
+        "EdgeWeightedAggregate",
+        TraceOpMeta::Edge(TraceOpKind::kEdgeWeightedAggregate, edges));
   }
   return out;
 }

@@ -57,15 +57,15 @@ void TraceNoteNode(const Node* node, const char* op_name) {
 }
 
 void TraceRecordOp(const Variable& output, std::vector<Variable> inputs,
-                   TraceFn replay, const char* op_name) {
+                   TraceFn replay, const char* op_name, TraceOpMeta meta) {
   ForwardTrace* trace = t_active_trace;
   if (trace == nullptr) return;
   if (trace->pending_node_ == output.get()) {
     trace->pending_node_ = nullptr;
     trace->pending_name_ = "";
   }
-  trace->records_.push_back(
-      {output, std::move(inputs), std::move(replay), op_name});
+  trace->records_.push_back({output, std::move(inputs), std::move(replay),
+                             op_name, std::move(meta)});
 }
 
 }  // namespace internal

@@ -2,14 +2,20 @@
 #define LASAGNE_AUTOGRAD_FORWARD_TRACE_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "autograd/variable.h"
 
+namespace lasagne {
+class CsrMatrix;
+}
+
 namespace lasagne::ag {
 
 class ForwardTrace;
+struct EdgeStructure;
 
 /// Pure recompute closure for one traced op: given pointers to the
 /// current input tensors (in the op's argument order), it returns the
@@ -20,12 +26,65 @@ class ForwardTrace;
 /// lists, scalars) is captured by shared_ptr or value.
 using TraceFn = std::function<Tensor(const std::vector<const Tensor*>&)>;
 
+/// Structural identity of a traced op, for the execution-plan fusion
+/// pass (src/infer/plan.cc). The replay closure is opaque, so ops that
+/// participate in a fusion rule self-describe here; everything else
+/// stays kOpaque and never fuses.
+enum class TraceOpKind : uint8_t {
+  kOpaque,
+  kAdd,               // inputs {a, b}; same shape
+  kMatMul,            // inputs {a, b}
+  kSpMM,              // inputs {x}; meta.spmm_matrix set
+  kAddRowVector,      // inputs {x, bias}
+  kRelu,              // inputs {x}
+  kLeakyRelu,         // inputs {x}; meta.alpha set
+  kGatherEdgeScores,  // inputs {dst_scores, src_scores}; meta.edges set
+  kEdgeSoftmax,       // inputs {scores}; meta.edges set
+  kEdgeWeightedAggregate,  // inputs {weights, features}; meta.edges set
+};
+
+/// Side data a fused replay closure needs to be rebuilt from scratch
+/// (the original closures capture it privately). Cheap to copy: two
+/// shared_ptrs and two scalars.
+struct TraceOpMeta {
+  TraceOpKind kind = TraceOpKind::kOpaque;
+  std::shared_ptr<const CsrMatrix> spmm_matrix;   // kSpMM
+  std::shared_ptr<const EdgeStructure> edges;     // edge ops
+  float alpha = 0.0f;                             // kLeakyRelu slope
+
+  static TraceOpMeta Kind(TraceOpKind k) {
+    TraceOpMeta m;
+    m.kind = k;
+    return m;
+  }
+  static TraceOpMeta Spmm(std::shared_ptr<const CsrMatrix> matrix) {
+    TraceOpMeta m;
+    m.kind = TraceOpKind::kSpMM;
+    m.spmm_matrix = std::move(matrix);
+    return m;
+  }
+  static TraceOpMeta LeakySlope(float alpha) {
+    TraceOpMeta m;
+    m.kind = TraceOpKind::kLeakyRelu;
+    m.alpha = alpha;
+    return m;
+  }
+  static TraceOpMeta Edge(TraceOpKind k,
+                          std::shared_ptr<const EdgeStructure> edges) {
+    TraceOpMeta m;
+    m.kind = k;
+    m.edges = std::move(edges);
+    return m;
+  }
+};
+
 /// One op captured by a ForwardTrace, in execution order.
 struct TraceRecord {
   Variable output;
   std::vector<Variable> inputs;
   TraceFn replay;
   const char* op_name = "";
+  TraceOpMeta meta;
 };
 
 namespace internal {
@@ -42,8 +101,11 @@ bool ForwardTraceActive();
 void TraceNoteNode(const Node* node, const char* op_name);
 
 /// Registers the replay closure for the op that just created `output`.
+/// Ops covered by a fusion rule pass their structural `meta`; the
+/// default (kOpaque) opts out of fusion but still replays.
 void TraceRecordOp(const Variable& output, std::vector<Variable> inputs,
-                   TraceFn replay, const char* op_name);
+                   TraceFn replay, const char* op_name,
+                   TraceOpMeta meta = TraceOpMeta());
 
 }  // namespace internal
 
@@ -82,7 +144,8 @@ class ForwardTrace {
   friend void internal::TraceNoteNode(const Node* node, const char* op_name);
   friend void internal::TraceRecordOp(const Variable& output,
                                       std::vector<Variable> inputs,
-                                      TraceFn replay, const char* op_name);
+                                      TraceFn replay, const char* op_name,
+                                      TraceOpMeta meta);
 
   /// Counts a noted-but-never-recorded node as untraced.
   void FlushPending();

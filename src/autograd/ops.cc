@@ -63,7 +63,7 @@ Variable Add(const Variable& a, const Variable& b) {
     internal::TraceRecordOp(
         out, {a, b},
         [](const std::vector<const Tensor*>& in) { return *in[0] + *in[1]; },
-        "Add");
+        "Add", TraceOpMeta::Kind(TraceOpKind::kAdd));
   }
   return out;
 }
@@ -199,7 +199,7 @@ Variable Relu(const Variable& x) {
           });
           return y;
         },
-        "Relu");
+        "Relu", TraceOpMeta::Kind(TraceOpKind::kRelu));
   }
   return out;
 }
@@ -232,7 +232,7 @@ Variable LeakyRelu(const Variable& x, float alpha) {
           });
           return y;
         },
-        "LeakyRelu");
+        "LeakyRelu", TraceOpMeta::LeakySlope(alpha));
   }
   return out;
 }
@@ -313,7 +313,7 @@ Variable MatMul(const Variable& a, const Variable& b) {
         [](const std::vector<const Tensor*>& in) {
           return in[0]->MatMul(*in[1]);
         },
-        "MatMul");
+        "MatMul", TraceOpMeta::Kind(TraceOpKind::kMatMul));
   }
   return out;
 }
@@ -346,7 +346,7 @@ Variable SpMM(std::shared_ptr<const CsrMatrix> matrix, const Variable& x) {
         [matrix](const std::vector<const Tensor*>& in) {
           return matrix->Multiply(*in[0]);
         },
-        "SpMM");
+        "SpMM", TraceOpMeta::Spmm(matrix));
   }
   return out;
 }
@@ -390,7 +390,7 @@ Variable AddRowVector(const Variable& x, const Variable& bias) {
                       });
           return y;
         },
-        "AddRowVector");
+        "AddRowVector", TraceOpMeta::Kind(TraceOpKind::kAddRowVector));
   }
   return out;
 }

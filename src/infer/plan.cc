@@ -1,20 +1,339 @@
 #include "infer/plan.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "autograd/edge_ops.h"
 #include "autograd/inference.h"
 #include "common/check.h"
+#include "common/parallel_config.h"
+#include "common/thread_pool.h"
 #include "models/model.h"
 #include "nn/layers.h"
+#include "sparse/csr_matrix.h"
+#include "tensor/kernels.h"
 #include "tensor/rng.h"
 
 namespace lasagne::infer {
 
+namespace {
+
+using ag::TraceOpKind;
+
+/// Activation epilogue a fused step carries (kNone = plain bias).
+enum class FusedAct { kNone, kRelu, kLeakyRelu };
+
+/// One execution-plan op after fusion: a TraceRecord whose replay may
+/// cover several traced ops.
+struct PlanOp {
+  ag::Variable output;
+  std::vector<ag::Variable> inputs;
+  ag::TraceFn replay;
+  std::string op_name;
+  uint32_t fused_ops = 1;
+};
+
+/// inputs = {x, w, bias}: out = act(x @ w + bias). Reproduces
+/// Tensor::MatMul's orchestration (packed panel, RowGrain partition);
+/// the fused kernels keep GemmRowsNN's ascending-k accumulation and
+/// apply bias/activation as elementwise row epilogues, so the result
+/// is bitwise the MatMul→AddRowVector[→act] chain.
+ag::TraceFn MakeGemmBiasReplay(FusedAct act, float alpha) {
+  return [act, alpha](const std::vector<const Tensor*>& in) {
+    const Tensor& x = *in[0];
+    const Tensor& w = *in[1];
+    const float* bias = in[2]->data();
+    const size_t k_dim = x.cols();
+    const size_t n_dim = w.cols();
+    Tensor out = Tensor::Uninitialized(x.rows(), n_dim);
+    internal::PoolBuffer packed(kernels::PackedBSize(k_dim, n_dim));
+    if (packed.data() != nullptr) {
+      kernels::PackB(w.data(), k_dim, n_dim, packed.data());
+    }
+    ParallelFor(0, x.rows(), RowGrain(k_dim * n_dim),
+                [&](size_t row_begin, size_t row_end) {
+                  switch (act) {
+                    case FusedAct::kNone:
+                      kernels::GemmRowsNNBias(x.data(), k_dim, n_dim, w.data(),
+                                              packed.data(), bias, out.data(),
+                                              row_begin, row_end);
+                      break;
+                    case FusedAct::kRelu:
+                      kernels::GemmRowsNNBiasRelu(x.data(), k_dim, n_dim,
+                                                  w.data(), packed.data(),
+                                                  bias, out.data(), row_begin,
+                                                  row_end);
+                      break;
+                    case FusedAct::kLeakyRelu:
+                      kernels::GemmRowsNNBiasLeakyRelu(
+                          x.data(), k_dim, n_dim, w.data(), packed.data(),
+                          bias, alpha, out.data(), row_begin, row_end);
+                      break;
+                  }
+                });
+    return out;
+  };
+}
+
+/// inputs = {x}: out = act(matrix @ x). Same row partition as
+/// CsrMatrix::Multiply; activation applied to the hot row block.
+ag::TraceFn MakeSpmmActReplay(std::shared_ptr<const CsrMatrix> matrix,
+                              FusedAct act, float alpha) {
+  return [matrix, act, alpha](const std::vector<const Tensor*>& in) {
+    const Tensor& x = *in[0];
+    const size_t d = x.cols();
+    const size_t rows = matrix->rows();
+    Tensor out = Tensor::Uninitialized(rows, d);
+    const size_t work_per_row =
+        (matrix->nnz() / std::max<size_t>(rows, 1) + 1) *
+        std::max<size_t>(d, 1);
+    const size_t grain = std::max<size_t>(1, kGrain / work_per_row);
+    ParallelFor(0, rows, grain, [&](size_t row_begin, size_t row_end) {
+      if (act == FusedAct::kRelu) {
+        kernels::SpmmRowsRelu(matrix->row_ptr().data(),
+                              matrix->col_idx().data(),
+                              matrix->values().data(), x.data(), d, out.data(),
+                              row_begin, row_end);
+      } else {
+        kernels::SpmmRowsLeakyRelu(matrix->row_ptr().data(),
+                                   matrix->col_idx().data(),
+                                   matrix->values().data(), x.data(), d, alpha,
+                                   out.data(), row_begin, row_end);
+      }
+    });
+    return out;
+  };
+}
+
+/// inputs = {a, b}: out = max(a + b, 0). Same flat kGrain partition as
+/// Tensor::operator+; the ReLU is folded into the add pass, so the sum
+/// tensor is never materialized. Elementwise, so bitwise-identical to
+/// the unfused pair at any thread count.
+ag::TraceFn MakeAddReluReplay() {
+  return [](const std::vector<const Tensor*>& in) {
+    const Tensor& a = *in[0];
+    const Tensor& b = *in[1];
+    Tensor out = Tensor::Uninitialized(a.rows(), a.cols());
+    ParallelFor(0, out.size(), kGrain, [&](size_t begin, size_t end) {
+      kernels::EwAddRelu(a.data() + begin, b.data() + begin,
+                         out.data() + begin, end - begin);
+    });
+    return out;
+  };
+}
+
+/// inputs = {dst_scores, src_scores}: per-edge score with the leaky
+/// epilogue inlined — skips materializing the (E x 1) raw-score tensor.
+/// `d + s` and the slope test are the exact eager float ops.
+ag::TraceFn MakeGatherLeakyReluReplay(
+    std::shared_ptr<const ag::EdgeStructure> edges, float alpha) {
+  return [edges, alpha](const std::vector<const Tensor*>& in) {
+    Tensor y(edges->num_edges(), 1);
+    for (size_t i = 0; i < edges->num_nodes; ++i) {
+      const float d = (*in[0])(i, 0);
+      for (size_t k = edges->row_ptr[i]; k < edges->row_ptr[i + 1]; ++k) {
+        const float t = d + (*in[1])(edges->src[k], 0);
+        y(k, 0) = t >= 0.0f ? t : alpha * t;
+      }
+    }
+    return y;
+  };
+}
+
+/// inputs = {edge_scores, features}: per-destination softmax feeding
+/// the weighted aggregation directly — the (E x 1) attention tensor
+/// never materializes; per-edge probabilities live in a max-fan-in
+/// scratch sized at compile time. Each step reproduces the eager
+/// arithmetic float-for-float: exp into float, double total in
+/// ascending k, one rounded multiply by 1/total, then the ascending-k
+/// accumulate of EdgeWeightedAggregate.
+ag::TraceFn MakeEdgeSoftmaxAggregateReplay(
+    std::shared_ptr<const ag::EdgeStructure> edges) {
+  size_t max_fan_in = 0;
+  for (size_t i = 0; i < edges->num_nodes; ++i) {
+    max_fan_in =
+        std::max(max_fan_in, edges->row_ptr[i + 1] - edges->row_ptr[i]);
+  }
+  // Plans are single-threaded (one plan per worker), so one scratch
+  // per closure is race-free.
+  auto scratch = std::make_shared<std::vector<float>>(max_fan_in);
+  return [edges, scratch](const std::vector<const Tensor*>& in) {
+    const Tensor& scores = *in[0];
+    const Tensor& feats = *in[1];
+    const size_t d = feats.cols();
+    Tensor y(edges->num_nodes, d);
+    std::vector<float>& probs = *scratch;
+    for (size_t i = 0; i < edges->num_nodes; ++i) {
+      const size_t begin = edges->row_ptr[i];
+      const size_t end = edges->row_ptr[i + 1];
+      if (begin == end) continue;
+      float max_v = scores(begin, 0);
+      for (size_t k = begin + 1; k < end; ++k) {
+        max_v = std::max(max_v, scores(k, 0));
+      }
+      double total = 0.0;
+      for (size_t k = begin; k < end; ++k) {
+        probs[k - begin] = std::exp(scores(k, 0) - max_v);
+        total += probs[k - begin];
+      }
+      const float inv = static_cast<float>(1.0 / total);
+      float* out_row = y.RowPtr(i);
+      for (size_t k = begin; k < end; ++k) {
+        const float w = probs[k - begin] * inv;
+        const float* f_row = feats.RowPtr(edges->src[k]);
+        for (size_t j = 0; j < d; ++j) out_row[j] += w * f_row[j];
+      }
+    }
+    return y;
+  };
+}
+
+/// Peephole fusion over the execution-ordered trace. A chain fuses
+/// only when every intermediate (a) has exactly one consumer in the
+/// whole trace, (b) is consumed as that op's first input (the position
+/// every rule expects), and (c) is not the plan root (externally
+/// visible). Everything else passes through unchanged — in particular
+/// any op the trace marked kOpaque breaks a chain, so fusion never
+/// reaches across an op it cannot prove.
+std::vector<PlanOp> FuseTraceRecords(std::vector<ag::TraceRecord> records,
+                                     const ag::Node* root) {
+  std::unordered_map<const ag::Node*, size_t> uses;
+  for (const ag::TraceRecord& rec : records) {
+    for (const ag::Variable& input : rec.inputs) ++uses[input.get()];
+  }
+  auto link_ok = [&uses, root](const ag::TraceRecord& producer,
+                               const ag::TraceRecord& consumer) {
+    return !consumer.inputs.empty() &&
+           consumer.inputs[0].get() == producer.output.get() &&
+           uses[producer.output.get()] == 1 && producer.output.get() != root;
+  };
+  auto is_activation = [](const ag::TraceRecord& rec) {
+    return rec.meta.kind == TraceOpKind::kRelu ||
+           rec.meta.kind == TraceOpKind::kLeakyRelu;
+  };
+  auto act_of = [](const ag::TraceRecord& rec) {
+    return rec.meta.kind == TraceOpKind::kRelu ? FusedAct::kRelu
+                                               : FusedAct::kLeakyRelu;
+  };
+
+  std::vector<PlanOp> ops;
+  ops.reserve(records.size());
+  size_t i = 0;
+  while (i < records.size()) {
+    ag::TraceRecord& rec = records[i];
+    ag::TraceRecord* next = i + 1 < records.size() ? &records[i + 1] : nullptr;
+    ag::TraceRecord* third =
+        i + 2 < records.size() ? &records[i + 2] : nullptr;
+
+    // MatMul→AddRowVector[→activation]: linear layer with bias.
+    if (rec.meta.kind == TraceOpKind::kMatMul && next != nullptr &&
+        next->meta.kind == TraceOpKind::kAddRowVector && link_ok(rec, *next)) {
+      const bool with_act =
+          third != nullptr && is_activation(*third) && link_ok(*next, *third);
+      const size_t chain_len = with_act ? 3 : 2;
+      PlanOp op;
+      op.inputs = {rec.inputs[0], rec.inputs[1], next->inputs[1]};
+      op.fused_ops = static_cast<uint32_t>(chain_len);
+      if (with_act) {
+        const FusedAct act = act_of(*third);
+        op.output = third->output;
+        op.replay = MakeGemmBiasReplay(act, third->meta.alpha);
+        op.op_name = act == FusedAct::kRelu ? "MatMul+Bias+Relu"
+                                            : "MatMul+Bias+LeakyRelu";
+      } else {
+        op.output = next->output;
+        op.replay = MakeGemmBiasReplay(FusedAct::kNone, 0.0f);
+        op.op_name = "MatMul+Bias";
+      }
+      ops.push_back(std::move(op));
+      i += chain_len;
+      continue;
+    }
+
+    // SpMM→activation: graph aggregation into its nonlinearity.
+    if (rec.meta.kind == TraceOpKind::kSpMM &&
+        rec.meta.spmm_matrix != nullptr && next != nullptr &&
+        is_activation(*next) && link_ok(rec, *next)) {
+      const FusedAct act = act_of(*next);
+      PlanOp op;
+      op.output = next->output;
+      op.inputs = {rec.inputs[0]};
+      op.replay = MakeSpmmActReplay(rec.meta.spmm_matrix, act,
+                                    next->meta.alpha);
+      op.op_name =
+          act == FusedAct::kRelu ? "SpMM+Relu" : "SpMM+LeakyRelu";
+      op.fused_ops = 2;
+      ops.push_back(std::move(op));
+      i += 2;
+      continue;
+    }
+
+    // Add→Relu: residual / two-branch combine into its nonlinearity
+    // (GraphSAGE's self+neighbor merge, ResGCN skip connections).
+    if (rec.meta.kind == TraceOpKind::kAdd && next != nullptr &&
+        next->meta.kind == TraceOpKind::kRelu && link_ok(rec, *next)) {
+      PlanOp op;
+      op.output = next->output;
+      op.inputs = {rec.inputs[0], rec.inputs[1]};
+      op.replay = MakeAddReluReplay();
+      op.op_name = "Add+Relu";
+      op.fused_ops = 2;
+      ops.push_back(std::move(op));
+      i += 2;
+      continue;
+    }
+
+    // GatherEdgeScores→LeakyRelu: GAT raw attention scores.
+    if (rec.meta.kind == TraceOpKind::kGatherEdgeScores &&
+        rec.meta.edges != nullptr && next != nullptr &&
+        next->meta.kind == TraceOpKind::kLeakyRelu && link_ok(rec, *next)) {
+      PlanOp op;
+      op.output = next->output;
+      op.inputs = {rec.inputs[0], rec.inputs[1]};
+      op.replay = MakeGatherLeakyReluReplay(rec.meta.edges, next->meta.alpha);
+      op.op_name = "GatherEdgeScores+LeakyRelu";
+      op.fused_ops = 2;
+      ops.push_back(std::move(op));
+      i += 2;
+      continue;
+    }
+
+    // EdgeSoftmax→EdgeWeightedAggregate: attention normalization into
+    // the aggregation (the intermediate is the E x 1 alpha tensor).
+    if (rec.meta.kind == TraceOpKind::kEdgeSoftmax &&
+        rec.meta.edges != nullptr && next != nullptr &&
+        next->meta.kind == TraceOpKind::kEdgeWeightedAggregate &&
+        link_ok(rec, *next)) {
+      PlanOp op;
+      op.output = next->output;
+      op.inputs = {rec.inputs[0], next->inputs[1]};
+      op.replay = MakeEdgeSoftmaxAggregateReplay(rec.meta.edges);
+      op.op_name = "EdgeSoftmax+Aggregate";
+      op.fused_ops = 2;
+      ops.push_back(std::move(op));
+      i += 2;
+      continue;
+    }
+
+    PlanOp op;
+    op.output = rec.output;
+    op.inputs = std::move(rec.inputs);
+    op.replay = std::move(rec.replay);
+    op.op_name = rec.op_name;
+    ops.push_back(std::move(op));
+    ++i;
+  }
+  return ops;
+}
+
+}  // namespace
+
 StatusOr<std::unique_ptr<ExecutionPlan>> ExecutionPlan::Compile(
-    Model& model) {
+    Model& model, bool fuse_ops) {
   auto plan = std::unique_ptr<ExecutionPlan>(new ExecutionPlan());
 
   // Phase 1: trace one evaluation-mode forward. The trace owns every
@@ -39,25 +358,46 @@ StatusOr<std::unique_ptr<ExecutionPlan>> ExecutionPlan::Compile(
     }
     records = trace.TakeRecords();
   }
+  plan->traced_ops_ = records.size();
 
-  // Phase 2: slot assignment. Records are execution-ordered, so any
-  // input not produced by an earlier record must be a leaf (a
-  // parameter or a cached constant node owned by the model). Leaves
-  // get the contiguous slot range [0, num_leaves) — they can appear
-  // anywhere in the record stream (a deep model discovers the layer-2
-  // weight after the layer-1 output), so discovery needs its own pass
-  // before slots are numbered.
+  // Phase 1b: peephole fusion. Rewrites single-consumer chains into
+  // fused-kernel ops BEFORE slot assignment, so fused-away
+  // intermediates never get a slot — they are invisible to the
+  // lifetime analysis and never enter the workspace sizing run.
+  std::vector<PlanOp> fused_ops =
+      fuse_ops ? FuseTraceRecords(std::move(records), root.get())
+               : [&records] {
+                   std::vector<PlanOp> passthrough;
+                   passthrough.reserve(records.size());
+                   for (ag::TraceRecord& rec : records) {
+                     PlanOp op;
+                     op.output = rec.output;
+                     op.inputs = std::move(rec.inputs);
+                     op.replay = std::move(rec.replay);
+                     op.op_name = rec.op_name;
+                     passthrough.push_back(std::move(op));
+                   }
+                   return passthrough;
+                 }();
+
+  // Phase 2: slot assignment. Ops are execution-ordered, so any input
+  // not produced by an earlier op must be a leaf (a parameter or a
+  // cached constant node owned by the model). Leaves get the
+  // contiguous slot range [0, num_leaves) — they can appear anywhere
+  // in the op stream (a deep model discovers the layer-2 weight after
+  // the layer-1 output), so discovery needs its own pass before slots
+  // are numbered.
   std::unordered_set<const ag::Node*> known;
-  for (const ag::TraceRecord& rec : records) {
-    for (const ag::Variable& input : rec.inputs) {
+  for (const PlanOp& op : fused_ops) {
+    for (const ag::Variable& input : op.inputs) {
       if (known.insert(input.get()).second) plan->leaves_.push_back(input);
     }
     // An output node address can't collide with a leaf or an earlier
-    // output: the records retain every Variable, so addresses are not
+    // output: the ops retain every Variable, so addresses are not
     // reused while the trace is alive.
-    if (!known.insert(rec.output.get()).second) {
+    if (!known.insert(op.output.get()).second) {
       return InternalError("trace produced the same node twice: " +
-                           std::string(rec.op_name));
+                           op.op_name);
     }
   }
   std::unordered_map<const ag::Node*, uint32_t> slot_of;
@@ -65,8 +405,8 @@ StatusOr<std::unique_ptr<ExecutionPlan>> ExecutionPlan::Compile(
   for (size_t i = 0; i < plan->leaves_.size(); ++i) {
     slot_of.emplace(plan->leaves_[i].get(), static_cast<uint32_t>(i));
   }
-  for (const ag::TraceRecord& rec : records) {
-    slot_of.emplace(rec.output.get(), static_cast<uint32_t>(slot_of.size()));
+  for (const PlanOp& op : fused_ops) {
+    slot_of.emplace(op.output.get(), static_cast<uint32_t>(slot_of.size()));
   }
   const size_t num_leaves = plan->leaves_.size();
   const size_t num_slots = slot_of.size();
@@ -93,22 +433,23 @@ StatusOr<std::unique_ptr<ExecutionPlan>> ExecutionPlan::Compile(
     plan->slot_ptr_[s] = &plan->slot_values_[s];
   }
 
-  // Phase 4: lower records to steps with pre-bound input addresses.
-  plan->steps_.reserve(records.size());
+  // Phase 4: lower ops to steps with pre-bound input addresses.
+  plan->steps_.reserve(fused_ops.size());
   std::vector<uint32_t> last_use(num_slots, 0);
   std::vector<uint32_t> producer(num_slots, 0);
-  for (size_t i = 0; i < records.size(); ++i) {
-    ag::TraceRecord& rec = records[i];
+  for (size_t i = 0; i < fused_ops.size(); ++i) {
+    PlanOp& op = fused_ops[i];
     Step step;
-    step.replay = std::move(rec.replay);
-    step.op_name = rec.op_name;
-    step.input_ptrs.reserve(rec.inputs.size());
-    for (const ag::Variable& input : rec.inputs) {
+    step.replay = std::move(op.replay);
+    step.op_name = std::move(op.op_name);
+    step.fused_ops = op.fused_ops;
+    step.input_ptrs.reserve(op.inputs.size());
+    for (const ag::Variable& input : op.inputs) {
       const uint32_t slot = slot_of.at(input.get());
       step.input_ptrs.push_back(plan->slot_ptr_[slot]);
       last_use[slot] = static_cast<uint32_t>(i);
     }
-    const uint32_t out_slot = slot_of.at(rec.output.get());
+    const uint32_t out_slot = slot_of.at(op.output.get());
     step.output_slot = out_slot;
     producer[out_slot] = static_cast<uint32_t>(i);
     plan->steps_.push_back(std::move(step));
@@ -168,7 +509,47 @@ PlanInfo ExecutionPlan::info() const {
   info.slots = slot_ptr_.size();
   info.leaves = leaves_.size();
   info.workspace_bytes = workspace_.reserved_bytes();
+  info.traced_ops = traced_ops_;
+  info.ops_fused_away = traced_ops_ - steps_.size();
+  for (const Step& step : steps_) {
+    if (step.fused_ops > 1) ++info.fused_steps;
+  }
   return info;
+}
+
+PlanOpSummary ExecutionPlan::OpSummary() const {
+  PlanOpSummary summary;
+  summary.traced_ops = traced_ops_;
+  summary.steps = steps_.size();
+  summary.ops_fused_away = traced_ops_ - steps_.size();
+  std::map<std::string, size_t> counts;
+  for (const Step& step : steps_) {
+    ++counts[step.op_name];
+    if (step.fused_ops > 1) ++summary.fused_steps;
+  }
+  summary.op_counts.assign(counts.begin(), counts.end());
+  return summary;
+}
+
+size_t PlanOpSummary::Count(const std::string& op_name) const {
+  for (const auto& [name, count] : op_counts) {
+    if (name == op_name) return count;
+  }
+  return 0;
+}
+
+std::string PlanOpSummary::ToString() const {
+  std::string out = std::to_string(steps) + " steps / " +
+                    std::to_string(traced_ops) + " traced ops (" +
+                    std::to_string(fused_steps) + " fused, " +
+                    std::to_string(ops_fused_away) + " ops fused away): ";
+  bool first = true;
+  for (const auto& [name, count] : op_counts) {
+    if (!first) out += ", ";
+    first = false;
+    out += name + " x" + std::to_string(count);
+  }
+  return out;
 }
 
 }  // namespace lasagne::infer

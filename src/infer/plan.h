@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "autograd/forward_trace.h"
@@ -23,6 +24,26 @@ struct PlanInfo {
   size_t slots = 0;    // value slots (leaves + intermediates)
   size_t leaves = 0;   // parameter/constant inputs bound by reference
   uint64_t workspace_bytes = 0;  // pre-reserved slab size
+  size_t traced_ops = 0;      // ops captured by the forward trace
+  size_t fused_steps = 0;     // steps executing >= 2 traced ops
+  size_t ops_fused_away = 0;  // traced_ops - steps
+};
+
+/// Per-step-name census of a compiled plan. Fused steps appear under
+/// their combined name ("SpMM+Relu", "MatMul+Bias+Relu", ...), so tests
+/// and benches can pin exactly which chains fused.
+struct PlanOpSummary {
+  size_t traced_ops = 0;
+  size_t steps = 0;
+  size_t fused_steps = 0;
+  size_t ops_fused_away = 0;
+  /// step name -> occurrence count, sorted by name.
+  std::vector<std::pair<std::string, size_t>> op_counts;
+
+  /// Occurrences of one step name (0 when absent).
+  size_t Count(const std::string& op_name) const;
+  /// e.g. "7 steps / 9 traced ops (2 fused): MatMul x4, SpMM+Relu x1, ..."
+  std::string ToString() const;
 };
 
 /// Static execution plan for one (model, graph) pair.
@@ -38,6 +59,16 @@ struct PlanInfo {
 /// no autograd nodes, no Forward re-walk, and zero global BufferPool
 /// traffic on the steady-state hot path (the `tensor.alloc.pool_*`
 /// counters stay flat).
+///
+/// Before lowering, a peephole fusion pass rewrites single-consumer op
+/// chains (SpMM→activation, MatMul→bias[→activation], and the GAT
+/// edge-score / edge-softmax chains) into single steps backed by fused
+/// kernels (src/tensor/kernels.h) whose epilogues are elementwise, so
+/// fused steps stay bitwise-identical to the op pair they replace.
+/// Fused-away intermediates never get slots: they are invisible to the
+/// lifetime analysis and the workspace sizing run. `OpSummary()`
+/// reports what actually fused; `Compile(model, /*fuse_ops=*/false)`
+/// disables the pass (see docs/INFERENCE.md).
 ///
 /// Replay closures rerun exactly the eager arithmetic, so plan logits
 /// are bitwise identical to `Forward(ctx)->value()`; Compile verifies
@@ -58,13 +89,17 @@ class ExecutionPlan {
   /// replay closure (training-only or uninstrumented ops) and
   /// INTERNAL when the compiled plan fails its bitwise self-check;
   /// callers fall back to the eager forward on any error.
-  static StatusOr<std::unique_ptr<ExecutionPlan>> Compile(Model& model);
+  static StatusOr<std::unique_ptr<ExecutionPlan>> Compile(
+      Model& model, bool fuse_ops = true);
 
   /// Executes the plan and returns the logits. The reference stays
   /// valid (and its contents stable) until the next Run.
   const Tensor& Run();
 
   PlanInfo info() const;
+
+  /// Census of the compiled steps by name, with fusion totals.
+  PlanOpSummary OpSummary() const;
 
   /// Acquires the finalized workspace could not serve (0 in steady
   /// state; nonzero means the recorded working set was exceeded and
@@ -85,6 +120,7 @@ class ExecutionPlan {
     uint32_t output_slot = 0;
     std::vector<uint32_t> release_after;  // slots dead after this step
     std::string op_name;
+    uint32_t fused_ops = 1;  // traced ops this step executes
   };
 
   /// One interpreter pass: execute every step, drop dead slots at
@@ -102,6 +138,8 @@ class ExecutionPlan {
   std::vector<const Tensor*> slot_ptr_;
   uint32_t root_slot_ = 0;
   bool root_is_leaf_ = false;
+  /// Trace length before fusion (>= steps_.size()).
+  size_t traced_ops_ = 0;
   /// Persistent, global-pool-backed output the root is copied into
   /// (plan intermediates never escape the workspace scope).
   Tensor output_;

@@ -11,15 +11,23 @@ namespace lasagne {
 
 namespace {
 
-bool PlanDefaultFromEnv() {
-  const char* env = std::getenv("LASAGNE_DISABLE_PLAN");
-  const bool disabled =
-      env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
-  return !disabled;
+bool EnvDisables(const char* name) {
+  const char* env = std::getenv(name);
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
 }
+
+bool PlanDefaultFromEnv() { return !EnvDisables("LASAGNE_DISABLE_PLAN"); }
+
+bool FusionDefaultFromEnv() { return !EnvDisables("LASAGNE_DISABLE_FUSION"); }
 
 std::atomic<bool>& PlanDefaultFlag() {
   static std::atomic<bool> flag{PlanDefaultFromEnv()};
+  return flag;
+}
+
+std::atomic<bool>& FusionDefaultFlag() {
+  static std::atomic<bool> flag{FusionDefaultFromEnv()};
   return flag;
 }
 
@@ -38,6 +46,20 @@ bool Model::ExecutionPlanDefault() {
   return PlanDefaultFlag().load(std::memory_order_relaxed);
 }
 
+void Model::SetPlanFusionDefault(bool enabled) {
+  FusionDefaultFlag().store(enabled, std::memory_order_relaxed);
+}
+
+bool Model::PlanFusionDefault() {
+  return FusionDefaultFlag().load(std::memory_order_relaxed);
+}
+
+void Model::ReloadEnvDefaults() {
+  PlanDefaultFlag().store(PlanDefaultFromEnv(), std::memory_order_relaxed);
+  FusionDefaultFlag().store(FusionDefaultFromEnv(),
+                            std::memory_order_relaxed);
+}
+
 void Model::InvalidateExecutionPlan() {
   plan_.reset();
   plan_status_ = Status::OK();
@@ -48,7 +70,7 @@ bool Model::EnsureExecutionPlan() {
   if (plan_ != nullptr) return true;
   if (plan_compile_failed_) return false;
   StatusOr<std::unique_ptr<infer::ExecutionPlan>> compiled =
-      infer::ExecutionPlan::Compile(*this);
+      infer::ExecutionPlan::Compile(*this, use_plan_fusion_);
   if (!compiled.ok()) {
     plan_status_ = compiled.status();
     plan_compile_failed_ = true;

@@ -94,8 +94,26 @@ class Model {
   static void SetExecutionPlanDefault(bool enabled);
   static bool ExecutionPlanDefault();
 
+  /// Process-wide default for whether compiled plans run the op-chain
+  /// fusion pass (docs/INFERENCE.md). Initialized from the
+  /// environment: set LASAGNE_DISABLE_FUSION to a non-empty value
+  /// other than "0" to start disabled. Instance opt-out:
+  /// set_use_plan_fusion(false) — takes effect at the next compile
+  /// (call InvalidateExecutionPlan() to force one).
+  static void SetPlanFusionDefault(bool enabled);
+  static bool PlanFusionDefault();
+
+  /// Re-reads LASAGNE_DISABLE_PLAN / LASAGNE_DISABLE_FUSION into the
+  /// process-wide defaults. The env vars are otherwise read once per
+  /// process; tests that setenv() after startup call this to apply
+  /// them. Existing models keep their instance flags.
+  static void ReloadEnvDefaults();
+
   void set_use_execution_plan(bool enabled) { use_execution_plan_ = enabled; }
   bool use_execution_plan() const { return use_execution_plan_; }
+
+  void set_use_plan_fusion(bool enabled) { use_plan_fusion_ = enabled; }
+  bool use_plan_fusion() const { return use_plan_fusion_; }
 
   /// The compiled plan, or nullptr when none has been compiled (plans
   /// disabled, Predict never called, or compilation failed).
@@ -140,6 +158,7 @@ class Model {
   Status plan_status_;
   bool plan_compile_failed_ = false;
   bool use_execution_plan_ = ExecutionPlanDefault();
+  bool use_plan_fusion_ = PlanFusionDefault();
 };
 
 /// Builds a model by registry name. Known names:

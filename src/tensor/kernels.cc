@@ -383,4 +383,77 @@ void AdamUpdate(float* value, const float* grad, float* m, float* v, size_t n,
       });
 }
 
+// -- Fused plan kernels ------------------------------------------------------
+// Compute-then-epilogue over the caller's row range: the reduction
+// kernel runs unchanged (same ascending-k accumulation per element),
+// then the elementwise tail reuses the output rows while they are
+// still cache-resident. Elementwise epilogues are partition-
+// independent, so these match the unfused op pair bitwise under any
+// ParallelFor split.
+
+void GemmRowsNNBias(const float* a, size_t k_dim, size_t n_dim,
+                    const float* b, const float* b_packed, const float* bias,
+                    float* out, size_t row_begin, size_t row_end) {
+  GemmRowsNN(a, k_dim, n_dim, b, b_packed, out, row_begin, row_end);
+  for (size_t i = row_begin; i < row_end; ++i) {
+    EwAddInPlace(out + i * n_dim, bias, n_dim);
+  }
+}
+
+void GemmRowsNNBiasRelu(const float* a, size_t k_dim, size_t n_dim,
+                        const float* b, const float* b_packed,
+                        const float* bias, float* out, size_t row_begin,
+                        size_t row_end) {
+  GemmRowsNN(a, k_dim, n_dim, b, b_packed, out, row_begin, row_end);
+  for (size_t i = row_begin; i < row_end; ++i) {
+    float* row = out + i * n_dim;
+    EwAddInPlace(row, bias, n_dim);
+    ReluForward(row, row, n_dim);
+  }
+}
+
+void GemmRowsNNBiasLeakyRelu(const float* a, size_t k_dim, size_t n_dim,
+                             const float* b, const float* b_packed,
+                             const float* bias, float alpha, float* out,
+                             size_t row_begin, size_t row_end) {
+  GemmRowsNN(a, k_dim, n_dim, b, b_packed, out, row_begin, row_end);
+  for (size_t i = row_begin; i < row_end; ++i) {
+    float* row = out + i * n_dim;
+    EwAddInPlace(row, bias, n_dim);
+    LeakyReluForward(row, alpha, row, n_dim);
+  }
+}
+
+void SpmmRowsRelu(const size_t* row_ptr, const uint32_t* col_idx,
+                  const float* values, const float* dense, size_t d,
+                  float* out, size_t row_begin, size_t row_end) {
+  SpmmRows(row_ptr, col_idx, values, dense, d, out, row_begin, row_end);
+  ReluForward(out + row_begin * d, out + row_begin * d,
+              (row_end - row_begin) * d);
+}
+
+void SpmmRowsLeakyRelu(const size_t* row_ptr, const uint32_t* col_idx,
+                       const float* values, const float* dense, size_t d,
+                       float alpha, float* out, size_t row_begin,
+                       size_t row_end) {
+  SpmmRows(row_ptr, col_idx, values, dense, d, out, row_begin, row_end);
+  LeakyReluForward(out + row_begin * d, alpha, out + row_begin * d,
+                   (row_end - row_begin) * d);
+}
+
+void EwAddRelu(const float* a, const float* b, float* out, size_t n) {
+  const simd::Vec zero = simd::Zero();
+  EwLoop(
+      n,
+      [&](size_t i) {
+        simd::Store(out + i, simd::Max(simd::Add(simd::Load(a + i),
+                                                 simd::Load(b + i)),
+                                       zero));
+      },
+      [&](size_t i) {
+        const float v = a[i] + b[i];
+        out[i] = v > 0.0f ? v : 0.0f;
+      });
+}
+
 }  // namespace lasagne::kernels

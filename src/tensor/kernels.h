@@ -56,6 +56,31 @@ void GemmRowsNT(const float* a, size_t k_dim, size_t n_dim, const float* b,
                 const float* b_packed, float* out, size_t row_begin,
                 size_t row_end);
 
+/// Fused GEMM + bias row tails, used by the execution-plan fusion pass
+/// (docs/INFERENCE.md). Each runs GemmRowsNN over the row range and
+/// then applies the epilogue to the still-hot output rows. The epilogue
+/// is elementwise, so the result is bitwise-identical to running the
+/// unfused op pair under any partition: the GEMM keeps its ascending-k
+/// accumulation per element, and `out[j] + bias[j]` / the activation
+/// are single rounded float ops either way.
+
+/// out[i] = A[i] * B + bias (bias broadcast over rows).
+void GemmRowsNNBias(const float* a, size_t k_dim, size_t n_dim,
+                    const float* b, const float* b_packed, const float* bias,
+                    float* out, size_t row_begin, size_t row_end);
+
+/// out[i] = relu(A[i] * B + bias).
+void GemmRowsNNBiasRelu(const float* a, size_t k_dim, size_t n_dim,
+                        const float* b, const float* b_packed,
+                        const float* bias, float* out, size_t row_begin,
+                        size_t row_end);
+
+/// out[i] = leaky_relu(A[i] * B + bias, alpha).
+void GemmRowsNNBiasLeakyRelu(const float* a, size_t k_dim, size_t n_dim,
+                             const float* b, const float* b_packed,
+                             const float* bias, float alpha, float* out,
+                             size_t row_begin, size_t row_end);
+
 /// out[i][j] += sum_r A[r][i] * B[r][j] for output rows i in
 /// [col_begin, col_end) (columns of A). A is (m x a_cols), B is
 /// (m x n), out (a_cols x n) must be zero-initialized (memory
@@ -72,6 +97,24 @@ void GemmColsTN(const float* a, size_t a_cols, const float* b, size_t n_dim,
 void SpmmRows(const size_t* row_ptr, const uint32_t* col_idx,
               const float* values, const float* dense, size_t d, float* out,
               size_t row_begin, size_t row_end);
+
+/// Fused SpMM + activation row tails (execution-plan fusion pass):
+/// SpmmRows over the row range, then the activation applied to the
+/// contiguous output block while it is cache-hot. Bitwise-identical to
+/// the unfused SpMM→activation pair (same ascending-k accumulation,
+/// elementwise epilogue).
+void SpmmRowsRelu(const size_t* row_ptr, const uint32_t* col_idx,
+                  const float* values, const float* dense, size_t d,
+                  float* out, size_t row_begin, size_t row_end);
+void SpmmRowsLeakyRelu(const size_t* row_ptr, const uint32_t* col_idx,
+                       const float* values, const float* dense, size_t d,
+                       float alpha, float* out, size_t row_begin,
+                       size_t row_end);
+
+/// Fused elementwise add + ReLU (execution-plan fusion pass):
+/// out = max(a + b, 0). Serial over [0, n); callers chunk via
+/// ParallelFor. Bitwise-identical to EwAdd followed by ReluForward.
+void EwAddRelu(const float* a, const float* b, float* out, size_t n);
 
 /// out[col_idx[k]][j] += values[k] * dense[r][j] for j in
 /// [col_begin, col_end), all rows r ascending. out must be

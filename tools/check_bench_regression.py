@@ -34,6 +34,20 @@ on the same host, so the gates are strict):
     pre-reserved-workspace invariant, and
   * on gcn, plan QPS >= eager QPS.
 
+Fusion mode (``--fusion-binary`` / ``--fusion-json``): runs
+``bench_inference_qps`` fresh and gates the plan op-chain fusion pass
+on that run alone:
+  * every plan-mode row fused at least one op chain (``fused_steps``
+    > 0 — the coverage invariant: each zoo model in the bench has a
+    known-fusible chain), with the step arithmetic self-consistent
+    against the plan-nofuse row of the same model
+    (``plan_steps == nofuse_steps - ops_fused_away``), and zero warm
+    pool misses in both plan modes, strictly, and
+  * on gcn and lasagne-weighted, fused-plan QPS >= the unfused plan's
+    QPS less --fusion-slack (default 10%; both rows come from the same
+    run, but the absolute difference — one fused step — is near the
+    wall-clock noise floor on shared hosts).
+
 Serving mode (``--serving-binary`` / ``--serving-json``): runs
 ``bench_serving_load`` fresh and, against the committed
 BENCH_serving.json baseline, enforces per worker-sweep row:
@@ -231,6 +245,81 @@ def check_plan(fresh_doc):
     return failures
 
 
+def check_fusion(fresh_doc, slack):
+    """Returns a list of failure strings (empty on success).
+
+    Fusion mode gates on the FRESH run alone, comparing the "plan"
+    (fused) and "plan-nofuse" rows the same binary produced seconds
+    apart:
+      * structure, strictly: every fused row compiled, fused at least
+        one chain, kept zero warm pool misses, never grew the
+        workspace, and its step count equals the unfused row's minus
+        the ops fused away; every plan-nofuse row fused nothing, and
+      * wall clock, with --fusion-slack: on gcn and lasagne-weighted
+        the fused plan's QPS must not fall below (1 - slack)x the
+        unfused plan's.
+    """
+    fused = inference_rows(fresh_doc, "plan")
+    unfused = inference_rows(fresh_doc, "plan-nofuse")
+    failures = []
+    if not fused:
+        return ["no plan-mode rows in the fresh run"]
+    if not unfused:
+        return ["no plan-nofuse rows in the fresh run (bench too old?)"]
+    for model in sorted(fused):
+        row = fused[model]
+        problems = []
+        if not row.get("plan_compiled"):
+            problems.append("fused plan did not compile")
+        if row.get("fused_steps", 0) <= 0:
+            problems.append("no op chain fused (fused_steps == 0)")
+        if row["warm_pool_misses"] != 0:
+            problems.append(
+                f"{row['warm_pool_misses']:.0f} warm pool misses (must be 0)")
+        base = unfused.get(model)
+        if base is None:
+            problems.append("no plan-nofuse row for this model")
+        else:
+            if base.get("fused_steps", 0) != 0:
+                problems.append("plan-nofuse row reports fused steps")
+            if base["warm_pool_misses"] != 0:
+                problems.append(
+                    f"plan-nofuse: {base['warm_pool_misses']:.0f} warm pool "
+                    "misses (must be 0)")
+            want = base.get("plan_steps", 0) - row.get("ops_fused_away", 0)
+            if row.get("plan_steps", 0) != want:
+                problems.append(
+                    f"step arithmetic broken: {row.get('plan_steps', 0):.0f} "
+                    f"fused steps vs {base.get('plan_steps', 0):.0f} unfused "
+                    f"- {row.get('ops_fused_away', 0):.0f} fused away")
+            if row.get("workspace_bytes", 0) > base.get("workspace_bytes", 0):
+                problems.append(
+                    "fused workspace grew: "
+                    f"{row.get('workspace_bytes', 0):.0f} vs "
+                    f"{base.get('workspace_bytes', 0):.0f} bytes")
+        status = "OK" if not problems else "FUSE!"
+        print(f"  {status:<5} {model}: {row.get('plan_steps', 0):.0f} steps "
+              f"({row.get('fused_steps', 0):.0f} fused, "
+              f"{row.get('ops_fused_away', 0):.0f} ops away), "
+              f"{row['qps']:.1f} QPS")
+        for problem in problems:
+            failures.append(f"{model}: {problem}")
+    for model in ("gcn", "lasagne-weighted"):
+        if model not in fused or model not in unfused:
+            failures.append(f"{model} missing from plan/plan-nofuse rows; "
+                            "cannot gate fused-vs-unfused QPS")
+            continue
+        ratio = fused[model]["qps"] / unfused[model]["qps"]
+        status = "OK" if ratio >= 1.0 - slack else "SLOW"
+        print(f"  {status:<5} {model}: fused {fused[model]['qps']:.1f} vs "
+              f"unfused {unfused[model]['qps']:.1f} QPS ({ratio:.2f}x)")
+        if status == "SLOW":
+            failures.append(
+                f"{model}: fused plan {ratio:.2f}x of unfused QPS "
+                f"(allowed >= {1.0 - slack:.2f}x, same run)")
+    return failures
+
+
 def run_fresh_serving(bench_binary):
     with tempfile.TemporaryDirectory() as tmp:
         out = os.path.join(tmp, "fresh_serving.json")
@@ -335,6 +424,16 @@ def main():
     ap.add_argument("--plan-json",
                     help="pre-recorded bench_inference_qps JSON for the "
                          "plan gate")
+    ap.add_argument("--fusion-binary",
+                    help="path to the bench_inference_qps executable "
+                         "(gates the fusion pass: every chain fused, "
+                         "fused >= unfused-plan QPS, same run)")
+    ap.add_argument("--fusion-json",
+                    help="pre-recorded bench_inference_qps JSON for the "
+                         "fusion gate")
+    ap.add_argument("--fusion-slack", type=float, default=0.10,
+                    help="allowed fused-vs-unfused QPS shortfall "
+                         "(default 0.10)")
     ap.add_argument("--serving-binary",
                     help="path to the bench_serving_load executable")
     ap.add_argument("--serving-json",
@@ -368,6 +467,26 @@ def main():
         print("\nPASS: zero drops, deterministic drain, and every config "
               f"within {(1.0 - args.serving_tolerance) * 100:.0f}% QPS / "
               f"{args.serving_p99_factor:.0f}x p99 of baseline")
+        return 0
+
+    fusion_mode = bool(args.fusion_binary) or bool(args.fusion_json)
+    if fusion_mode:
+        if bool(args.fusion_binary) == bool(args.fusion_json):
+            ap.error("exactly one of --fusion-binary / --fusion-json "
+                     "is required")
+        if args.fusion_json:
+            with open(args.fusion_json) as f:
+                fresh_doc = json.load(f)
+        else:
+            fresh_doc = run_fresh_inference(args.fusion_binary)
+        failures = check_fusion(fresh_doc, args.fusion_slack)
+        if failures:
+            print("\nFAIL: plan-fusion regression", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        print("\nPASS: every expected chain fused, zero warm pool misses, "
+              "and fused >= unfused-plan QPS on gcn and lasagne-weighted")
         return 0
 
     plan_mode = bool(args.plan_binary) or bool(args.plan_json)
