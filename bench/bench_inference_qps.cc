@@ -231,8 +231,8 @@ void Run(const std::string& json_out, size_t threads) {
       "the cold phase (pool trimmed before each cold request), and plan\n"
       "mode serves warm requests with ZERO pool misses from its\n"
       "pre-reserved workspace at >= eager QPS; the fused plan fuses every\n"
-      "expected op chain and is >= the unfused plan's QPS on gcn and\n"
-      "lasagne-weighted; gated by tools/check_bench_regression.py\n"
+      "expected op chain and is >= the unfused plan's QPS on gcn, gat,\n"
+      "and lasagne-weighted; gated by tools/check_bench_regression.py\n"
       "--inference-* / --plan-* / --fusion-*.\n");
   WriteJson(json_out, threads, scale, results);
 }

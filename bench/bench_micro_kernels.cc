@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "autograd/edge_ops.h"
 #include "autograd/fm_op.h"
 #include "autograd/ops.h"
 #include "common/bench_util.h"
@@ -211,6 +212,76 @@ BENCHMARK(BM_TransposedSpMMLarge)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8);
+
+// The single-pass fused attention kernel vs the four-op eager chain it
+// replaces (docs/KERNELS.md). Same float semantics, same output bits;
+// the contrast is edge-array traffic: one CSR sweep instead of four.
+void BM_EdgeAttentionFusedLarge(benchmark::State& state) {
+  LargeFixture& f = GetLargeFixture();
+  SetNumThreads(static_cast<size_t>(state.range(0)));
+  Rng rng(19);
+  auto edges = ag::EdgeStructure::FromGraph(f.data.graph, true);
+  const size_t n = f.data.num_nodes();
+  ag::Variable dst =
+      ag::MakeConstant(Tensor::Normal(n, 1, 0.0f, 1.0f, rng));
+  ag::Variable src =
+      ag::MakeConstant(Tensor::Normal(n, 1, 0.0f, 1.0f, rng));
+  ag::Variable feats = ag::MakeConstant(f.h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ag::EdgeAttention(dst, src, feats, edges, 0.2f, nullptr)
+            ->value()
+            .data());
+  }
+  state.SetItemsProcessed(state.iterations() * edges->num_edges() * 64);
+  SetNumThreads(0);
+}
+BENCHMARK(BM_EdgeAttentionFusedLarge)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
+
+void BM_EdgeChainUnfusedLarge(benchmark::State& state) {
+  LargeFixture& f = GetLargeFixture();
+  SetNumThreads(static_cast<size_t>(state.range(0)));
+  Rng rng(19);
+  auto edges = ag::EdgeStructure::FromGraph(f.data.graph, true);
+  const size_t n = f.data.num_nodes();
+  ag::Variable dst =
+      ag::MakeConstant(Tensor::Normal(n, 1, 0.0f, 1.0f, rng));
+  ag::Variable src =
+      ag::MakeConstant(Tensor::Normal(n, 1, 0.0f, 1.0f, rng));
+  ag::Variable feats = ag::MakeConstant(f.h);
+  for (auto _ : state) {
+    ag::Variable e = ag::GatherEdgeScores(dst, src, edges);
+    e = ag::LeakyRelu(e, 0.2f);
+    ag::Variable alpha = ag::EdgeSoftmax(e, edges);
+    benchmark::DoNotOptimize(
+        ag::EdgeWeightedAggregate(alpha, feats, edges)->value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * edges->num_edges() * 64);
+  SetNumThreads(0);
+}
+BENCHMARK(BM_EdgeChainUnfusedLarge)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
+
+// Sparse x sparse A_hat^2 through the blocked row merge
+// (kSpGemmColBlock-wide column windows over the accumulator); serial
+// by design, so a single-thread row only.
+void BM_SpGemmLarge(benchmark::State& state) {
+  LargeFixture& f = GetLargeFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.a_hat->Multiply(*f.a_hat, 0.0f, 0).nnz());
+  }
+  state.SetItemsProcessed(state.iterations() * f.a_hat->nnz());
+}
+BENCHMARK(BM_SpGemmLarge)->ArgName("threads")->Arg(1);
 
 // -- Fused kernels and the buffer pool -------------------------------------
 

@@ -39,8 +39,11 @@ enum class TraceOpKind : uint8_t {
   kRelu,              // inputs {x}
   kLeakyRelu,         // inputs {x}; meta.alpha set
   kGatherEdgeScores,  // inputs {dst_scores, src_scores}; meta.edges set
+  kAddEdgeBias,       // inputs {scores}; meta.edge_bias set
   kEdgeSoftmax,       // inputs {scores}; meta.edges set
   kEdgeWeightedAggregate,  // inputs {weights, features}; meta.edges set
+  kEdgeAttention,  // inputs {dst_scores, src_scores, features}; meta.edges,
+                   // meta.alpha (slope), optional meta.edge_bias set
 };
 
 /// Side data a fused replay closure needs to be rebuilt from scratch
@@ -50,6 +53,7 @@ struct TraceOpMeta {
   TraceOpKind kind = TraceOpKind::kOpaque;
   std::shared_ptr<const CsrMatrix> spmm_matrix;   // kSpMM
   std::shared_ptr<const EdgeStructure> edges;     // edge ops
+  std::shared_ptr<const std::vector<float>> edge_bias;  // kAddEdgeBias
   float alpha = 0.0f;                             // kLeakyRelu slope
 
   static TraceOpMeta Kind(TraceOpKind k) {
@@ -74,6 +78,12 @@ struct TraceOpMeta {
     TraceOpMeta m;
     m.kind = k;
     m.edges = std::move(edges);
+    return m;
+  }
+  static TraceOpMeta EdgeBias(std::shared_ptr<const std::vector<float>> bias) {
+    TraceOpMeta m;
+    m.kind = TraceOpKind::kAddEdgeBias;
+    m.edge_bias = std::move(bias);
     return m;
   }
 };

@@ -126,6 +126,41 @@ ag::TraceFn MakeAddReluReplay() {
   };
 }
 
+/// inputs = {dst_scores, src_scores, features}: the whole attention
+/// chain — score gather → optional bias → LeakyReLU → masked softmax →
+/// weighted aggregation — as ONE row-partitioned sweep through
+/// kernels::EdgeAttentionForward. None of the (E x 1) intermediates
+/// materialize (per-edge weights live in one pooled E-float scratch
+/// drawn from the plan workspace), the aggregation is register-blocked
+/// like SpmmRows, and every stage keeps the eager float sequence, so
+/// the step is bitwise the 4/5-op chain at any thread count.
+ag::TraceFn MakeEdgeAttentionReplay(
+    std::shared_ptr<const ag::EdgeStructure> edges, float slope,
+    std::shared_ptr<const std::vector<float>> edge_bias) {
+  return [edges, slope, edge_bias](const std::vector<const Tensor*>& in) {
+    const Tensor& dst = *in[0];
+    const Tensor& src = *in[1];
+    const Tensor& feats = *in[2];
+    const size_t d = feats.cols();
+    Tensor out = Tensor::Uninitialized(edges->num_nodes, d);
+    internal::PoolBuffer probs(edges->num_edges());
+    const size_t work_per_row =
+        (edges->num_edges() / std::max<size_t>(edges->num_nodes, 1) + 1) *
+        std::max<size_t>(d, 1);
+    const size_t grain = std::max<size_t>(1, kGrain / work_per_row);
+    ParallelFor(0, edges->num_nodes, grain,
+                [&](size_t row_begin, size_t row_end) {
+                  kernels::EdgeAttentionForward(
+                      edges->row_ptr.data(), edges->src.data(), dst.data(),
+                      src.data(),
+                      edge_bias != nullptr ? edge_bias->data() : nullptr,
+                      slope, feats.data(), d, probs.data(), out.data(),
+                      row_begin, row_end);
+                });
+    return out;
+  };
+}
+
 /// inputs = {dst_scores, src_scores}: per-edge score with the leaky
 /// epilogue inlined — skips materializing the (E x 1) raw-score tensor.
 /// `d + s` and the slope test are the exact eager float ops.
@@ -285,6 +320,48 @@ std::vector<PlanOp> FuseTraceRecords(std::vector<ag::TraceRecord> records,
       ops.push_back(std::move(op));
       i += 2;
       continue;
+    }
+
+    // GatherEdgeScores→[AddEdgeBias→]LeakyRelu→EdgeSoftmax→
+    // EdgeWeightedAggregate: the whole attention chain of one GAT/ADSF
+    // head super-fuses into a single kernels::EdgeAttentionForward
+    // step. Tried before the pairwise edge rules below, which remain
+    // only as fallbacks for partial chains (the two-step form is
+    // slower than both this and the raw ops — see BENCH_inference.json
+    // history).
+    if (rec.meta.kind == TraceOpKind::kGatherEdgeScores &&
+        rec.meta.edges != nullptr) {
+      size_t j = i + 1;
+      std::shared_ptr<const std::vector<float>> edge_bias;
+      const ag::TraceRecord* prev = &rec;
+      if (j < records.size() &&
+          records[j].meta.kind == TraceOpKind::kAddEdgeBias &&
+          records[j].meta.edge_bias != nullptr && link_ok(*prev, records[j])) {
+        edge_bias = records[j].meta.edge_bias;
+        prev = &records[j];
+        ++j;
+      }
+      if (j + 2 < records.size() &&
+          records[j].meta.kind == TraceOpKind::kLeakyRelu &&
+          link_ok(*prev, records[j]) &&
+          records[j + 1].meta.kind == TraceOpKind::kEdgeSoftmax &&
+          records[j + 1].meta.edges.get() == rec.meta.edges.get() &&
+          link_ok(records[j], records[j + 1]) &&
+          records[j + 2].meta.kind == TraceOpKind::kEdgeWeightedAggregate &&
+          records[j + 2].meta.edges.get() == rec.meta.edges.get() &&
+          link_ok(records[j + 1], records[j + 2])) {
+        ag::TraceRecord& aggregate = records[j + 2];
+        PlanOp op;
+        op.output = aggregate.output;
+        op.inputs = {rec.inputs[0], rec.inputs[1], aggregate.inputs[1]};
+        op.replay = MakeEdgeAttentionReplay(rec.meta.edges,
+                                            records[j].meta.alpha, edge_bias);
+        op.op_name = "EdgeAttention";
+        op.fused_ops = static_cast<uint32_t>(j + 3 - i);
+        ops.push_back(std::move(op));
+        i = j + 3;
+        continue;
+      }
     }
 
     // GatherEdgeScores→LeakyRelu: GAT raw attention scores.

@@ -167,43 +167,52 @@ CsrMatrix CsrMatrix::Multiply(const CsrMatrix& other, float prune_tolerance,
   CountSpGemm();
   LASAGNE_CHECK_EQ(cols_, other.rows_);
   std::vector<Triplet> triplets;
-  // Gustavson's algorithm with a dense accumulator per row. A column is
-  // "touched" when it is tracked explicitly — testing accumulator[c] ==
-  // 0.0f would re-add a column whose partial sums cancel to exactly
-  // zero mid-row, inflating the count toward row_cap (pruning real
-  // entries) and emitting duplicate triplets.
+  // Gustavson's algorithm with a dense accumulator per row, merged in
+  // kSpGemmColBlock-wide column blocks (kernels::SpGemmRowBlocked) so
+  // the accumulator slice a row is building stays cache-resident.
+  // Per output element the products accumulate in the unblocked
+  // merge's ascending-A-entry order, so values are bitwise-unchanged.
+  // A column is "touched" when it is tracked explicitly — testing
+  // accumulator[c] == 0.0f would re-add a column whose partial sums
+  // cancel to exactly zero mid-row, inflating the count toward row_cap
+  // (pruning real entries) and emitting duplicate triplets.
   std::vector<float> accumulator(other.cols_, 0.0f);
   std::vector<uint8_t> is_touched(other.cols_, 0);
-  std::vector<uint32_t> touched;
+  std::vector<uint32_t> touched(other.cols_);
+  size_t max_row_len = 0;
   for (size_t r = 0; r < rows_; ++r) {
-    touched.clear();
-    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const uint32_t mid = col_idx_[k];
-      const float v = values_[k];
-      for (size_t k2 = other.row_ptr_[mid]; k2 < other.row_ptr_[mid + 1];
-           ++k2) {
-        const uint32_t c = other.col_idx_[k2];
-        if (!is_touched[c]) {
-          is_touched[c] = 1;
-          touched.push_back(c);
-        }
-        accumulator[c] += v * other.values_[k2];
-      }
-    }
-    if (row_cap > 0 && touched.size() > row_cap) {
-      // Keep the row_cap largest-magnitude entries of the row.
+    max_row_len = std::max(max_row_len, row_ptr_[r + 1] - row_ptr_[r]);
+  }
+  std::vector<size_t> cursors(max_row_len);
+  for (size_t r = 0; r < rows_; ++r) {
+    const size_t a_begin = row_ptr_[r];
+    const size_t a_len = row_ptr_[r + 1] - a_begin;
+    size_t count = kernels::SpGemmRowBlocked(
+        col_idx_.data() + a_begin, values_.data() + a_begin, a_len,
+        other.row_ptr_.data(), other.col_idx_.data(), other.values_.data(),
+        other.cols_, accumulator.data(), is_touched.data(), touched.data(),
+        cursors.data());
+    if (row_cap > 0 && count > row_cap) {
+      // Keep the row_cap largest-magnitude entries of the row. Ties at
+      // the cap boundary break toward the lower column id — a strict
+      // total order (column ids are distinct), so the kept set does not
+      // depend on the order the merge discovered the columns in.
       std::nth_element(touched.begin(), touched.begin() + row_cap,
-                       touched.end(), [&](uint32_t a, uint32_t b) {
-                         return std::fabs(accumulator[a]) >
-                                std::fabs(accumulator[b]);
+                       touched.begin() + count,
+                       [&](uint32_t a, uint32_t b) {
+                         const float fa = std::fabs(accumulator[a]);
+                         const float fb = std::fabs(accumulator[b]);
+                         if (fa != fb) return fa > fb;
+                         return a < b;
                        });
-      for (size_t i = row_cap; i < touched.size(); ++i) {
+      for (size_t i = row_cap; i < count; ++i) {
         accumulator[touched[i]] = 0.0f;
         is_touched[touched[i]] = 0;
       }
-      touched.resize(row_cap);
+      count = row_cap;
     }
-    for (uint32_t c : touched) {
+    for (size_t i = 0; i < count; ++i) {
+      const uint32_t c = touched[i];
       const float v = accumulator[c];
       accumulator[c] = 0.0f;
       is_touched[c] = 0;

@@ -125,6 +125,74 @@ void SpmmTransposedCols(const size_t* row_ptr, const uint32_t* col_idx,
                         size_t d, float* out, size_t col_begin,
                         size_t col_end);
 
+// -- Single-pass fused edge attention ----------------------------------------
+// The whole GAT per-edge chain — score gather → optional additive bias
+// → LeakyReLU → numerically-stable masked softmax → weighted feature
+// aggregation — in one CSR sweep per destination row. Replaces four
+// (five with bias) materialized (E x 1) tensor ops with one kernel.
+// Each stage reproduces the eager op's float sequence exactly (same
+// std::max chain, float exp, double total in ascending k, one rounded
+// multiply by 1/total, ascending-k feature accumulation), and the
+// aggregation is register-blocked like SpmmRows, so the fused result
+// is bitwise-identical to the unfused chain at any thread count.
+
+/// Forward over destination rows [row_begin, row_end). `dst_scores` /
+/// `src_scores` are (N x 1), `features` is (N x d), `edge_bias` is an
+/// optional E-length per-edge additive prior (nullptr to skip). Writes
+/// the normalized attention weights into `probs[k]` for every edge k
+/// of the row range (bitwise the eager EdgeSoftmax output — the
+/// backward reuses them) and the aggregated rows into `out`, which may
+/// be uninitialized (empty rows are zero-filled, matching the eager
+/// zero-init + accumulate). Serial; row ranges touch disjoint `probs`
+/// and `out` regions, so callers partition rows via ParallelFor.
+void EdgeAttentionForward(const size_t* row_ptr, const uint32_t* src,
+                          const float* dst_scores, const float* src_scores,
+                          const float* edge_bias, float slope,
+                          const float* features, size_t d, float* probs,
+                          float* out, size_t row_begin, size_t row_end);
+
+/// Backward for the fused chain: given the upstream gradient `g`
+/// (N x d) and the forward's normalized `probs`, produces the exact
+/// gradient chain of the unfused ops — aggregate backward (per-edge
+/// double dot g·feature), softmax backward (p * (dw - <dw, p>)), leaky
+/// backward (raw scores are recomputed from the inputs for the sign
+/// test; bitwise reproducible), and the gather/bias scatters. Outputs
+/// `d_dst` (N x 1), `d_src` (N x 1), `d_feat` (N x d) must be
+/// zero-initialized. Serial over ALL rows (the d_src/d_feat scatters
+/// cross row boundaries, matching the eager serial backward);
+/// `edge_scratch` holds E floats.
+void EdgeAttentionBackward(const size_t* row_ptr, const uint32_t* src,
+                           size_t num_nodes, const float* dst_scores,
+                           const float* src_scores, const float* edge_bias,
+                           float slope, const float* features, size_t d,
+                           const float* probs, const float* g, float* d_dst,
+                           float* d_src, float* d_feat, float* edge_scratch);
+
+// -- Blocked SpGEMM row merge ------------------------------------------------
+
+/// Column-block width of the SpGemmRowBlocked merge. 2048 floats of
+/// accumulator plus flags stay L1-resident while a row's partial sums
+/// build up, instead of striding the full B-width accumulator per
+/// A-entry as the unblocked merge did.
+inline constexpr size_t kSpGemmColBlock = 2048;
+
+/// One row of C = A·B with Gustavson's dense-accumulator merge,
+/// processed in kSpGemmColBlock-wide column blocks. The caller passes
+/// the A-row's entries (`a_cols`/`a_vals`, `a_len` of them), B's CSR
+/// arrays, a zero `accumulator` / `is_touched` pair of width `b_cols`,
+/// a `touched` array with room for `b_cols` columns, and an `a_len`
+/// cursor scratch. Appends each touched column once and returns the
+/// count; the caller owns cap/prune/emission and resets the arrays.
+/// B's column indices are sorted within each row (FromTriplets
+/// guarantees it), so per output element the products still accumulate
+/// in ascending-A-entry order — bitwise-identical to the unblocked
+/// merge. Serial.
+size_t SpGemmRowBlocked(const uint32_t* a_cols, const float* a_vals,
+                        size_t a_len, const size_t* b_row_ptr,
+                        const uint32_t* b_col_idx, const float* b_vals,
+                        size_t b_cols, float* accumulator, uint8_t* is_touched,
+                        uint32_t* touched, size_t* cursors);
+
 // -- Fused elementwise kernels ----------------------------------------------
 // All serial over [0, n); callers chunk via ParallelFor.
 

@@ -247,8 +247,12 @@ TEST(PlanFusionCoverageTest, ZooModelsFuseExpectedChains) {
   // Exact per-model fusion census. A change that silently de-fuses a
   // chain (or fuses a new one) must fail here, not just get slower.
   // gcn: depth-2 conv, relu on the hidden layer only -> 1 SpMM+Relu.
-  // gat: 4 heads + 1 output head, each head fusing its attention
-  //      score chain (Gather+LeakyRelu) and its softmax-aggregate.
+  // gat: 4 heads + 1 output head, each head super-fusing its whole
+  //      4-op attention chain (Gather→LeakyRelu→Softmax→Aggregate)
+  //      into one EdgeAttention step — NOT the older pairwise
+  //      two-step split, which was slower than the raw chain.
+  // adsf: same 5 heads, each chain carrying the structural-fingerprint
+  //      AddEdgeBias too, so every EdgeAttention step covers 5 ops.
   // graphsage: its Linears carry no bias, so the only fusible chain is
   //      the hidden layer's self+neighbor Add into its Relu.
   // lasagne-weighted: the hidden conv's SpMM+Relu; the GC-FM tail
@@ -256,10 +260,8 @@ TEST(PlanFusionCoverageTest, ZooModelsFuseExpectedChains) {
   //      output conv has no activation.
   const std::vector<ExpectedCoverage> expectations = {
       {"gcn", {{"SpMM+Relu", 1}}, 1, 1},
-      {"gat",
-       {{"GatherEdgeScores+LeakyRelu", 5}, {"EdgeSoftmax+Aggregate", 5}},
-       10,
-       10},
+      {"gat", {{"EdgeAttention", 5}}, 5, 15},
+      {"adsf", {{"EdgeAttention", 5}}, 5, 20},
       {"graphsage", {{"Add+Relu", 1}}, 1, 1},
       {"lasagne-weighted", {{"SpMM+Relu", 1}}, 1, 1},
   };
@@ -294,7 +296,8 @@ TEST(PlanFusionCoverageTest, FusionShrinksStepCountAndWorkspace) {
   // remove steps, and the fused-away intermediates must leave the
   // workspace sizing run (never grow it).
   Dataset data = LoadDataset("cora", 0.3, 17);
-  for (const char* name : {"gcn", "gat", "graphsage", "lasagne-weighted"}) {
+  for (const char* name :
+       {"gcn", "gat", "adsf", "graphsage", "lasagne-weighted"}) {
     std::unique_ptr<Model> fused = MakeModel(name, data, SmallConfig());
     std::unique_ptr<Model> unfused = MakeModel(name, data, SmallConfig());
     unfused->set_use_plan_fusion(false);
@@ -397,6 +400,64 @@ TEST(PlanFusionNegativeTest, TwoConsumerIntermediateDoesNotFuse) {
     EXPECT_EQ(summary.Count("Relu"), 1u) << summary.ToString();
     EXPECT_EQ(summary.Count("SpMM+Relu"), 0u) << summary.ToString();
   }
+}
+
+/// The attention softmax feeds TWO aggregates: the super-fusion rule
+/// must not swallow the chain (alpha is externally visible), and the
+/// pairwise EdgeSoftmax+Aggregate rule must not fire either — but the
+/// single-consumer Gather→LeakyRelu prefix still fuses via the
+/// demoted pairwise rule, which exists exactly for partial chains.
+class SharedAlphaModel : public Model {
+ public:
+  explicit SharedAlphaModel(const Dataset& data)
+      : Model("shared-alpha", data) {
+    Rng rng(13);
+    edges_ = ag::EdgeStructure::FromGraph(data.graph, /*add_self_loops=*/true);
+    features_ = ag::MakeConstant(data.features);
+    weight_ = ag::MakeParameter(
+        Tensor::GlorotUniform(data.feature_dim(), 8, rng));
+    attn_dst_ = ag::MakeParameter(Tensor::GlorotUniform(8, 1, rng));
+    attn_src_ = ag::MakeParameter(Tensor::GlorotUniform(8, 1, rng));
+  }
+
+  ag::Variable Forward(const nn::ForwardContext&) override {
+    ag::Variable wh = ag::MatMul(features_, weight_);
+    ag::Variable e = ag::GatherEdgeScores(ag::MatMul(wh, attn_dst_),
+                                          ag::MatMul(wh, attn_src_), edges_);
+    e = ag::LeakyRelu(e, 0.2f);
+    ag::Variable alpha = ag::EdgeSoftmax(e, edges_);
+    return ag::Add(ag::EdgeWeightedAggregate(alpha, wh, edges_),
+                   ag::EdgeWeightedAggregate(alpha, wh, edges_));
+  }
+
+  std::vector<ag::Variable> Parameters() const override {
+    return {weight_, attn_dst_, attn_src_};
+  }
+
+ private:
+  std::shared_ptr<const ag::EdgeStructure> edges_;
+  ag::Variable features_;
+  ag::Variable weight_;
+  ag::Variable attn_dst_;
+  ag::Variable attn_src_;
+};
+
+TEST(PlanFusionNegativeTest, PartialAttentionChainFallsBackToPairwise) {
+  Dataset data = LoadDataset("cora", 0.2, 41);
+  SharedAlphaModel model(data);
+  const Tensor reference = EagerLogits(model);
+  ExpectBitwiseEqual(reference, PlanLogits(model), "shared-alpha");
+  ASSERT_NE(model.execution_plan(), nullptr)
+      << model.plan_status().ToString();
+  const infer::PlanOpSummary summary = model.execution_plan()->OpSummary();
+  EXPECT_EQ(summary.Count("EdgeAttention"), 0u) << summary.ToString();
+  EXPECT_EQ(summary.Count("GatherEdgeScores+LeakyRelu"), 1u)
+      << summary.ToString();
+  EXPECT_EQ(summary.Count("EdgeSoftmax+Aggregate"), 0u) << summary.ToString();
+  EXPECT_EQ(summary.Count("EdgeSoftmax"), 1u) << summary.ToString();
+  EXPECT_EQ(summary.Count("EdgeWeightedAggregate"), 2u) << summary.ToString();
+  EXPECT_EQ(summary.fused_steps, 1u) << summary.ToString();
+  EXPECT_EQ(summary.ops_fused_away, 1u) << summary.ToString();
 }
 
 /// A fusible MatMul→AddRowVector prefix followed by an untraced op

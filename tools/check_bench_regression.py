@@ -43,7 +43,8 @@ on that run alone:
     against the plan-nofuse row of the same model
     (``plan_steps == nofuse_steps - ops_fused_away``), and zero warm
     pool misses in both plan modes, strictly, and
-  * on gcn and lasagne-weighted, fused-plan QPS >= the unfused plan's
+  * on gcn, gat, and lasagne-weighted, fused-plan QPS >= the unfused
+        plan's
     QPS less --fusion-slack (default 10%; both rows come from the same
     run, but the absolute difference — one fused step — is near the
     wall-clock noise floor on shared hosts).
@@ -255,7 +256,7 @@ def check_fusion(fresh_doc, slack):
         one chain, kept zero warm pool misses, never grew the
         workspace, and its step count equals the unfused row's minus
         the ops fused away; every plan-nofuse row fused nothing, and
-      * wall clock, with --fusion-slack: on gcn and lasagne-weighted
+      * wall clock, with --fusion-slack: on gcn, gat, and lasagne-weighted
         the fused plan's QPS must not fall below (1 - slack)x the
         unfused plan's.
     """
@@ -304,7 +305,7 @@ def check_fusion(fresh_doc, slack):
               f"{row['qps']:.1f} QPS")
         for problem in problems:
             failures.append(f"{model}: {problem}")
-    for model in ("gcn", "lasagne-weighted"):
+    for model in ("gcn", "gat", "lasagne-weighted"):
         if model not in fused or model not in unfused:
             failures.append(f"{model} missing from plan/plan-nofuse rows; "
                             "cannot gate fused-vs-unfused QPS")
@@ -486,7 +487,7 @@ def main():
                 print(f"  {f}", file=sys.stderr)
             return 1
         print("\nPASS: every expected chain fused, zero warm pool misses, "
-              "and fused >= unfused-plan QPS on gcn and lasagne-weighted")
+              "and fused >= unfused-plan QPS on gcn, gat, and lasagne-weighted")
         return 0
 
     plan_mode = bool(args.plan_binary) or bool(args.plan_json)

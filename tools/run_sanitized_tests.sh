@@ -48,4 +48,4 @@ cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)"
 LASAGNE_NUM_THREADS="${LASAGNE_NUM_THREADS:-4}" \
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
 ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure \
-  -R 'ThreadPool|Parallel|Determinism|Obs|GradCheck|BufferPool|BlockedKernel|FusedOp|Inference|Serving|Plan|PlanFusion' "$@"
+  -R 'ThreadPool|Parallel|Determinism|Obs|GradCheck|BufferPool|BlockedKernel|FusedOp|Inference|Serving|Plan|PlanFusion|EdgeAttention|SpGemm' "$@"
