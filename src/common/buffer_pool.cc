@@ -1,5 +1,6 @@
 #include "common/buffer_pool.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/check.h"
@@ -41,6 +42,33 @@ inline void CountMiss() {
   }
 }
 
+inline void CountMagazineHit() {
+  if (obs::MetricsEnabled()) {
+    static obs::Counter& mag_hits =
+        obs::MetricsRegistry::Global().GetCounter(
+            "tensor.alloc.magazine_hits");
+    mag_hits.Increment();
+  }
+}
+
+inline void CountDepotRefill() {
+  if (obs::MetricsEnabled()) {
+    static obs::Counter& refills =
+        obs::MetricsRegistry::Global().GetCounter(
+            "tensor.alloc.depot_refills");
+    refills.Increment();
+  }
+}
+
+inline void CountDepotFlush() {
+  if (obs::MetricsEnabled()) {
+    static obs::Counter& flushes =
+        obs::MetricsRegistry::Global().GetCounter(
+            "tensor.alloc.depot_flushes");
+    flushes.Increment();
+  }
+}
+
 float* AlignedAlloc(size_t count) {
   // Bucket capacities are powers of two >= 64 floats, so the byte size
   // is always a multiple of the alignment as aligned_alloc requires.
@@ -57,13 +85,21 @@ size_t BucketLog2(size_t capacity) {
 
 // Per-thread mirrors of the global hit/miss traffic this thread caused.
 // Workspace-served acquires bump neither (they are invisible to the
-// pool by design).
+// pool by design). Never reset: ResetStats() clears the global
+// counters only, so ThreadStats stays monotonic and delta-safe (see
+// the contract in buffer_pool.h).
 thread_local uint64_t t_thread_hits = 0;
 thread_local uint64_t t_thread_misses = 0;
 
 #if !LASAGNE_POOL_BYPASS
 // Workspace installed on this thread by WorkspaceScope (null = none).
 thread_local BufferPool::Workspace* t_workspace = nullptr;
+
+// This thread's magazine: the lock-free shard of the pool. Constructed
+// on the thread's first pool interaction; the destructor drains into
+// the depot at thread exit (the pool singleton is leaked, so the depot
+// outlives every thread).
+thread_local internal::Magazine t_magazine;
 #endif
 
 }  // namespace
@@ -81,12 +117,91 @@ size_t BufferPool::BucketCapacity(size_t count) {
   return capacity;
 }
 
+bool BufferPool::TryReserveCachedBytes(uint64_t bytes) {
+  // fetch_add-then-verify: each contender reserves first and backs out
+  // on failure, so the sum of successful reservations never exceeds
+  // the limit — unlike the old load-check-then-lock sequence, where N
+  // concurrent releases could all pass the check and overshoot the cap
+  // together.
+  const uint64_t prev = cached_bytes_.fetch_add(bytes,
+                                                std::memory_order_relaxed);
+  if (prev + bytes > limit_.load(std::memory_order_relaxed)) {
+    cached_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void BufferPool::FreeChunkList(std::vector<float*>& list, size_t capacity) {
+  if (list.empty()) return;
+  for (float* p : list) std::free(p);
+  cached_bytes_.fetch_sub(
+      static_cast<uint64_t>(list.size()) * capacity * sizeof(float),
+      std::memory_order_relaxed);
+  list.clear();
+}
+
+void BufferPool::SyncMagazineEpoch(internal::Magazine& mag) {
+  const uint64_t epoch = trim_epoch_.load(std::memory_order_acquire);
+  if (mag.epoch == epoch) return;
+  // A Trim() happened since this thread last touched the pool: its
+  // cached chunks are stale. Free them (and return their bytes) before
+  // serving, so the pool is cold for this thread too.
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    FreeChunkList(mag.chunks[b], size_t{1} << (b + kMinBucketLog2));
+  }
+  mag.epoch = epoch;
+}
+
+void BufferPool::DrainMagazineOnThreadExit(internal::Magazine& mag) {
+  bool any = false;
+  for (size_t b = 0; b < kNumBuckets && !any; ++b) {
+    any = !mag.chunks[b].empty();
+  }
+  if (!any) return;
+  if (mag.epoch != trim_epoch_.load(std::memory_order_acquire)) {
+    // Trimmed since last touch: the chunks are stale — free them.
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      FreeChunkList(mag.chunks[b], size_t{1} << (b + kMinBucketLog2));
+    }
+    return;
+  }
+  // Exit drain: the bytes stay cached, they just change shelf — no cap
+  // interaction, one mutex acquisition for the whole magazine.
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    std::vector<float*>& local = mag.chunks[b];
+    if (local.empty()) continue;
+    free_lists_[b].insert(free_lists_[b].end(), local.begin(), local.end());
+    local.clear();
+  }
+}
+
+namespace internal {
+
+Magazine::~Magazine() {
+  BufferPool::Global().DrainMagazineOnThreadExit(*this);
+}
+
+}  // namespace internal
+
 float* BufferPool::Acquire(size_t count) {
   if (count == 0) return nullptr;
   const size_t capacity = BucketCapacity(count);
 #if !LASAGNE_POOL_BYPASS
   const size_t bucket = BucketLog2(capacity) - kMinBucketLog2;
-  LASAGNE_DCHECK(bucket < kNumBuckets);
+  if (bucket >= bucket_count_.load(std::memory_order_relaxed)) {
+    // Oversize: beyond the top bucket there is no freelist (or
+    // workspace stack) to index — NDEBUG builds used to read
+    // free_lists_ out of bounds here. Serve straight from the
+    // allocator, bypassing magazines, depot and cap; Release frees it
+    // the same way.
+    oversize_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    ++t_thread_misses;
+    CountMiss();
+    return AlignedAlloc(capacity);
+  }
   if (Workspace* ws = t_workspace; ws != nullptr) {
     // Workspace-served acquires bypass the pool entirely — no mutex,
     // no stats. A recording workspace tracks the request and returns
@@ -95,19 +210,45 @@ float* BufferPool::Acquire(size_t count) {
     float* p = ws->AcquireChunk(bucket);
     if (p != nullptr) return p;
   }
+  internal::Magazine& mag = t_magazine;
+  SyncMagazineEpoch(mag);
+  std::vector<float*>& local = mag.chunks[bucket];
+  if (!local.empty()) {
+    // Steady-state fast path: this thread's own magazine, zero locks.
+    float* p = local.back();
+    local.pop_back();
+    cached_bytes_.fetch_sub(capacity * sizeof(float),
+                            std::memory_order_relaxed);
+    magazine_hits_.fetch_add(1, std::memory_order_relaxed);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    ++t_thread_hits;
+    CountHit();
+    CountMagazineHit();
+    return p;
+  }
+  // Magazine underflow: one depot exchange fetches a batch, so the
+  // next kMagazineBatch-1 acquires of this bucket stay lock-free.
+  float* p = nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    std::vector<float*>& list = free_lists_[bucket];
-    if (!list.empty()) {
-      float* p = list.back();
-      list.pop_back();
-      cached_bytes_.fetch_sub(capacity * sizeof(float),
-                              std::memory_order_relaxed);
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      ++t_thread_hits;
-      CountHit();
-      return p;
+    std::vector<float*>& depot = free_lists_[bucket];
+    if (!depot.empty()) {
+      p = depot.back();
+      depot.pop_back();
+      const size_t take = std::min(kMagazineBatch - 1, depot.size());
+      local.insert(local.end(), depot.end() - take, depot.end());
+      depot.resize(depot.size() - take);
+      depot_refills_.fetch_add(1, std::memory_order_relaxed);
     }
+  }
+  if (p != nullptr) {
+    cached_bytes_.fetch_sub(capacity * sizeof(float),
+                            std::memory_order_relaxed);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    ++t_thread_hits;
+    CountHit();
+    CountDepotRefill();
+    return p;
   }
 #endif
   misses_.fetch_add(1, std::memory_order_relaxed);
@@ -122,16 +263,33 @@ void BufferPool::Release(float* ptr, size_t count) {
   const uint64_t bytes = capacity * sizeof(float);
 #if !LASAGNE_POOL_BYPASS
   const size_t bucket = BucketLog2(capacity) - kMinBucketLog2;
-  LASAGNE_DCHECK(bucket < kNumBuckets);
+  if (bucket >= bucket_count_.load(std::memory_order_relaxed)) {
+    std::free(ptr);  // oversize: never cached, never capped
+    return;
+  }
   if (Workspace* ws = t_workspace;
       ws != nullptr && ws->ReleaseChunk(ptr, bucket)) {
     return;  // chunk returned to the workspace slab
   }
-  if (cached_bytes_.load(std::memory_order_relaxed) + bytes <=
-      limit_.load(std::memory_order_relaxed)) {
+  internal::Magazine& mag = t_magazine;
+  SyncMagazineEpoch(mag);
+  std::vector<float*>& local = mag.chunks[bucket];
+  if (local.size() >= kMagazineChunks) {
+    // Magazine overflow: one depot exchange flushes a batch (the bytes
+    // stay cached, they just change shelf), making room for the next
+    // kMagazineBatch releases to stay lock-free.
     std::lock_guard<std::mutex> lock(mutex_);
-    free_lists_[bucket].push_back(ptr);
-    cached_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    std::vector<float*>& depot = free_lists_[bucket];
+    depot.insert(depot.end(), local.end() - kMagazineBatch, local.end());
+    local.resize(local.size() - kMagazineBatch);
+    depot_flushes_.fetch_add(1, std::memory_order_relaxed);
+    CountDepotFlush();
+  }
+  // The reservation is the cap check (see TryReserveCachedBytes):
+  // caching and cap accounting are one atomic step, so concurrent
+  // releases cannot collectively overshoot the limit.
+  if (TryReserveCachedBytes(bytes)) {
+    local.push_back(ptr);
     return;
   }
   evictions_.fetch_add(1, std::memory_order_relaxed);
@@ -152,6 +310,10 @@ BufferPool::Stats BufferPool::GetStats() const {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.cached_bytes = cached_bytes_.load(std::memory_order_relaxed);
+  s.magazine_hits = magazine_hits_.load(std::memory_order_relaxed);
+  s.depot_refills = depot_refills_.load(std::memory_order_relaxed);
+  s.depot_flushes = depot_flushes_.load(std::memory_order_relaxed);
+  s.oversize_acquires = oversize_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -159,20 +321,41 @@ void BufferPool::ResetStats() {
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   evictions_.store(0, std::memory_order_relaxed);
+  magazine_hits_.store(0, std::memory_order_relaxed);
+  depot_refills_.store(0, std::memory_order_relaxed);
+  depot_flushes_.store(0, std::memory_order_relaxed);
+  oversize_.store(0, std::memory_order_relaxed);
 }
 
 void BufferPool::Trim() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (std::vector<float*>& list : free_lists_) {
-    for (float* p : list) std::free(p);
-    list.clear();
-    list.shrink_to_fit();
+#if !LASAGNE_POOL_BYPASS
+  // Marking every magazine stale first means a thread that touches the
+  // pool after this line can never resurrect a pre-trim chunk; the
+  // calling thread's own magazine is drained eagerly below so Trim()
+  // is synchronously "cold" for the caller (what tests and the cold
+  // phases of the benches rely on).
+  const uint64_t epoch =
+      trim_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  internal::Magazine& mag = t_magazine;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    FreeChunkList(mag.chunks[b], size_t{1} << (b + kMinBucketLog2));
   }
-  cached_bytes_.store(0, std::memory_order_relaxed);
+  mag.epoch = epoch;
+#endif
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    FreeChunkList(free_lists_[b], size_t{1} << (b + kMinBucketLog2));
+    free_lists_[b].shrink_to_fit();
+  }
 }
 
 void BufferPool::SetCachedBytesLimit(uint64_t bytes) {
   limit_.store(bytes, std::memory_order_relaxed);
+}
+
+size_t BufferPool::SetBucketCountForTest(size_t count) {
+  LASAGNE_CHECK(count >= 1 && count <= kNumBuckets);
+  return bucket_count_.exchange(count, std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------------

@@ -209,7 +209,12 @@ StatusOr<Tensor> InferenceSession::ServeBatch(
   // Per-thread counters: a concurrent worker's allocations can never
   // land in this request's before/after delta (the global-stats delta
   // used previously attributed every thread's traffic to whichever
-  // requests happened to be in flight).
+  // requests happened to be in flight). The counters are monotonic
+  // across BufferPool::ResetStats() — see the contract in
+  // buffer_pool.h — so this delta stays exact regardless of who resets
+  // the global stats mid-run. With the sharded pool a warm session's
+  // hits here are magazine hits: same-thread acquire/release cycles
+  // never touch the depot mutex.
   const BufferPool::ThreadStats pool_before = BufferPool::GetThreadStats();
   const auto start = std::chrono::steady_clock::now();
 
